@@ -1,0 +1,79 @@
+// Command graphstat generates one of the synthetic graph families used by
+// the experiments and prints its structural statistics (the quantities the
+// paper's bounds are parameterized by: n, m, diameter, normalized diameter
+// D, degree distribution).
+//
+// Usage:
+//
+//	graphstat [-family gnm] [-n 512] [-seed 1] [-weighted]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"compactroute"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family   = flag.String("family", "gnm", "gnm | grid | torus | hypercube | pa | geometric")
+		n        = flag.Int("n", 512, "number of vertices (gnm/pa/geometric)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		weighted = flag.Bool("weighted", false, "integer weights in [1,32]")
+	)
+	flag.Parse()
+
+	var (
+		g   *compactroute.Graph
+		err error
+	)
+	switch *family {
+	case "gnm":
+		g, err = compactroute.GNM(*n, 4**n, *seed, *weighted, 32)
+	case "grid":
+		g, err = compactroute.Grid(24, 24, false, *seed, *weighted)
+	case "torus":
+		g, err = compactroute.Grid(24, 24, true, *seed, *weighted)
+	case "hypercube":
+		g, err = compactroute.Hypercube(9, *seed, *weighted)
+	case "pa":
+		g, err = compactroute.PreferentialAttachment(*n, 4, *seed, *weighted)
+	case "geometric":
+		g, err = compactroute.Geometric(*n, *seed, *weighted)
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if err != nil {
+		return err
+	}
+
+	apsp := compactroute.AllPairs(g)
+	degs := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		degs[v] = g.Degree(compactroute.Vertex(v))
+	}
+	sort.Ints(degs)
+	var ecc float64
+	for v := 0; v < g.N(); v++ {
+		if e := apsp.Eccentricity(compactroute.Vertex(v)); e > ecc {
+			ecc = e
+		}
+	}
+	fmt.Printf("family:       %s\n", *family)
+	fmt.Printf("n, m:         %d, %d\n", g.N(), g.M())
+	fmt.Printf("unweighted:   %v\n", g.Unit())
+	fmt.Printf("diameter:     %.0f\n", ecc)
+	fmt.Printf("normalized D: %.1f\n", apsp.NormalizedDiameter())
+	fmt.Printf("degree:       min=%d median=%d max=%d\n", degs[0], degs[len(degs)/2], degs[len(degs)-1])
+	return nil
+}

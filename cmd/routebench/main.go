@@ -1,0 +1,187 @@
+// Command routebench regenerates the paper's evaluation as text tables: the
+// Table 1 reproduction (every routing scheme of the paper plus baselines,
+// with measured stretch and per-vertex table words) and the space-scaling
+// experiment E2 (growth exponents of table size against n).
+//
+// Usage:
+//
+//	routebench [-n 512] [-eps 0.25] [-seed 2015] [-pairs 2000] [-scaling]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"compactroute"
+)
+
+type row struct {
+	name     string
+	paper    string // the bound the paper states for this row
+	space    string // the space the paper states
+	weighted bool
+	build    func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error)
+}
+
+func rows() []row {
+	return []row{
+		{"exact", "1", "O(n)", false,
+			func(g *compactroute.Graph, _ *compactroute.APSP, _ float64, _ int64) (compactroute.Scheme, error) {
+				return compactroute.NewExact(g)
+			}},
+		{"tz-k2", "3", "O~(n^1/2)", true,
+			func(g *compactroute.Graph, _ *compactroute.APSP, _ float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewThorupZwick(g, compactroute.Options{K: 2, Seed: seed})
+			}},
+		{"tz-k3", "7", "O~(n^1/3)", true,
+			func(g *compactroute.Graph, _ *compactroute.APSP, _ float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewThorupZwick(g, compactroute.Options{K: 3, Seed: seed})
+			}},
+		{"warmup", "3+eps", "O~(n^1/2 /eps)", true,
+			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewWarmup3(g, a, compactroute.Options{Eps: eps, Seed: seed})
+			}},
+		{"thm10", "(2+eps,1)", "O~(n^2/3 /eps)", false,
+			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewTheorem10(g, a, compactroute.Options{Eps: eps, Seed: seed})
+			}},
+		{"thm13-l3", "(2.33+eps,2)", "O~(n^3/5 /eps)", false,
+			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewTheorem13(g, a, compactroute.Options{Eps: eps, Seed: seed, L: 3})
+			}},
+		{"thm15-l2", "(4+eps,2)", "O~(n^2/5 /eps)", false,
+			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewTheorem15(g, a, compactroute.Options{Eps: eps, Seed: seed, L: 2})
+			}},
+		{"thm11", "5+eps", "O~(n^1/3 logD /eps)", true,
+			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewTheorem11(g, a, compactroute.Options{Eps: eps, Seed: seed})
+			}},
+		{"thm16-k4", "9+eps", "O~(n^1/4 logD /eps)", true,
+			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewTheorem16(g, a, compactroute.Options{Eps: eps, Seed: seed, K: 4})
+			}},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "routebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 512, "number of vertices")
+		eps     = flag.Float64("eps", 0.25, "epsilon of the (1+eps) techniques")
+		seed    = flag.Int64("seed", 2015, "random seed")
+		pairs   = flag.Int("pairs", 2000, "sampled source-destination pairs")
+		scaling = flag.Bool("scaling", false, "also run the E2 space-scaling experiment")
+	)
+	flag.Parse()
+
+	fmt.Printf("# Table 1 reproduction: G(n=%d, m=%d), eps=%v, %d sampled pairs\n\n", *n, 4**n, *eps, *pairs)
+	graphs := make(map[bool]*compactroute.Graph)
+	apsps := make(map[bool]*compactroute.APSP)
+	for _, weighted := range []bool{false, true} {
+		g, err := compactroute.GNM(*n, 4**n, *seed, weighted, 32)
+		if err != nil {
+			return err
+		}
+		graphs[weighted] = g
+		apsps[weighted] = compactroute.AllPairs(g)
+	}
+	ps := compactroute.SamplePairs(*n, *pairs, *seed)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tgraph\tpaper stretch\tpaper space\tmax stretch\tmean stretch\tmax add\ttable max\ttable mean\tlabel\theader\tviol")
+	for _, r := range rows() {
+		g, a := graphs[r.weighted], apsps[r.weighted]
+		s, err := r.build(g, a, *eps, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		ev, err := compactroute.Evaluate(s, a, ps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		kind := "unweighted"
+		if r.weighted {
+			kind = "weighted"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3f\t%.3f\t%.1f\t%d\t%.0f\t%d\t%d\t%d\n",
+			r.name, kind, r.paper, r.space,
+			ev.MaxStretch, ev.MeanStretch, ev.MaxAdditive,
+			ev.Tables.Max, ev.Tables.Mean, ev.MaxLabel, ev.MaxHeader, ev.BoundViolations)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nliterature rows of Table 1 not re-implemented here (cited values):")
+	fmt.Println("  abraham-gavoille: (2,1) stretch, O~(n^3/4) space [DISC'11]")
+	fmt.Println("  chechik:          10.52 stretch, O~(n^1/4 logD) space [PODC'13]")
+
+	// Extension sketched in Section 1: name-independent routing (no labels).
+	ni, err := compactroute.NewNameIndependent(graphs[true], apsps[true], compactroute.Options{Eps: *eps, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ev, err := compactroute.Evaluate(ni, apsps[true], ps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nextension (Section 1 sketch): %s - max stretch %.3f (bound %.2f), table mean %.0f words, label %d words, viol %d\n",
+		ni.Name(), ev.MaxStretch, ni.StretchBound(1), ev.Tables.Mean, ev.MaxLabel, ev.BoundViolations)
+
+	if *scaling {
+		if err := runScaling(*eps, *seed, *pairs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runScaling(eps float64, seed int64, pairs int) error {
+	fmt.Println("\n# E2: space-scaling exponents (mean table words vs n, log-log fit)")
+	ns := []int{128, 256, 512, 1024}
+	type fit struct {
+		name     string
+		expected float64
+		idx      int
+	}
+	fits := []fit{
+		{"tz-k2", 0.5, 1}, {"tz-k3", 1. / 3, 2}, {"warmup", 0.5, 3},
+		{"thm10", 2. / 3, 4}, {"thm11", 1. / 3, 7}, {"thm16-k4", 0.25, 8},
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tpaper exponent\tfitted exponent\tmean words by n")
+	all := rows()
+	for _, f := range fits {
+		r := all[f.idx]
+		var xs, ys []float64
+		var series string
+		for _, n := range ns {
+			g, err := compactroute.GNM(n, 4*n, seed, r.weighted, 32)
+			if err != nil {
+				return err
+			}
+			a := compactroute.AllPairs(g)
+			s, err := r.build(g, a, eps, seed)
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %w", r.name, n, err)
+			}
+			ev, err := compactroute.Evaluate(s, a, compactroute.SamplePairs(n, pairs/2, seed))
+			if err != nil {
+				return err
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, ev.Tables.Mean)
+			series += fmt.Sprintf(" %0.f", ev.Tables.Mean)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%s\n", r.name, f.expected, compactroute.FitExponent(xs, ys), series)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,81 @@
+// Command routedemo builds one routing scheme on a generated graph and
+// routes a handful of messages, printing the full path each packet takes
+// next to the true shortest distance.
+//
+// Usage:
+//
+//	routedemo [-scheme thm11] [-n 200] [-seed 1] [-routes 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compactroute"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "routedemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scheme = flag.String("scheme", "thm11", "one of: warmup, thm10, thm11, thm13, thm15, thm16, tz, exact")
+		n      = flag.Int("n", 200, "number of vertices")
+		seed   = flag.Int64("seed", 1, "random seed")
+		routes = flag.Int("routes", 8, "number of demo routes")
+		eps    = flag.Float64("eps", 0.25, "epsilon")
+	)
+	flag.Parse()
+
+	weighted := map[string]bool{"warmup": true, "thm11": true, "thm16": true, "tz": true}[*scheme]
+	g, err := compactroute.GNM(*n, 4**n, *seed, weighted, 16)
+	if err != nil {
+		return err
+	}
+	apsp := compactroute.AllPairs(g)
+	opt := compactroute.Options{Eps: *eps, Seed: *seed}
+
+	var s compactroute.Scheme
+	switch *scheme {
+	case "warmup":
+		s, err = compactroute.NewWarmup3(g, apsp, opt)
+	case "thm10":
+		s, err = compactroute.NewTheorem10(g, apsp, opt)
+	case "thm11":
+		s, err = compactroute.NewTheorem11(g, apsp, opt)
+	case "thm13":
+		s, err = compactroute.NewTheorem13(g, apsp, opt)
+	case "thm15":
+		s, err = compactroute.NewTheorem15(g, apsp, opt)
+	case "thm16":
+		s, err = compactroute.NewTheorem16(g, apsp, opt)
+	case "tz":
+		s, err = compactroute.NewThorupZwick(g, compactroute.Options{K: 3, Seed: *seed})
+	case "exact":
+		s, err = compactroute.NewExact(g)
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheme %s on G(%d, %d); guaranteed stretch of d=10: <= %.2f\n\n",
+		s.Name(), g.N(), g.M(), s.StretchBound(10))
+	nw := compactroute.NewNetworkWithPath(s)
+	for _, p := range compactroute.SamplePairs(*n, *routes, *seed+7) {
+		res, err := nw.Route(p[0], p[1])
+		if err != nil {
+			return err
+		}
+		d := apsp.Dist(p[0], p[1])
+		fmt.Printf("%4d -> %-4d d=%-5.0f routed=%-6.0f stretch=%.2f hops=%d\n        path %v\n",
+			p[0], p[1], d, res.Weight, res.Weight/d, res.Hops, res.Path)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package compactroute_test
+
+import (
+	"strings"
+	"testing"
+
+	"compactroute"
+)
+
+// buildAll constructs every scheme of the paper plus baselines on suitable
+// graphs and returns them with their APSP for verification.
+func buildAll(t *testing.T, n int) (unweighted, weighted []compactroute.Scheme, uAPSP, wAPSP *compactroute.APSP) {
+	t.Helper()
+	ug, err := compactroute.GNM(n, 3*n, 42, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := compactroute.GNM(n, 3*n, 43, true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uAPSP = compactroute.AllPairs(ug)
+	wAPSP = compactroute.AllPairs(wg)
+	opt := compactroute.Options{Eps: 0.5, Seed: 7}
+
+	for _, build := range []func() (compactroute.Scheme, error){
+		func() (compactroute.Scheme, error) { return compactroute.NewTheorem10(ug, uAPSP, opt) },
+		func() (compactroute.Scheme, error) { return compactroute.NewTheorem13(ug, uAPSP, opt) },
+		func() (compactroute.Scheme, error) { return compactroute.NewTheorem15(ug, uAPSP, opt) },
+		func() (compactroute.Scheme, error) { return compactroute.NewExact(ug) },
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		unweighted = append(unweighted, s)
+	}
+	for _, build := range []func() (compactroute.Scheme, error){
+		func() (compactroute.Scheme, error) { return compactroute.NewWarmup3(wg, wAPSP, opt) },
+		func() (compactroute.Scheme, error) { return compactroute.NewTheorem11(wg, wAPSP, opt) },
+		func() (compactroute.Scheme, error) { return compactroute.NewTheorem16(wg, wAPSP, opt) },
+		func() (compactroute.Scheme, error) {
+			return compactroute.NewThorupZwick(wg, compactroute.Options{K: 3, Seed: 7})
+		},
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted = append(weighted, s)
+	}
+	return unweighted, weighted, uAPSP, wAPSP
+}
+
+func TestEveryPublicSchemeMeetsItsBound(t *testing.T) {
+	unweighted, weighted, uAPSP, wAPSP := buildAll(t, 150)
+	pairs := compactroute.SamplePairs(150, 1500, 9)
+	for _, s := range unweighted {
+		ev, err := compactroute.Evaluate(s, uAPSP, pairs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if ev.BoundViolations != 0 {
+			t.Fatalf("%s: %d stretch-bound violations", s.Name(), ev.BoundViolations)
+		}
+	}
+	for _, s := range weighted {
+		ev, err := compactroute.Evaluate(s, wAPSP, pairs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if ev.BoundViolations != 0 {
+			t.Fatalf("%s: %d stretch-bound violations", s.Name(), ev.BoundViolations)
+		}
+	}
+}
+
+func TestTable1SpaceOrdering(t *testing.T) {
+	// The per-vertex space ordering of Table 1 at a fixed n:
+	// exact (n) > thm10 (n^{2/3}) > thm13 (n^{3/5}) > thm15 (n^{2/5}),
+	// comparing mean table words.
+	unweighted, _, uAPSP, _ := buildAll(t, 220)
+	pairs := compactroute.SamplePairs(220, 200, 3)
+	means := make(map[string]float64)
+	for _, s := range unweighted {
+		ev, err := compactroute.Evaluate(s, uAPSP, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case s.Name() == "exact":
+			means["exact"] = ev.Tables.Mean
+		case strings.HasPrefix(s.Name(), "thm10"):
+			means["thm10"] = ev.Tables.Mean
+		case strings.HasPrefix(s.Name(), "thm13"):
+			means["thm13"] = ev.Tables.Mean
+		case strings.HasPrefix(s.Name(), "thm15"):
+			means["thm15"] = ev.Tables.Mean
+		}
+	}
+	// Absolute word counts at n=220 are dominated by the polylog and 1/eps
+	// constants (compact routing only beats exact tables for n >> 10^4), so
+	// the fixed-n assertions here are the scale-robust within-family
+	// orderings; the Table 1 space *shapes* are validated as growth
+	// exponents by the E2 benchmark.
+	if !(means["thm15"] < means["thm13"]) {
+		t.Errorf("expected thm15 (%v) < thm13 (%v) table words", means["thm15"], means["thm13"])
+	}
+	if !(means["thm15"] < means["thm10"]) {
+		t.Errorf("expected thm15 (%v) < thm10 (%v) table words", means["thm15"], means["thm10"])
+	}
+	if means["exact"] <= 0 {
+		t.Error("exact baseline missing")
+	}
+}
+
+func TestOraclePublicAPI(t *testing.T) {
+	g, err := compactroute.GNM(100, 300, 5, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := compactroute.AllPairs(g)
+	o, err := compactroute.NewOracle(g, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range compactroute.SamplePairs(100, 500, 6) {
+		est, err := o.Query(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := apsp.Dist(p[0], p[1])
+		if est < d-1e-9 || est > o.StretchBound(d)+1e-9 {
+			t.Fatalf("oracle estimate %v outside [d, 5d] for d=%v", est, d)
+		}
+	}
+}
+
+func TestConcurrentNetworkPublicAPI(t *testing.T) {
+	g, err := compactroute.GNM(80, 240, 2, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := compactroute.AllPairs(g)
+	s, err := compactroute.NewTheorem10(g, apsp, compactroute.Options{Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := compactroute.NewConcurrentNetwork(s)
+	defer nw.Close()
+	dels, err := nw.RouteAll(compactroute.SamplePairs(80, 300, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dels {
+		if d.Err != nil {
+			t.Fatal(d.Err)
+		}
+		if d.Weight > s.StretchBound(apsp.Dist(d.Src, d.Dst))+1e-9 {
+			t.Fatalf("concurrent delivery %d->%d too long", d.Src, d.Dst)
+		}
+	}
+}
+
+func TestTableBreakdownExposed(t *testing.T) {
+	g, err := compactroute.GNM(90, 270, 4, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := compactroute.AllPairs(g)
+	s, err := compactroute.NewTheorem11(g, apsp, compactroute.Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := compactroute.TableBreakdown(s)
+	if len(bd) < 3 {
+		t.Fatalf("expected a multi-part breakdown, got %v", bd)
+	}
+	if _, ok := bd["vicinity"]; !ok {
+		t.Fatalf("breakdown missing vicinity: %v", bd)
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	xs := []float64{128, 256, 512, 1024}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.7 * x * x // exponent 2
+	}
+	if got := compactroute.FitExponent(xs, ys); got < 1.999 || got > 2.001 {
+		t.Fatalf("FitExponent = %v, want 2", got)
+	}
+}

@@ -1,0 +1,119 @@
+package compactroute
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compactroute/internal/simnet"
+	"compactroute/internal/space"
+)
+
+// Evaluation summarizes routing quality and storage of one scheme over a set
+// of source-destination pairs. It is the measurement unit behind every row
+// of the Table 1 reproduction (see EXPERIMENTS.md).
+type Evaluation struct {
+	Scheme string
+	Pairs  int
+	// Stretch of routed paths over pairs at distance > 0.
+	MaxStretch  float64
+	MeanStretch float64
+	// BoundViolations counts deliveries longer than the scheme's proved
+	// StretchBound; it must be zero.
+	BoundViolations int
+	// MaxAdditive is max(routed - d) over unit-distance-scale graphs,
+	// relevant for (alpha, beta) schemes.
+	MaxAdditive float64
+	MeanHops    float64
+	// Tables summarizes per-vertex routing tables in words.
+	Tables SpaceStats
+	// MaxLabel and MaxHeader are the largest label and header observed.
+	MaxLabel  int
+	MaxHeader int
+}
+
+// SamplePairs draws count ordered pairs of distinct vertices uniformly at
+// random, deterministically under seed.
+func SamplePairs(n, count int, seed int64) [][2]Vertex {
+	r := rand.New(rand.NewSource(seed))
+	pairs := make([][2]Vertex, 0, count)
+	for len(pairs) < count {
+		u := Vertex(r.Intn(n))
+		v := Vertex(r.Intn(n))
+		if u != v {
+			pairs = append(pairs, [2]Vertex{u, v})
+		}
+	}
+	return pairs
+}
+
+// AllPairsList enumerates every ordered pair of distinct vertices.
+func AllPairsList(n int) [][2]Vertex {
+	pairs := make([][2]Vertex, 0, n*(n-1))
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				pairs = append(pairs, [2]Vertex{Vertex(u), Vertex(v)})
+			}
+		}
+	}
+	return pairs
+}
+
+// Evaluate routes every pair through the scheme and aggregates stretch,
+// hops, header and storage statistics. A routing failure is returned as an
+// error; stretch-bound violations are counted, not fatal.
+func Evaluate(s Scheme, apsp *APSP, pairs [][2]Vertex) (Evaluation, error) {
+	ev := Evaluation{Scheme: s.Name(), Pairs: len(pairs)}
+	nw := simnet.NewNetwork(s)
+	var stretchSum float64
+	var stretchCnt int
+	var hopsSum int
+	for _, p := range pairs {
+		res, err := nw.Route(p[0], p[1])
+		if err != nil {
+			return ev, fmt.Errorf("evaluate %s: %w", s.Name(), err)
+		}
+		d := apsp.Dist(p[0], p[1])
+		if res.Weight > s.StretchBound(d)+1e-9 {
+			ev.BoundViolations++
+		}
+		if d > 0 {
+			str := res.Weight / d
+			stretchSum += str
+			stretchCnt++
+			if str > ev.MaxStretch {
+				ev.MaxStretch = str
+			}
+			if add := res.Weight - d; add > ev.MaxAdditive {
+				ev.MaxAdditive = add
+			}
+		}
+		hopsSum += res.Hops
+		if res.HeaderWords > ev.MaxHeader {
+			ev.MaxHeader = res.HeaderWords
+		}
+	}
+	if stretchCnt > 0 {
+		ev.MeanStretch = stretchSum / float64(stretchCnt)
+	}
+	if len(pairs) > 0 {
+		ev.MeanHops = float64(hopsSum) / float64(len(pairs))
+	}
+	g := s.Graph()
+	tables := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		tables[v] = s.TableWords(Vertex(v))
+		if lw := s.LabelWords(Vertex(v)); lw > ev.MaxLabel {
+			ev.MaxLabel = lw
+		}
+	}
+	ev.Tables = space.Summarize(tables)
+	return ev, nil
+}
+
+// Row renders the evaluation as one line of the Table 1 reproduction.
+func (e Evaluation) Row() string {
+	return fmt.Sprintf("%-22s pairs=%-6d stretch(max=%.3f mean=%.3f viol=%d) add(max=%.1f) tables(max=%d mean=%.0f) label<=%d header<=%d",
+		e.Scheme, e.Pairs, e.MaxStretch, e.MeanStretch, e.BoundViolations, e.MaxAdditive,
+		e.Tables.Max, e.Tables.Mean, e.MaxLabel, e.MaxHeader)
+}

@@ -1,0 +1,58 @@
+package compactroute_test
+
+import (
+	"fmt"
+
+	"compactroute"
+)
+
+// ExampleEvaluate preprocesses the Theorem 11 scheme and evaluates it over
+// sampled pairs, printing whether the paper's stretch guarantee held.
+func ExampleEvaluate() {
+	g, err := compactroute.GNM(300, 1200, 4, true, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	apsp := compactroute.AllPairs(g)
+	scheme, err := compactroute.NewTheorem11(g, apsp, compactroute.Options{Eps: 0.25, Seed: 4})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ev, err := compactroute.Evaluate(scheme, apsp, compactroute.SamplePairs(300, 1000, 4))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("violations of the (5+3eps)d bound: %d\n", ev.BoundViolations)
+	fmt.Printf("stretch bound for d=100: %.0f\n", scheme.StretchBound(100))
+	// Output:
+	// violations of the (5+3eps)d bound: 0
+	// stretch bound for d=100: 575
+}
+
+// ExampleNewNameIndependent routes with no destination label at all.
+func ExampleNewNameIndependent() {
+	g, err := compactroute.GNM(200, 800, 9, false, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	apsp := compactroute.AllPairs(g)
+	scheme, err := compactroute.NewNameIndependent(g, apsp, compactroute.Options{Eps: 0.5, Seed: 9})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("label words: %d\n", scheme.LabelWords(0))
+	res, err := compactroute.NewNetwork(scheme).Route(5, 150)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered within bound: %v\n", res.Weight <= scheme.StretchBound(apsp.Dist(5, 150)))
+	// Output:
+	// label words: 0
+	// delivered within bound: true
+}

@@ -1,0 +1,46 @@
+// Quickstart: preprocess the paper's headline (5+eps)-stretch scheme
+// (Theorem 11) on a weighted random graph and route one message.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compactroute"
+)
+
+func main() {
+	// A connected weighted graph with 400 vertices and 1600 edges.
+	g, err := compactroute.GNM(400, 1600, 7, true, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The preprocessing phase is centralized (Section 1 of the paper): it
+	// may consult all-pairs shortest paths while building the per-vertex
+	// routing tables and labels.
+	apsp := compactroute.AllPairs(g)
+	scheme, err := compactroute.NewTheorem11(g, apsp, compactroute.Options{Eps: 0.25, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Routing is strictly local: each vertex forwards using only its own
+	// table, the destination's label and the packet header.
+	nw := compactroute.NewNetworkWithPath(scheme)
+	src, dst := compactroute.Vertex(3), compactroute.Vertex(377)
+	res, err := nw.Route(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := apsp.Dist(src, dst)
+	fmt.Printf("routed %d -> %d\n", src, dst)
+	fmt.Printf("  shortest distance: %.0f\n", d)
+	fmt.Printf("  routed length:     %.0f (stretch %.2f, guaranteed <= %.2f)\n",
+		res.Weight, res.Weight/d, scheme.StretchBound(d)/d)
+	fmt.Printf("  hops: %d, header high-water: %d words\n", res.Hops, res.HeaderWords)
+	fmt.Printf("  path: %v\n", res.Path)
+	fmt.Printf("  table at source: %d words (vs %d for exact routing)\n",
+		scheme.TableWords(src), g.N()-1)
+}

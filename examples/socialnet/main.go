@@ -1,0 +1,83 @@
+// Socialnet: the (2+eps, 1)-stretch scheme of Theorem 10 on an unweighted
+// preferential-attachment graph - the kind of skewed-degree, low-diameter
+// network where distances are tiny and additive slack matters more than
+// multiplicative stretch. The example measures the whole distribution of
+// routed path lengths against true distances.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compactroute"
+)
+
+func main() {
+	const n = 600
+	g, err := compactroute.PreferentialAttachment(n, 4, 11, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apsp := compactroute.AllPairs(g)
+	scheme, err := compactroute.NewTheorem10(g, apsp, compactroute.Options{Eps: 0.25, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nw := compactroute.NewNetwork(scheme)
+	pairs := compactroute.SamplePairs(n, 4000, 99)
+
+	// Histogram of routed length by true distance.
+	type bucket struct {
+		count   int
+		sumLen  float64
+		maxLen  float64
+		shorter int // routed exactly at distance
+	}
+	byDist := map[int]*bucket{}
+	for _, p := range pairs {
+		res, err := nw.Route(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := int(apsp.Dist(p[0], p[1]))
+		b := byDist[d]
+		if b == nil {
+			b = &bucket{}
+			byDist[d] = b
+		}
+		b.count++
+		b.sumLen += res.Weight
+		if res.Weight > b.maxLen {
+			b.maxLen = res.Weight
+		}
+		if int(res.Weight) == d {
+			b.shorter++
+		}
+	}
+
+	fmt.Printf("Theorem 10 on a preferential-attachment graph (n=%d, m=%d)\n", g.N(), g.M())
+	fmt.Printf("guarantee: routed <= (2+2*0.25)*d + 1\n\n")
+	fmt.Println("  d   pairs  mean-routed  max-routed  exact%")
+	maxD := 0
+	for d := range byDist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	for d := 1; d <= maxD; d++ {
+		b := byDist[d]
+		if b == nil {
+			continue
+		}
+		fmt.Printf("%3d  %6d  %10.2f  %10.0f  %5.1f%%\n",
+			d, b.count, b.sumLen/float64(b.count), b.maxLen,
+			100*float64(b.shorter)/float64(b.count))
+	}
+
+	stats := compactroute.TableBreakdown(scheme)
+	fmt.Println("\nstorage breakdown (mean words per vertex):")
+	for part, st := range stats {
+		fmt.Printf("  %-28s %8.1f\n", part, st.Mean)
+	}
+}

@@ -1,0 +1,382 @@
+// Package cluster implements the bunches and clusters of Thorup and Zwick
+// used throughout the paper (Section 2), and the center-cover construction of
+// Lemma 4 that finds a landmark set A whose clusters are all small.
+//
+// For a landmark set A, p_A(v) is the nearest landmark of v (ties broken by
+// smaller vertex id) and d(v, A) = d(v, p_A(v)). The cluster of w is
+// C_A(w) = {w} u {v : d(w, v) < d(v, A)} and the bunch of v is
+// B_A(v) = {v} u {w : d(w, v) < d(v, A)}, so w in B_A(v) iff v in C_A(w).
+// Centers are included explicitly (the convention Section 5 of the paper
+// needs for the degenerate level L_0 = V, where B_{L_0}(v) = {v}).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"compactroute/internal/graph"
+)
+
+// Member is one vertex of a cluster together with its position in the
+// cluster's shortest-path tree.
+type Member struct {
+	V      graph.Vertex
+	Dist   float64
+	Parent graph.Vertex // NoVertex for the cluster's root
+}
+
+// Landmarks holds a landmark set and everything derived from it.
+type Landmarks struct {
+	A        []graph.Vertex
+	inA      []bool
+	P        []graph.Vertex // p_A(v)
+	DistA    []float64      // d(v, A)
+	clusters [][]Member     // clusters[w] = C_A(w), root first
+	bunches  [][]graph.Vertex
+}
+
+// New computes p_A, d(.,A), every cluster and every bunch for the landmark
+// set a over g. The set must be non-empty.
+func New(g *graph.Graph, a []graph.Vertex) (*Landmarks, error) {
+	if len(a) == 0 {
+		return nil, fmt.Errorf("cluster: empty landmark set")
+	}
+	n := g.N()
+	l := &Landmarks{
+		A:     append([]graph.Vertex(nil), a...),
+		inA:   make([]bool, n),
+		P:     make([]graph.Vertex, n),
+		DistA: make([]float64, n),
+	}
+	sort.Slice(l.A, func(i, j int) bool { return l.A[i] < l.A[j] })
+	for i := 1; i < len(l.A); i++ {
+		if l.A[i] == l.A[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate landmark %d", l.A[i])
+		}
+	}
+	for _, v := range l.A {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("cluster: landmark %d out of range", v)
+		}
+		l.inA[v] = true
+	}
+	l.nearestLandmarks(g)
+	l.buildClusters(g)
+	return l, nil
+}
+
+// Nearest computes, for every vertex of g, the nearest member of a (ties in
+// distance broken toward the smaller member id, the paper's lexicographic
+// convention) and the distance to it, via one multi-source Dijkstra.
+func Nearest(g *graph.Graph, a []graph.Vertex) (p []graph.Vertex, dist []float64, err error) {
+	if len(a) == 0 {
+		return nil, nil, fmt.Errorf("cluster: empty landmark set")
+	}
+	for _, v := range a {
+		if v < 0 || int(v) >= g.N() {
+			return nil, nil, fmt.Errorf("cluster: landmark %d out of range", v)
+		}
+	}
+	l := &Landmarks{
+		P:     make([]graph.Vertex, g.N()),
+		DistA: make([]float64, g.N()),
+	}
+	l.A = append(l.A, a...)
+	l.nearestLandmarks(g)
+	return l.P, l.DistA, nil
+}
+
+// nearestLandmarks runs a multi-source Dijkstra from A. Ties in distance are
+// broken toward the smaller landmark id, matching the paper's lexicographic
+// convention for p_A.
+func (l *Landmarks) nearestLandmarks(g *graph.Graph) {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		l.DistA[v] = math.Inf(1)
+		l.P[v] = graph.NoVertex
+	}
+	type item struct {
+		dist float64
+		p    graph.Vertex // landmark
+		v    graph.Vertex
+	}
+	lessItem := func(a, b item) bool {
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+		if a.p != b.p {
+			return a.p < b.p
+		}
+		return a.v < b.v
+	}
+	var heap []item
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			par := (i - 1) / 2
+			if !lessItem(heap[i], heap[par]) {
+				break
+			}
+			heap[i], heap[par] = heap[par], heap[i]
+			i = par
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			lc, rc, sm := 2*i+1, 2*i+2, i
+			if lc < len(heap) && lessItem(heap[lc], heap[sm]) {
+				sm = lc
+			}
+			if rc < len(heap) && lessItem(heap[rc], heap[sm]) {
+				sm = rc
+			}
+			if sm == i {
+				break
+			}
+			heap[i], heap[sm] = heap[sm], heap[i]
+			i = sm
+		}
+		return top
+	}
+	better := func(d float64, p graph.Vertex, v graph.Vertex) bool {
+		if d != l.DistA[v] {
+			return d < l.DistA[v]
+		}
+		return p < l.P[v]
+	}
+	for _, a := range l.A {
+		l.DistA[a] = 0
+		l.P[a] = a
+		push(item{dist: 0, p: a, v: a})
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.dist != l.DistA[it.v] || it.p != l.P[it.v] {
+			continue
+		}
+		g.Neighbors(it.v, func(_ graph.Port, x graph.Vertex, w float64) bool {
+			if nd := it.dist + w; better(nd, it.p, x) {
+				l.DistA[x] = nd
+				l.P[x] = it.p
+				push(item{dist: nd, p: it.p, v: x})
+			}
+			return true
+		})
+	}
+}
+
+// buildClusters runs, for every w, a Dijkstra pruned to the cluster
+// condition d(w, v) < d(v, A). The standard Thorup-Zwick argument shows the
+// pruned search reaches every cluster member along a shortest path that
+// stays inside the cluster, so the parents form the cluster tree T_{C_A(w)}.
+func (l *Landmarks) buildClusters(g *graph.Graph) {
+	n := g.N()
+	l.clusters = make([][]Member, n)
+	l.bunches = make([][]graph.Vertex, n)
+	dist := make(map[graph.Vertex]float64, 64)
+	parent := make(map[graph.Vertex]graph.Vertex, 64)
+	for wi := 0; wi < n; wi++ {
+		w := graph.Vertex(wi)
+		clear(dist)
+		clear(parent)
+		h := newClusterHeap()
+		dist[w] = 0
+		parent[w] = graph.NoVertex
+		h.push(0, w)
+		var members []Member
+		for h.len() > 0 {
+			d, u := h.pop()
+			if d != dist[u] {
+				continue
+			}
+			members = append(members, Member{V: u, Dist: d, Parent: parent[u]})
+			g.Neighbors(u, func(_ graph.Port, x graph.Vertex, ew float64) bool {
+				nd := d + ew
+				if nd >= l.DistA[x] { // cluster condition (strict)
+					return true
+				}
+				if old, ok := dist[x]; !ok || nd < old {
+					dist[x] = nd
+					parent[x] = u
+					h.push(nd, x)
+				}
+				return true
+			})
+		}
+		l.clusters[wi] = members
+		for _, m := range members {
+			l.bunches[m.V] = append(l.bunches[m.V], w)
+		}
+	}
+	for v := range l.bunches {
+		sort.Slice(l.bunches[v], func(i, j int) bool { return l.bunches[v][i] < l.bunches[v][j] })
+	}
+}
+
+// InA reports whether v is a landmark.
+func (l *Landmarks) InA(v graph.Vertex) bool { return l.inA[v] }
+
+// Cluster returns C_A(w) with the root first. The slice is owned by l.
+func (l *Landmarks) Cluster(w graph.Vertex) []Member { return l.clusters[w] }
+
+// Bunch returns B_A(v) in increasing id order. The slice is owned by l.
+func (l *Landmarks) Bunch(v graph.Vertex) []graph.Vertex { return l.bunches[v] }
+
+// MaxClusterSize returns max_w |C_A(w)|.
+func (l *Landmarks) MaxClusterSize() int {
+	maxSz := 0
+	for _, c := range l.clusters {
+		if len(c) > maxSz {
+			maxSz = len(c)
+		}
+	}
+	return maxSz
+}
+
+type clusterHeap struct {
+	ds []float64
+	vs []graph.Vertex
+}
+
+func newClusterHeap() *clusterHeap { return &clusterHeap{} }
+
+func (h *clusterHeap) len() int { return len(h.ds) }
+
+func (h *clusterHeap) lessAt(i, j int) bool {
+	if h.ds[i] != h.ds[j] {
+		return h.ds[i] < h.ds[j]
+	}
+	return h.vs[i] < h.vs[j]
+}
+
+func (h *clusterHeap) push(d float64, v graph.Vertex) {
+	h.ds = append(h.ds, d)
+	h.vs = append(h.vs, v)
+	i := len(h.ds) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.lessAt(i, p) {
+			break
+		}
+		h.ds[i], h.ds[p] = h.ds[p], h.ds[i]
+		h.vs[i], h.vs[p] = h.vs[p], h.vs[i]
+		i = p
+	}
+}
+
+func (h *clusterHeap) pop() (float64, graph.Vertex) {
+	d, v := h.ds[0], h.vs[0]
+	last := len(h.ds) - 1
+	h.ds[0], h.vs[0] = h.ds[last], h.vs[last]
+	h.ds, h.vs = h.ds[:last], h.vs[:last]
+	i := 0
+	for {
+		l, r, sm := 2*i+1, 2*i+2, i
+		if l < len(h.ds) && h.lessAt(l, sm) {
+			sm = l
+		}
+		if r < len(h.ds) && h.lessAt(r, sm) {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		h.ds[i], h.ds[sm] = h.ds[sm], h.ds[i]
+		h.vs[i], h.vs[sm] = h.vs[sm], h.vs[i]
+		i = sm
+	}
+	return d, v
+}
+
+// CenterCover implements Lemma 4: it returns Landmarks whose cluster sizes
+// are all at most boundFactor*n/s (boundFactor = 4 matches the paper). The
+// construction follows Thorup-Zwick's centers algorithm: repeatedly sample
+// vertices whose clusters are still too large into A. A final deterministic
+// step promotes any stragglers to landmarks (a landmark's cluster is just
+// itself), so the returned set always satisfies the bound.
+func CenterCover(g *graph.Graph, s int, seed int64) (*Landmarks, error) {
+	const boundFactor = 4
+	n := g.N()
+	if s < 1 {
+		return nil, fmt.Errorf("cluster: need s >= 1, got %d", s)
+	}
+	if s > n {
+		s = n
+	}
+	bound := boundFactor * n / s
+	if bound < 1 {
+		bound = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	inA := make([]bool, n)
+	var a []graph.Vertex
+	oversized := make([]graph.Vertex, n)
+	for i := range oversized {
+		oversized[i] = graph.Vertex(i)
+	}
+	var l *Landmarks
+	maxRounds := 4*log2(n) + 8
+	for round := 0; round < maxRounds && len(oversized) > 0; round++ {
+		p := float64(s) / float64(len(oversized))
+		if p > 1 {
+			p = 1
+		}
+		grew := false
+		for _, w := range oversized {
+			if !inA[w] && r.Float64() < p {
+				inA[w] = true
+				a = append(a, w)
+				grew = true
+			}
+		}
+		if !grew && len(a) == 0 {
+			continue
+		}
+		var err error
+		l, err = New(g, a)
+		if err != nil {
+			return nil, err
+		}
+		oversized = oversized[:0]
+		for w := 0; w < n; w++ {
+			if len(l.clusters[w]) > bound {
+				oversized = append(oversized, graph.Vertex(w))
+			}
+		}
+	}
+	if len(oversized) > 0 || l == nil {
+		// Deterministic finish: promoting a vertex to landmark makes its own
+		// cluster trivial and can only shrink others.
+		for _, w := range oversized {
+			if !inA[w] {
+				inA[w] = true
+				a = append(a, w)
+			}
+		}
+		var err error
+		l, err = New(g, a)
+		if err != nil {
+			return nil, err
+		}
+		if got := l.MaxClusterSize(); got > bound {
+			return nil, fmt.Errorf("cluster: center cover failed, max cluster %d > bound %d", got, bound)
+		}
+	}
+	return l, nil
+}
+
+func log2(n int) int {
+	l := 0
+	for x := 1; x < n; x *= 2 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,197 @@
+package cluster_test
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/cluster"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+)
+
+func landmarkSet(t *testing.T, g *graph.Graph, every int) []graph.Vertex {
+	t.Helper()
+	var a []graph.Vertex
+	for v := 0; v < g.N(); v += every {
+		a = append(a, graph.Vertex(v))
+	}
+	return a
+}
+
+func TestNearestLandmarkMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := testutil.MustGNM(t, 40, 100, seed, gen.UniformInt)
+		want := testutil.FloydWarshall(g)
+		a := landmarkSet(t, g, 5)
+		l, err := cluster.New(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			bestD := math.Inf(1)
+			best := graph.NoVertex
+			for _, w := range a {
+				d := want[v][w]
+				if d < bestD || (d == bestD && w < best) {
+					bestD, best = d, w
+				}
+			}
+			if math.Abs(l.DistA[v]-bestD) > testutil.Eps || l.P[v] != best {
+				t.Fatalf("seed %d: p_A(%d)=(%d,%v) want (%d,%v)", seed, v, l.P[v], l.DistA[v], best, bestD)
+			}
+		}
+	}
+}
+
+func TestClustersMatchDefinition(t *testing.T) {
+	g := testutil.MustGNM(t, 40, 100, 7, gen.UniformInt)
+	want := testutil.FloydWarshall(g)
+	a := landmarkSet(t, g, 4)
+	l, err := cluster.New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < g.N(); w++ {
+		got := make(map[graph.Vertex]float64)
+		for _, m := range l.Cluster(graph.Vertex(w)) {
+			got[m.V] = m.Dist
+		}
+		for v := 0; v < g.N(); v++ {
+			inDef := v == w || want[w][v] < l.DistA[v]-testutil.Eps
+			d, inGot := got[graph.Vertex(v)]
+			if inDef != inGot {
+				t.Fatalf("C(%d) membership of %d: got %v want %v", w, v, inGot, inDef)
+			}
+			if inGot && math.Abs(d-want[w][v]) > testutil.Eps {
+				t.Fatalf("C(%d) dist of %d wrong", w, v)
+			}
+		}
+	}
+}
+
+// TestBunchClusterDuality checks w in B(v) iff v in C(w).
+func TestBunchClusterDuality(t *testing.T) {
+	g := testutil.MustGNM(t, 35, 80, 3, gen.Unit)
+	l, err := cluster.New(g, landmarkSet(t, g, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCluster := func(w, v graph.Vertex) bool {
+		for _, m := range l.Cluster(w) {
+			if m.V == v {
+				return true
+			}
+		}
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		inBunch := make(map[graph.Vertex]bool)
+		for _, w := range l.Bunch(graph.Vertex(v)) {
+			inBunch[w] = true
+		}
+		for w := 0; w < g.N(); w++ {
+			if inBunch[graph.Vertex(w)] != inCluster(graph.Vertex(w), graph.Vertex(v)) {
+				t.Fatalf("duality violated for v=%d w=%d", v, w)
+			}
+		}
+	}
+}
+
+// TestClusterTreeIsShortestPathTree verifies parents form a tree inside the
+// cluster along shortest paths from the root.
+func TestClusterTreeIsShortestPathTree(t *testing.T) {
+	g := testutil.MustGNM(t, 45, 120, 9, gen.UniformInt)
+	want := testutil.FloydWarshall(g)
+	l, err := cluster.New(g, landmarkSet(t, g, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < g.N(); w++ {
+		members := l.Cluster(graph.Vertex(w))
+		inC := make(map[graph.Vertex]bool, len(members))
+		for _, m := range members {
+			inC[m.V] = true
+		}
+		for _, m := range members {
+			if m.V == graph.Vertex(w) {
+				if m.Parent != graph.NoVertex {
+					t.Fatalf("root %d has parent", w)
+				}
+				continue
+			}
+			if !inC[m.Parent] {
+				t.Fatalf("parent %d of %d not inside C(%d)", m.Parent, m.V, w)
+			}
+			ew, err := g.EdgeWeight(m.Parent, m.V)
+			if err != nil {
+				t.Fatalf("tree link {%d,%d} not an edge", m.Parent, m.V)
+			}
+			if math.Abs(want[w][m.Parent]+ew-m.Dist) > testutil.Eps {
+				t.Fatalf("tree path to %d in C(%d) is not shortest", m.V, w)
+			}
+		}
+	}
+}
+
+func TestLandmarkClustersAreTrivial(t *testing.T) {
+	g := testutil.MustGNM(t, 30, 70, 1, gen.Unit)
+	a := landmarkSet(t, g, 3)
+	l, err := cluster.New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range a {
+		c := l.Cluster(w)
+		if len(c) != 1 || c[0].V != w {
+			t.Fatalf("landmark %d has nontrivial cluster %v", w, c)
+		}
+		b := l.Bunch(w)
+		if len(b) != 1 || b[0] != w {
+			t.Fatalf("landmark %d has nontrivial bunch %v", w, b)
+		}
+	}
+}
+
+func TestCenterCoverBound(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := testutil.MustGNM(t, 120, 360, seed, gen.Unit)
+		s := 12
+		l, err := cluster.CenterCover(g, s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 4 * g.N() / s
+		if got := l.MaxClusterSize(); got > bound {
+			t.Fatalf("seed %d: max cluster %d > bound %d", seed, got, bound)
+		}
+		if len(l.A) == 0 {
+			t.Fatal("empty landmark set")
+		}
+	}
+}
+
+func TestCenterCoverAllVertices(t *testing.T) {
+	// s = n forces nearly every vertex to be a landmark; bound is 4.
+	g := testutil.MustGNM(t, 40, 80, 2, gen.Unit)
+	l, err := cluster.CenterCover(g, g.N(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.MaxClusterSize(); got > 4 {
+		t.Fatalf("max cluster %d > 4", got)
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	g := testutil.MustGNM(t, 10, 15, 0, gen.Unit)
+	if _, err := cluster.New(g, nil); err == nil {
+		t.Fatal("expected error for empty landmarks")
+	}
+	if _, err := cluster.New(g, []graph.Vertex{3, 3}); err == nil {
+		t.Fatal("expected error for duplicate landmark")
+	}
+	if _, err := cluster.New(g, []graph.Vertex{99}); err == nil {
+		t.Fatal("expected error for out-of-range landmark")
+	}
+}

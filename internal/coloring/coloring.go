@@ -1,0 +1,223 @@
+// Package coloring implements the coloring technique of Lemma 6 of the paper
+// (Abraham et al. SPAA'04, Abraham-Gavoille DISC'11): a function
+// c : V -> {1..q} such that (1) every one of the given vertex sets contains
+// every color, and (2) every color class has O(n/q) vertices.
+//
+// The paper observes that a uniformly random coloring satisfies both
+// properties with high probability when every set has size >= alpha*q*log n.
+// This implementation makes that constructive and robust at simulation
+// scale: color uniformly at random, verify both properties against the
+// actual sets, and repair violations by recoloring vertices whose color is
+// redundant in every set that contains them. The result is deterministic
+// under the seed.
+package coloring
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compactroute/internal/graph"
+)
+
+// Color identifies a color class, in [0, Q).
+type Color int32
+
+// Coloring is a verified Lemma 6 coloring.
+type Coloring struct {
+	q      int
+	colors []Color
+	// classes[j] lists the vertices of color j in increasing id order.
+	classes [][]graph.Vertex
+}
+
+// maxRepairRounds bounds the local-repair loop per seed attempt.
+const maxRepairRounds = 64
+
+// New builds a coloring of the vertices [0, n) with q colors such that every
+// set in sets contains at least one vertex of every color. It tries several
+// derived seeds before giving up; failure means the sets are too small for q
+// colors (increase the vicinity factor or decrease q).
+func New(n, q int, sets [][]graph.Vertex, seed int64) (*Coloring, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("coloring: need q >= 1, got %d", q)
+	}
+	for i, s := range sets {
+		if len(s) < q {
+			return nil, fmt.Errorf("coloring: set %d has %d < q=%d vertices", i, len(s), q)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		c, err := tryBuild(n, q, sets, seed+int64(attempt)*0x9e3779b9)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("coloring: %w", lastErr)
+}
+
+func tryBuild(n, q int, sets [][]graph.Vertex, seed int64) (*Coloring, error) {
+	r := rand.New(rand.NewSource(seed))
+	colors := make([]Color, n)
+	for v := range colors {
+		colors[v] = Color(r.Intn(q))
+	}
+	// setsOf[v] = indices of sets containing v; counts[si][j] = multiplicity
+	// of color j in set si.
+	setsOf := make([][]int32, n)
+	for si, s := range sets {
+		for _, v := range s {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("set %d has out-of-range vertex %d", si, v)
+			}
+			setsOf[v] = append(setsOf[v], int32(si))
+		}
+	}
+	counts := make([][]int32, len(sets))
+	for si, s := range sets {
+		counts[si] = make([]int32, q)
+		for _, v := range s {
+			counts[si][colors[v]]++
+		}
+	}
+	recolor := func(v graph.Vertex, to Color) {
+		from := colors[v]
+		for _, si := range setsOf[v] {
+			counts[si][from]--
+			counts[si][to]++
+		}
+		colors[v] = to
+	}
+	// safe reports whether v's current color appears at least twice in every
+	// set containing v, so recoloring v cannot break property (1) anywhere.
+	safe := func(v graph.Vertex) bool {
+		cv := colors[v]
+		for _, si := range setsOf[v] {
+			if counts[si][cv] < 2 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for round := 0; round < maxRepairRounds; round++ {
+		broken := 0
+		for si := range sets {
+			for j := 0; j < q; j++ {
+				if counts[si][j] > 0 {
+					continue
+				}
+				broken++
+				// Set si is missing color j: recolor a safe vertex of si.
+				fixed := false
+				for _, v := range sets[si] {
+					if safe(v) {
+						recolor(v, Color(j))
+						fixed = true
+						break
+					}
+				}
+				if !fixed {
+					// Desperation move: recolor the vertex whose color is
+					// most redundant within si; later rounds repair fallout.
+					best := graph.NoVertex
+					var bestCnt int32
+					for _, v := range sets[si] {
+						if counts[si][colors[v]] > bestCnt {
+							bestCnt = counts[si][colors[v]]
+							best = v
+						}
+					}
+					if best == graph.NoVertex || bestCnt < 2 {
+						return nil, fmt.Errorf("set %d cannot supply color %d", si, j)
+					}
+					recolor(best, Color(j))
+				}
+			}
+		}
+		if broken == 0 {
+			break
+		}
+		if round == maxRepairRounds-1 {
+			return nil, fmt.Errorf("repair did not converge after %d rounds", maxRepairRounds)
+		}
+	}
+	// Balance pass for property (2): move safe vertices from oversized
+	// classes (> ceil(4n/q)) to the smallest class. Best effort; the bound
+	// holds w.h.p. already and is only a space constant.
+	limit := 4*n/q + 1
+	classSize := make([]int, q)
+	for _, cv := range colors {
+		classSize[cv]++
+	}
+	for pass := 0; pass < 4; pass++ {
+		moved := false
+		for v := 0; v < n; v++ {
+			cv := colors[v]
+			if classSize[cv] <= limit {
+				continue
+			}
+			smallest := Color(0)
+			for j := 1; j < q; j++ {
+				if classSize[j] < classSize[smallest] {
+					smallest = Color(j)
+				}
+			}
+			if smallest == cv || !safe(graph.Vertex(v)) {
+				continue
+			}
+			classSize[cv]--
+			classSize[smallest]++
+			recolor(graph.Vertex(v), smallest)
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+
+	c := &Coloring{q: q, colors: colors, classes: make([][]graph.Vertex, q)}
+	for v := 0; v < n; v++ {
+		c.classes[colors[v]] = append(c.classes[colors[v]], graph.Vertex(v))
+	}
+	return c, c.verify(sets)
+}
+
+func (c *Coloring) verify(sets [][]graph.Vertex) error {
+	for si, s := range sets {
+		seen := make([]bool, c.q)
+		got := 0
+		for _, v := range s {
+			if !seen[c.colors[v]] {
+				seen[c.colors[v]] = true
+				got++
+			}
+		}
+		if got != c.q {
+			return fmt.Errorf("verify: set %d has %d of %d colors", si, got, c.q)
+		}
+	}
+	return nil
+}
+
+// Q returns the number of colors.
+func (c *Coloring) Q() int { return c.q }
+
+// Of returns the color of v.
+func (c *Coloring) Of(v graph.Vertex) Color { return c.colors[v] }
+
+// Class returns the vertices of color j in increasing id order. The returned
+// slice is owned by the Coloring.
+func (c *Coloring) Class(j Color) []graph.Vertex { return c.classes[j] }
+
+// MaxClassSize returns the size of the largest color class.
+func (c *Coloring) MaxClassSize() int {
+	maxSz := 0
+	for _, cl := range c.classes {
+		if len(cl) > maxSz {
+			maxSz = len(cl)
+		}
+	}
+	return maxSz
+}

@@ -1,0 +1,141 @@
+package coloring_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"compactroute/internal/coloring"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+	"compactroute/internal/vicinity"
+)
+
+func TestColoringPropertiesOnRandomSets(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n, q, k := 200, 5, 100
+	sets := make([][]graph.Vertex, k)
+	for i := range sets {
+		perm := r.Perm(n)
+		size := 4*q + r.Intn(3*q)
+		for _, v := range perm[:size] {
+			sets[i] = append(sets[i], graph.Vertex(v))
+		}
+	}
+	c, err := coloring.New(n, q, sets, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property 1: every set contains every color.
+	for si, s := range sets {
+		seen := make(map[coloring.Color]bool)
+		for _, v := range s {
+			seen[c.Of(v)] = true
+		}
+		if len(seen) != q {
+			t.Fatalf("set %d has %d of %d colors", si, len(seen), q)
+		}
+	}
+	// Property 2: classes partition V and are balanced to O(n/q).
+	total := 0
+	for j := 0; j < q; j++ {
+		total += len(c.Class(coloring.Color(j)))
+	}
+	if total != n {
+		t.Fatalf("classes cover %d of %d vertices", total, n)
+	}
+	if c.MaxClassSize() > 4*n/q+1 {
+		t.Fatalf("max class %d exceeds 4n/q+1=%d", c.MaxClassSize(), 4*n/q+1)
+	}
+}
+
+func TestColoringOnVicinities(t *testing.T) {
+	// The exact shape Lemma 6 is used in: sets are the inflated vicinities.
+	g := testutil.MustGNM(t, 150, 450, 2, gen.Unit)
+	q := 4
+	l := vicinity.InflatedSize(q, g.N(), 1.5)
+	vics, err := vicinity.BuildAll(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]graph.Vertex, g.N())
+	for u := range sets {
+		for _, m := range vics[u].Members() {
+			sets[u] = append(sets[u], m.V)
+		}
+	}
+	c, err := coloring.New(g.N(), q, sets, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		seen := make(map[coloring.Color]bool)
+		for _, m := range vics[u].Members() {
+			seen[c.Of(m.V)] = true
+		}
+		if len(seen) != q {
+			t.Fatalf("B(%d) missing colors: %d of %d", u, len(seen), q)
+		}
+	}
+}
+
+func TestColoringDeterministicUnderSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	n, q := 80, 3
+	var sets [][]graph.Vertex
+	for i := 0; i < 40; i++ {
+		perm := r.Perm(n)
+		var s []graph.Vertex
+		for _, v := range perm[:5*q] {
+			s = append(s, graph.Vertex(v))
+		}
+		sets = append(sets, s)
+	}
+	c1, err := coloring.New(n, q, sets, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := coloring.New(n, q, sets, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if c1.Of(graph.Vertex(v)) != c2.Of(graph.Vertex(v)) {
+			t.Fatalf("coloring is not deterministic at vertex %d", v)
+		}
+	}
+}
+
+func TestColoringRejectsTooSmallSets(t *testing.T) {
+	sets := [][]graph.Vertex{{0, 1}}
+	if _, err := coloring.New(10, 3, sets, 1); err == nil {
+		t.Fatal("expected error: set smaller than q")
+	}
+}
+
+func TestColoringSingleColor(t *testing.T) {
+	c, err := coloring.New(10, 1, [][]graph.Vertex{{3}, {7}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Q() != 1 || len(c.Class(0)) != 10 {
+		t.Fatalf("single color class should contain all vertices")
+	}
+}
+
+func TestColoringTightSets(t *testing.T) {
+	// Sets of size exactly q force the repair loop to make every set a
+	// rainbow; with a single shared set this must succeed.
+	sets := [][]graph.Vertex{{0, 1, 2}}
+	c, err := coloring.New(3, 3, sets, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[coloring.Color]bool)
+	for v := 0; v < 3; v++ {
+		seen[c.Of(graph.Vertex(v))] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("tight set not rainbow: %v", seen)
+	}
+}

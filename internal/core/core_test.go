@@ -1,0 +1,230 @@
+package core_test
+
+import (
+	"testing"
+
+	"compactroute/internal/coloring"
+	"compactroute/internal/core"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+	"compactroute/internal/testutil"
+	"compactroute/internal/vicinity"
+)
+
+// fixture bundles the shared preprocessing inputs of both techniques.
+type fixture struct {
+	g      *graph.Graph
+	apsp   *graph.APSP
+	vics   []*vicinity.Set
+	col    *coloring.Coloring
+	q      int
+	partOf []int32
+}
+
+func newFixture(t *testing.T, n, m, q int, seed int64, wt gen.Weighting) *fixture {
+	t.Helper()
+	g := testutil.MustGNM(t, n, m, seed, wt)
+	apsp := graph.AllPairs(g)
+	l := vicinity.InflatedSize(q, n, 1.5)
+	vics, err := vicinity.BuildAll(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]graph.Vertex, n)
+	for u := range sets {
+		for _, mem := range vics[u].Members() {
+			sets[u] = append(sets[u], mem.V)
+		}
+	}
+	col, err := coloring.New(n, q, sets, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partOf := make([]int32, n)
+	for v := 0; v < n; v++ {
+		partOf[v] = int32(col.Of(graph.Vertex(v)))
+	}
+	return &fixture{g: g, apsp: apsp, vics: vics, col: col, q: q, partOf: partOf}
+}
+
+func TestLemma7RoutesSamePartPairs(t *testing.T) {
+	tests := []struct {
+		name string
+		wt   gen.Weighting
+		eps  float64
+	}{
+		{"unweighted eps=0.5", gen.Unit, 0.5},
+		{"unweighted eps=0.25", gen.Unit, 0.25},
+		{"weighted eps=0.5", gen.UniformInt, 0.5},
+		{"weighted eps=1", gen.UniformInt, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fx := newFixture(t, 120, 360, 4, 3, tt.wt)
+			in, err := core.NewIntra(core.IntraConfig{
+				Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: tt.eps,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch := &core.IntraScheme{In: in}
+			nw := simnet.NewNetwork(sch)
+			routed := 0
+			for j := 0; j < fx.q; j++ {
+				class := fx.col.Class(coloring.Color(j))
+				for _, u := range class {
+					for _, v := range class {
+						res, err := nw.Route(u, v)
+						if err != nil {
+							t.Fatalf("route %d->%d: %v", u, v, err)
+						}
+						d := fx.apsp.Dist(u, v)
+						testutil.CheckStretch(t, sch.Name(), u, v, res.Weight, sch.StretchBound(d))
+						routed++
+					}
+				}
+			}
+			if routed == 0 {
+				t.Fatal("no pairs routed")
+			}
+		})
+	}
+}
+
+func TestLemma7HeaderStaysSmall(t *testing.T) {
+	fx := newFixture(t, 100, 300, 3, 5, gen.Unit)
+	eps := 0.25
+	in, err := core.NewIntra(core.IntraConfig{
+		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: eps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := &core.IntraScheme{In: in}
+	nw := simnet.NewNetwork(sch)
+	// Header bound: the sequence has at most 2b waypoints plus O(1) fields.
+	limit := 2*in.Budget() + 4
+	class := fx.col.Class(0)
+	for _, u := range class {
+		for _, v := range class {
+			res, err := nw.Route(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.HeaderWords > limit {
+				t.Fatalf("header %d exceeds O(1/eps) bound %d", res.HeaderWords, limit)
+			}
+		}
+	}
+}
+
+func TestLemma8RoutesPartToTargets(t *testing.T) {
+	tests := []struct {
+		name string
+		wt   gen.Weighting
+		eps  float64
+	}{
+		{"unweighted eps=0.5", gen.Unit, 0.5},
+		{"weighted eps=0.5", gen.UniformInt, 0.5},
+		{"weighted eps=0.2", gen.UniformInt, 0.2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fx := newFixture(t, 120, 360, 4, 7, tt.wt)
+			// Target set: every third vertex, chunked into q parts.
+			var targets []graph.Vertex
+			for v := 0; v < fx.g.N(); v += 3 {
+				targets = append(targets, graph.Vertex(v))
+			}
+			wParts := make([][]graph.Vertex, fx.q)
+			for i, w := range targets {
+				wParts[i%fx.q] = append(wParts[i%fx.q], w)
+			}
+			in, err := core.NewInter(core.InterConfig{
+				Graph: fx.g, APSP: fx.apsp, Vics: fx.vics,
+				UPartOf: fx.partOf, WParts: wParts, Eps: tt.eps,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch := &core.InterScheme{In: in}
+			nw := simnet.NewNetwork(sch)
+			routed := 0
+			for j := 0; j < fx.q; j++ {
+				srcs := fx.col.Class(coloring.Color(j))
+				for si, u := range srcs {
+					for wi, w := range wParts[j] {
+						if (si+wi)%2 == 1 { // sample half the pairs to keep the test quick
+							continue
+						}
+						res, err := nw.Route(u, w)
+						if err != nil {
+							t.Fatalf("route %d->%d: %v", u, w, err)
+						}
+						d := fx.apsp.Dist(u, w)
+						testutil.CheckStretch(t, sch.Name(), u, w, res.Weight, sch.StretchBound(d))
+						routed++
+					}
+				}
+			}
+			if routed == 0 {
+				t.Fatal("no pairs routed")
+			}
+		})
+	}
+}
+
+func TestLemma8RejectsWrongPart(t *testing.T) {
+	fx := newFixture(t, 80, 240, 3, 9, gen.Unit)
+	wParts := make([][]graph.Vertex, fx.q)
+	for v := 0; v < 30; v++ {
+		wParts[v%fx.q] = append(wParts[v%fx.q], graph.Vertex(v))
+	}
+	in, err := core.NewInter(core.InterConfig{
+		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics,
+		UPartOf: fx.partOf, WParts: wParts, Eps: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a (src, dst) pair with mismatched parts.
+	for _, w := range wParts[0] {
+		for u := 0; u < fx.g.N(); u++ {
+			if fx.partOf[u] != 0 && graph.Vertex(u) != w {
+				if _, err := in.Start(graph.Vertex(u), w); err == nil {
+					t.Fatal("expected part-mismatch error")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestIntraRejectsBadEps(t *testing.T) {
+	fx := newFixture(t, 40, 100, 2, 2, gen.Unit)
+	_, err := core.NewIntra(core.IntraConfig{
+		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0,
+	})
+	if err == nil {
+		t.Fatal("expected error for eps=0")
+	}
+}
+
+func TestIntraSelfRoute(t *testing.T) {
+	fx := newFixture(t, 40, 100, 2, 2, gen.Unit)
+	in, err := core.NewIntra(core.IntraConfig{
+		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := simnet.NewNetwork(&core.IntraScheme{In: in})
+	res, err := nw.Route(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 0 || res.Weight != 0 {
+		t.Fatalf("self route should be trivial, got %+v", res)
+	}
+}

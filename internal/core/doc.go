@@ -1,0 +1,24 @@
+// Package core implements the paper's primary contribution: the two new
+// routing techniques of Section 3.
+//
+//   - Intra (Lemma 7): given a partition U = {U_1..U_q} of V, route between
+//     any two vertices of the same part on a (1+eps)-stretch path. Every
+//     source stores, per destination in its part, a short sequence of
+//     waypoints lying on a shortest path; consecutive waypoints are joined
+//     either by a direct link or through the previous waypoint's vicinity
+//     (Lemma 2), and a final fallback routes through the spanning shortest
+//     path tree of a hitting-set landmark.
+//
+//   - Inter (Lemma 8): given a partition W of a set W subset of V and a
+//     partition U of V whose parts hit every vicinity, route from any vertex
+//     of U_i to any vertex of W_i on a (1+eps)-stretch path. Sequences are
+//     built from subsequences with geometrically doubling thresholds; when a
+//     subsequence bottoms out, the message is handed to a relay in U_i that
+//     holds its own sequence for the destination. Claim 9 of the paper shows
+//     each relay strictly decreases the remaining distance, which bounds the
+//     number of hand-offs.
+//
+// Both techniques assume the preprocessing phase is centralized (it consults
+// all-pairs shortest paths), while routing is strictly local: every decision
+// at a vertex uses only that vertex's tables and the packet header.
+package core

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+	"compactroute/internal/space"
+	"compactroute/internal/vicinity"
+)
+
+// Inter is the routing technique of Lemma 8: (1+eps)-stretch routing from
+// any vertex of U_i to any vertex of W_i, where W = {W_1..W_q} partitions a
+// target set W and U = {U_1..U_q} partitions V such that every part of U
+// intersects every vicinity B(u, q-tilde).
+type Inter struct {
+	g       *graph.Graph
+	vics    []*vicinity.Set
+	uPartOf []int32
+	wPartOf map[graph.Vertex]int32
+	b       int
+	eps     float64
+	scale   float64 // omega_min: unit of the doubling thresholds
+
+	// relayRep[u][j] is a vertex of U_j inside B(u, q-tilde); its existence
+	// is the hitting precondition of the lemma.
+	relayRep [][]graph.Vertex
+	// seqs[u][w] for every w in W_{uPartOf[u]}.
+	seqs []map[graph.Vertex]interSeq
+}
+
+// interSeq is the stored sequence for one (source, target) pair.
+type interSeq struct {
+	waypoints []graph.Vertex
+	relay     bool // last waypoint is a relay in U_j rather than the target
+}
+
+// InterConfig carries the inputs of Lemma 8.
+type InterConfig struct {
+	Graph *graph.Graph
+	APSP  *graph.APSP
+	// Vics[u] must be B(u, q-tilde) for every vertex, where q = number of
+	// parts of the partitions.
+	Vics []*vicinity.Set
+	// UPartOf[u] is the index of u's part in the partition U of V.
+	UPartOf []int32
+	// WParts is the partition W of the target set (part j receives messages
+	// from sources of U_j).
+	WParts [][]graph.Vertex
+	Eps    float64
+}
+
+// NewInter runs the Lemma 8 preprocessing.
+func NewInter(cfg InterConfig) (*Inter, error) {
+	g, apsp := cfg.Graph, cfg.APSP
+	n := g.N()
+	if len(cfg.Vics) != n || len(cfg.UPartOf) != n {
+		return nil, fmt.Errorf("core: inter config arrays must have length n=%d", n)
+	}
+	b, err := budget(cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	b++ // Lemma 8 uses b = ceil(2/eps) + 1
+	q := len(cfg.WParts)
+	in := &Inter{
+		g:        g,
+		vics:     cfg.Vics,
+		uPartOf:  cfg.UPartOf,
+		wPartOf:  make(map[graph.Vertex]int32),
+		b:        b,
+		eps:      cfg.Eps,
+		scale:    minEdgeWeight(g),
+		relayRep: make([][]graph.Vertex, n),
+		seqs:     make([]map[graph.Vertex]interSeq, n),
+	}
+	for j, part := range cfg.WParts {
+		for _, w := range part {
+			if _, dup := in.wPartOf[w]; dup {
+				return nil, fmt.Errorf("core: %d appears twice in W", w)
+			}
+			in.wPartOf[w] = int32(j)
+		}
+	}
+	// Relay representatives: for every vertex and every part index, the
+	// closest member of that part inside the vertex's vicinity.
+	for u := 0; u < n; u++ {
+		reps := make([]graph.Vertex, q)
+		for j := range reps {
+			reps[j] = graph.NoVertex
+		}
+		found := 0
+		for _, m := range cfg.Vics[u].Members() { // (dist, id) order
+			j := cfg.UPartOf[m.V]
+			if int(j) < q && reps[j] == graph.NoVertex {
+				reps[j] = m.V
+				if found++; found == q {
+					break
+				}
+			}
+		}
+		for j := range reps {
+			if reps[j] == graph.NoVertex {
+				return nil, fmt.Errorf("core: U_%d does not intersect B(%d) (hitting precondition of Lemma 8 violated)", j, u)
+			}
+		}
+		in.relayRep[u] = reps
+	}
+	// Sequences: every u stores one per target in W_{part(u)}.
+	for u := 0; u < n; u++ {
+		j := cfg.UPartOf[u]
+		if int(j) >= q {
+			continue // parts beyond W receive no targets
+		}
+		in.seqs[u] = make(map[graph.Vertex]interSeq, len(cfg.WParts[j]))
+		for _, w := range cfg.WParts[j] {
+			if graph.Vertex(u) == w {
+				continue
+			}
+			sq, err := in.buildSequence(apsp, graph.Vertex(u), w, j)
+			if err != nil {
+				return nil, fmt.Errorf("core: inter sequence %d->%d: %w", u, w, err)
+			}
+			in.seqs[u][w] = sq
+		}
+	}
+	return in, nil
+}
+
+// buildSequence constructs the sequence stored at u for target w following
+// Section 3: the first one or two path vertices, then subsequences produced
+// with doubling thresholds 2*scale/b, 4*scale/b, ... Each subsequence either
+// finishes the route (reaches w), hands off to a relay in U_j, or fills its
+// 2b-vertex budget and doubles the threshold.
+func (in *Inter) buildSequence(apsp *graph.APSP, u, w graph.Vertex, j int32) (interSeq, error) {
+	var sq interSeq
+	if apsp.Dist(u, w) == graph.Infinity {
+		return sq, fmt.Errorf("unreachable")
+	}
+	// Shortcut kept from Lemma 2: a target already inside the vicinity is
+	// reachable on a shortest path with a single waypoint.
+	if in.vics[u].Contains(w) {
+		sq.waypoints = []graph.Vertex{w}
+		return sq, nil
+	}
+	u1 := apsp.First(u, w)
+	sq.waypoints = append(sq.waypoints, u1)
+	if u1 == w {
+		return sq, nil
+	}
+	u2 := apsp.First(u1, w)
+	sq.waypoints = append(sq.waypoints, u2)
+	if u2 == w {
+		return sq, nil
+	}
+	x := u2
+	s := 2 * in.scale / float64(in.b)
+	last := u2
+	appendWP := func(v graph.Vertex) {
+		if v != last {
+			sq.waypoints = append(sq.waypoints, v)
+			last = v
+		}
+	}
+	maxSubseqs := 2*log2ceil(in.g.N())*int(math.Ceil(math.Log2(maxDistBound(apsp)/in.scale+2))) + 16
+	for sub := 0; ; sub++ {
+		if sub > maxSubseqs {
+			return sq, fmt.Errorf("subsequence count exceeded bound %d", maxSubseqs)
+		}
+		subLen := 0
+		doubled := false
+		for {
+			if in.vics[x].Contains(w) {
+				appendWP(w)
+				return sq, nil
+			}
+			y, z, err := exitEdge(apsp, in.vics[x], x, w)
+			if err != nil {
+				return sq, err
+			}
+			switch {
+			case z == w:
+				appendWP(y)
+				appendWP(w)
+				return sq, nil
+			case apsp.Dist(x, z) < s:
+				relay := in.relayRep[x][j]
+				appendWP(relay)
+				sq.relay = true
+				return sq, nil
+			default:
+				appendWP(y)
+				appendWP(z)
+				x = z
+				subLen += 2
+				if subLen >= 2*in.b {
+					s *= 2
+					doubled = true
+				}
+			}
+			if doubled {
+				break
+			}
+		}
+	}
+}
+
+func log2ceil(n int) int {
+	l := 1
+	for x := 1; x < n; x *= 2 {
+		l++
+	}
+	return l
+}
+
+func maxDistBound(apsp *graph.APSP) float64 {
+	var maxD float64 = 1
+	for u := 0; u < apsp.N(); u++ {
+		if e := apsp.Eccentricity(graph.Vertex(u)); e > maxD {
+			maxD = e
+		}
+		break // eccentricity of one vertex times 2 bounds the diameter
+	}
+	return 2 * maxD
+}
+
+// InterState is the mutable packet header of an in-flight Lemma 8 route.
+type InterState struct {
+	dst      graph.Vertex
+	wp       []graph.Vertex
+	i        int
+	relay    bool
+	handoffs int
+	maxLen   int
+}
+
+// Words returns the current header size in words.
+func (st *InterState) Words() int {
+	l := len(st.wp)
+	if st.maxLen > l {
+		l = st.maxLen
+	}
+	return l + 3
+}
+
+// Start builds the header at a source in U_{part(dst)}.
+func (in *Inter) Start(src, dst graph.Vertex) (*InterState, error) {
+	if src == dst {
+		return &InterState{dst: dst}, nil
+	}
+	j, ok := in.wPartOf[dst]
+	if !ok {
+		return nil, fmt.Errorf("core: %d is not a Lemma 8 target", dst)
+	}
+	if in.uPartOf[src] != j {
+		return nil, fmt.Errorf("core: source %d is in U_%d, not U_%d", src, in.uPartOf[src], j)
+	}
+	sq, ok := in.seqs[src][dst]
+	if !ok {
+		return nil, fmt.Errorf("core: no sequence stored at %d for %d", src, dst)
+	}
+	return &InterState{dst: dst, wp: sq.waypoints, relay: sq.relay, maxLen: len(sq.waypoints)}, nil
+}
+
+// Step makes the local forwarding decision of Lemma 8's routing phase. At a
+// relay the header is rewritten with the relay's own stored sequence.
+func (in *Inter) Step(at graph.Vertex, st *InterState) (simnet.Decision, error) {
+	if at == st.dst {
+		return simnet.Deliver(), nil
+	}
+	for st.i < len(st.wp) && st.wp[st.i] == at {
+		st.i++
+	}
+	if st.i >= len(st.wp) {
+		if !st.relay {
+			return simnet.Decision{}, fmt.Errorf("core: inter sequence exhausted at %d before %d", at, st.dst)
+		}
+		// Hand-off: this vertex is the relay r_{i+1}; swap in its sequence.
+		sq, ok := in.seqs[at][st.dst]
+		if !ok {
+			return simnet.Decision{}, fmt.Errorf("core: relay %d has no sequence for %d", at, st.dst)
+		}
+		st.handoffs++
+		if st.handoffs > in.g.N()+4 {
+			return simnet.Decision{}, fmt.Errorf("core: relay hand-offs did not converge (Claim 9 violated?)")
+		}
+		st.wp, st.i, st.relay = sq.waypoints, 0, sq.relay
+		if len(sq.waypoints) > st.maxLen {
+			st.maxLen = len(sq.waypoints)
+		}
+		for st.i < len(st.wp) && st.wp[st.i] == at {
+			st.i++
+		}
+		if st.i >= len(st.wp) {
+			return simnet.Decision{}, fmt.Errorf("core: relay %d produced an empty continuation for %d", at, st.dst)
+		}
+	}
+	p, err := forwardToward(in.g, in.vics, at, st.wp[st.i])
+	if err != nil {
+		return simnet.Decision{}, err
+	}
+	return simnet.Forward(p), nil
+}
+
+// Budget returns b = ceil(2/eps) + 1.
+func (in *Inter) Budget() int { return in.b }
+
+// Targets reports whether dst is one of the Lemma 8 targets.
+func (in *Inter) Targets(dst graph.Vertex) bool {
+	_, ok := in.wPartOf[dst]
+	return ok
+}
+
+// TargetPart returns the part index of a target.
+func (in *Inter) TargetPart(dst graph.Vertex) (int32, bool) {
+	j, ok := in.wPartOf[dst]
+	return j, ok
+}
+
+// AddTableWords charges the Lemma 8 storage to a tally: the relay
+// representatives and the per-target sequences. (Vicinities are charged by
+// the owning scheme.)
+func (in *Inter) AddTableWords(t *space.Tally) {
+	for u := 0; u < in.g.N(); u++ {
+		t.Add("lemma8-relay-reps", u, len(in.relayRep[u]))
+		words := 0
+		for _, sq := range in.seqs[u] {
+			words += 2 + len(sq.waypoints) // target key + relay flag + waypoints
+		}
+		t.Add("lemma8-sequences", u, words)
+	}
+}
+
+// InterScheme wraps Inter as a standalone simnet.Scheme for experiment E4.
+type InterScheme struct {
+	In *Inter
+}
+
+var _ simnet.Scheme = (*InterScheme)(nil)
+
+// Name implements simnet.Scheme.
+func (s *InterScheme) Name() string { return "lemma8-inter" }
+
+// Graph implements simnet.Scheme.
+func (s *InterScheme) Graph() *graph.Graph { return s.In.g }
+
+// Prepare implements simnet.Scheme.
+func (s *InterScheme) Prepare(src, dst graph.Vertex) (simnet.Packet, error) {
+	return s.In.Start(src, dst)
+}
+
+// Next implements simnet.Scheme.
+func (s *InterScheme) Next(at graph.Vertex, p simnet.Packet) (simnet.Decision, error) {
+	return s.In.Step(at, p.(*InterState))
+}
+
+// HeaderWords implements simnet.Scheme.
+func (s *InterScheme) HeaderWords(p simnet.Packet) int { return p.(*InterState).Words() }
+
+// TableWords implements simnet.Scheme.
+func (s *InterScheme) TableWords(v graph.Vertex) int {
+	t := space.NewTally(s.In.g.N())
+	s.In.AddTableWords(t)
+	for u := 0; u < s.In.g.N(); u++ {
+		t.Add("vicinity", u, s.In.vics[u].Words())
+	}
+	return t.At(int(v))
+}
+
+// LabelWords implements simnet.Scheme.
+func (s *InterScheme) LabelWords(graph.Vertex) int { return 2 }
+
+// StretchBound implements simnet.Scheme: Lemma 8 proves (1 + 2/(b-1))d.
+func (s *InterScheme) StretchBound(d float64) float64 {
+	return (1 + 2/float64(s.In.b-1)) * d
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/hitting"
+	"compactroute/internal/simnet"
+	"compactroute/internal/space"
+	"compactroute/internal/treeroute"
+	"compactroute/internal/vicinity"
+)
+
+// Intra is the routing technique of Lemma 7: (1+eps)-stretch routing between
+// vertices of the same part of a partition of V.
+type Intra struct {
+	g      *graph.Graph
+	vics   []*vicinity.Set
+	partOf []int32
+	b      int
+	eps    float64
+
+	landmarks []graph.Vertex
+	trees     map[graph.Vertex]*treeroute.Tree // spanning SPT per landmark
+	bestH     []graph.Vertex                   // nearest hitting-set member in B(u)
+	seqs      []map[graph.Vertex]intraSeq      // seqs[u][v] for v in u's part
+}
+
+// intraSeq is the routing information a source stores for one destination.
+type intraSeq struct {
+	waypoints []graph.Vertex
+	landmark  graph.Vertex    // NoVertex when the last waypoint is the destination
+	treeLbl   treeroute.Label // label of the destination in trees[landmark]
+}
+
+// IntraConfig carries the inputs of Lemma 7.
+type IntraConfig struct {
+	Graph *graph.Graph
+	APSP  *graph.APSP
+	// Vics[u] must be B(u, q-tilde) for every vertex.
+	Vics []*vicinity.Set
+	// PartOf[u] is the index of u's part in the partition U.
+	PartOf []int32
+	Eps    float64
+}
+
+// NewIntra runs the Lemma 7 preprocessing: computes a hitting set H of the
+// vicinities, builds a spanning shortest-path tree per landmark and the
+// per-pair waypoint sequences.
+func NewIntra(cfg IntraConfig) (*Intra, error) {
+	g, apsp := cfg.Graph, cfg.APSP
+	n := g.N()
+	if len(cfg.Vics) != n || len(cfg.PartOf) != n {
+		return nil, fmt.Errorf("core: intra config arrays must have length n=%d", n)
+	}
+	b, err := budget(cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	in := &Intra{
+		g:      g,
+		vics:   cfg.Vics,
+		partOf: cfg.PartOf,
+		b:      b,
+		eps:    cfg.Eps,
+		trees:  make(map[graph.Vertex]*treeroute.Tree),
+		bestH:  make([]graph.Vertex, n),
+		seqs:   make([]map[graph.Vertex]intraSeq, n),
+	}
+
+	// Hitting set over the vicinities (Lemma 5).
+	sets := make([][]graph.Vertex, n)
+	for u := 0; u < n; u++ {
+		ms := cfg.Vics[u].Members()
+		s := make([]graph.Vertex, len(ms))
+		for i, m := range ms {
+			s[i] = m.V
+		}
+		sets[u] = s
+	}
+	h, err := hitting.Greedy(n, sets)
+	if err != nil {
+		return nil, fmt.Errorf("core: hitting set: %w", err)
+	}
+	in.landmarks = h
+	inH := make([]bool, n)
+	for _, w := range h {
+		inH[w] = true
+		t, err := treeroute.SPT(g, w)
+		if err != nil {
+			return nil, fmt.Errorf("core: landmark tree %d: %w", w, err)
+		}
+		in.trees[w] = t
+	}
+	for u := 0; u < n; u++ {
+		in.bestH[u] = graph.NoVertex
+		for _, m := range cfg.Vics[u].Members() { // (dist, id) order: first hit is best
+			if inH[m.V] {
+				in.bestH[u] = m.V
+				break
+			}
+		}
+		if in.bestH[u] == graph.NoVertex {
+			return nil, fmt.Errorf("core: hitting set misses B(%d)", u)
+		}
+	}
+
+	// Group vertices by part and build per-pair sequences.
+	parts := make(map[int32][]graph.Vertex)
+	for u := 0; u < n; u++ {
+		parts[cfg.PartOf[u]] = append(parts[cfg.PartOf[u]], graph.Vertex(u))
+	}
+	for _, members := range parts {
+		for _, u := range members {
+			in.seqs[u] = make(map[graph.Vertex]intraSeq, len(members)-1)
+			for _, v := range members {
+				if u == v {
+					continue
+				}
+				sq, err := in.buildSequence(apsp, u, v)
+				if err != nil {
+					return nil, fmt.Errorf("core: sequence %d->%d: %w", u, v, err)
+				}
+				in.seqs[u][v] = sq
+			}
+		}
+	}
+	return in, nil
+}
+
+// buildSequence runs the waypoint-construction process of Lemma 7 for the
+// pair (u, v).
+func (in *Intra) buildSequence(apsp *graph.APSP, u, v graph.Vertex) (intraSeq, error) {
+	sq := intraSeq{landmark: graph.NoVertex}
+	d := apsp.Dist(u, v)
+	if d == graph.Infinity {
+		return sq, fmt.Errorf("unreachable")
+	}
+	s := d / float64(in.b) // progress threshold
+	x := u
+	appendWP := func(w graph.Vertex, last graph.Vertex) graph.Vertex {
+		if w != last { // drop adjacent duplicates (y_i may equal x_i)
+			sq.waypoints = append(sq.waypoints, w)
+			return w
+		}
+		return last
+	}
+	last := u // "last" includes the implicit start x_0 = u
+	for round := 0; ; round++ {
+		if round > 2*in.b+4 {
+			return sq, fmt.Errorf("sequence construction exceeded budget b=%d", in.b)
+		}
+		if in.vics[x].Contains(v) {
+			appendWP(v, last)
+			return sq, nil
+		}
+		y, z, err := exitEdge(apsp, in.vics[x], x, v)
+		if err != nil {
+			return sq, err
+		}
+		switch {
+		case z == v:
+			last = appendWP(y, last)
+			appendWP(v, last)
+			return sq, nil
+		case apsp.Dist(x, z) < s:
+			w := in.bestH[x]
+			appendWP(w, last)
+			sq.landmark = w
+			sq.treeLbl = in.trees[w].LabelOf(v)
+			if sq.treeLbl == treeroute.NoLabel {
+				return sq, fmt.Errorf("destination %d missing from landmark tree %d", v, w)
+			}
+			return sq, nil
+		default:
+			last = appendWP(y, last)
+			last = appendWP(z, last)
+			x = z
+		}
+	}
+}
+
+// IntraState is the mutable packet header of an in-flight Lemma 7 route.
+type IntraState struct {
+	dst    graph.Vertex
+	wp     []graph.Vertex
+	i      int
+	lm     graph.Vertex
+	lbl    treeroute.Label
+	inTree bool
+}
+
+// Words returns the header size in words.
+func (st *IntraState) Words() int { return len(st.wp) + 4 }
+
+// Start builds the header at the source: the stored sequence for dst is
+// copied into the packet (the paper's "u obtains the sequence ... and adds
+// it to the message header").
+func (in *Intra) Start(src, dst graph.Vertex) (*IntraState, error) {
+	if src == dst {
+		return &IntraState{dst: dst}, nil
+	}
+	if in.partOf[src] != in.partOf[dst] {
+		return nil, fmt.Errorf("core: %d and %d are in different parts", src, dst)
+	}
+	sq, ok := in.seqs[src][dst]
+	if !ok {
+		return nil, fmt.Errorf("core: no sequence stored at %d for %d", src, dst)
+	}
+	return &IntraState{dst: dst, wp: sq.waypoints, lm: sq.landmark, lbl: sq.treeLbl}, nil
+}
+
+// Step makes the local forwarding decision of Lemma 7's routing phase.
+func (in *Intra) Step(at graph.Vertex, st *IntraState) (simnet.Decision, error) {
+	if at == st.dst {
+		return simnet.Deliver(), nil
+	}
+	if st.inTree {
+		return treeStep(in.trees[st.lm], at, st.lbl)
+	}
+	// Advance past reached waypoints.
+	for st.i < len(st.wp) && st.wp[st.i] == at {
+		st.i++
+	}
+	// If only the landmark remains, switch to tree routing: the message is
+	// at x_{b'-1} (or at the source when the sequence is just the landmark)
+	// and proceeds on T(landmark) toward the destination's tree label.
+	if st.lm != graph.NoVertex && st.i >= len(st.wp)-1 {
+		st.inTree = true
+		return treeStep(in.trees[st.lm], at, st.lbl)
+	}
+	if st.i >= len(st.wp) {
+		return simnet.Decision{}, fmt.Errorf("core: sequence exhausted at %d before reaching %d", at, st.dst)
+	}
+	p, err := forwardToward(in.g, in.vics, at, st.wp[st.i])
+	if err != nil {
+		return simnet.Decision{}, err
+	}
+	return simnet.Forward(p), nil
+}
+
+func treeStep(t *treeroute.Tree, at graph.Vertex, lbl treeroute.Label) (simnet.Decision, error) {
+	deliver, port, err := t.Next(at, lbl)
+	if err != nil {
+		return simnet.Decision{}, err
+	}
+	if deliver {
+		return simnet.Deliver(), nil
+	}
+	return simnet.Forward(port), nil
+}
+
+// Landmarks returns the hitting set H.
+func (in *Intra) Landmarks() []graph.Vertex { return in.landmarks }
+
+// Budget returns b = ceil(2/eps).
+func (in *Intra) Budget() int { return in.b }
+
+// AddTableWords charges the Lemma 7 storage to a tally: the per-destination
+// sequences and the landmark-tree routing state at every vertex. (The
+// vicinity tables are charged by the scheme that owns them.)
+func (in *Intra) AddTableWords(t *space.Tally) {
+	for u := 0; u < in.g.N(); u++ {
+		words := 0
+		for _, sq := range in.seqs[u] {
+			words += 1 + len(sq.waypoints) // destination key + waypoints
+			if sq.landmark != graph.NoVertex {
+				words += 2 // landmark id + tree label of the destination
+			}
+		}
+		t.Add("lemma7-sequences", u, words)
+		tw := 1 // bestH pointer
+		for _, tr := range in.trees {
+			tw += tr.WordsAt(graph.Vertex(u))
+		}
+		t.Add("lemma7-landmark-trees", u, tw)
+	}
+}
+
+// IntraScheme wraps Intra as a standalone simnet.Scheme for the experiments
+// that exercise Lemma 7 in isolation (E3). It routes only between vertices
+// of the same part.
+type IntraScheme struct {
+	In *Intra
+}
+
+var _ simnet.Scheme = (*IntraScheme)(nil)
+
+// Name implements simnet.Scheme.
+func (s *IntraScheme) Name() string { return "lemma7-intra" }
+
+// Graph implements simnet.Scheme.
+func (s *IntraScheme) Graph() *graph.Graph { return s.In.g }
+
+// Prepare implements simnet.Scheme.
+func (s *IntraScheme) Prepare(src, dst graph.Vertex) (simnet.Packet, error) {
+	return s.In.Start(src, dst)
+}
+
+// Next implements simnet.Scheme.
+func (s *IntraScheme) Next(at graph.Vertex, p simnet.Packet) (simnet.Decision, error) {
+	return s.In.Step(at, p.(*IntraState))
+}
+
+// HeaderWords implements simnet.Scheme.
+func (s *IntraScheme) HeaderWords(p simnet.Packet) int { return p.(*IntraState).Words() }
+
+// TableWords implements simnet.Scheme.
+func (s *IntraScheme) TableWords(v graph.Vertex) int {
+	t := space.NewTally(s.In.g.N())
+	s.In.AddTableWords(t)
+	for u := 0; u < s.In.g.N(); u++ {
+		t.Add("vicinity", u, s.In.vics[u].Words())
+	}
+	return t.At(int(v))
+}
+
+// LabelWords implements simnet.Scheme.
+func (s *IntraScheme) LabelWords(graph.Vertex) int { return 2 } // vertex id + part
+
+// StretchBound implements simnet.Scheme: Lemma 7 proves (1 + 2/b)d <= (1+eps)d.
+func (s *IntraScheme) StretchBound(d float64) float64 {
+	return (1 + 2/float64(s.In.b)) * d
+}

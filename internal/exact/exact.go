@@ -1,0 +1,83 @@
+// Package exact implements the trivial stretch-1 baseline: every vertex
+// stores the first-hop port of a shortest path to every destination (O(n)
+// words per vertex). It anchors the space axis of the Table 1 reproduction.
+package exact
+
+import (
+	"fmt"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+)
+
+// Scheme is the full-table shortest-path routing scheme.
+type Scheme struct {
+	g     *graph.Graph
+	ports [][]graph.Port // ports[u][v] = port of the first hop u->v
+}
+
+var _ simnet.Scheme = (*Scheme)(nil)
+
+// New preprocesses full routing tables: one shortest-path tree per vertex.
+func New(g *graph.Graph) (*Scheme, error) {
+	n := g.N()
+	s := &Scheme{g: g, ports: make([][]graph.Port, n)}
+	for u := 0; u < n; u++ {
+		sp := g.ShortestPaths(graph.Vertex(u))
+		row := make([]graph.Port, n)
+		for v := 0; v < n; v++ {
+			if v == u || sp.First[v] == graph.NoVertex {
+				row[v] = graph.NoPort
+				continue
+			}
+			p := g.PortTo(graph.Vertex(u), sp.First[v])
+			if p == graph.NoPort {
+				return nil, fmt.Errorf("exact: first hop %d of %d->%d is not a neighbor", sp.First[v], u, v)
+			}
+			row[v] = p
+		}
+		s.ports[u] = row
+	}
+	return s, nil
+}
+
+type packet struct {
+	dst graph.Vertex
+}
+
+// Name implements simnet.Scheme.
+func (s *Scheme) Name() string { return "exact" }
+
+// Graph implements simnet.Scheme.
+func (s *Scheme) Graph() *graph.Graph { return s.g }
+
+// Prepare implements simnet.Scheme.
+func (s *Scheme) Prepare(_, dst graph.Vertex) (simnet.Packet, error) {
+	return &packet{dst: dst}, nil
+}
+
+// Next implements simnet.Scheme. Successive first hops strictly decrease the
+// remaining distance, so the concatenation is a shortest path.
+func (s *Scheme) Next(at graph.Vertex, p simnet.Packet) (simnet.Decision, error) {
+	pk := p.(*packet)
+	if at == pk.dst {
+		return simnet.Deliver(), nil
+	}
+	port := s.ports[at][pk.dst]
+	if port == graph.NoPort {
+		return simnet.Decision{}, fmt.Errorf("exact: %d unreachable from %d", pk.dst, at)
+	}
+	return simnet.Forward(port), nil
+}
+
+// HeaderWords implements simnet.Scheme.
+func (s *Scheme) HeaderWords(simnet.Packet) int { return 1 }
+
+// TableWords implements simnet.Scheme.
+func (s *Scheme) TableWords(graph.Vertex) int { return s.g.N() - 1 }
+
+// LabelWords implements simnet.Scheme.
+func (s *Scheme) LabelWords(graph.Vertex) int { return 1 }
+
+// StretchBound implements simnet.Scheme.
+func (s *Scheme) StretchBound(d float64) float64 { return d }

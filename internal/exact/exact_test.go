@@ -1,0 +1,36 @@
+package exact_test
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/exact"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+	"compactroute/internal/testutil"
+)
+
+func TestExactRoutesShortestPaths(t *testing.T) {
+	g := testutil.MustGNM(t, 60, 150, 4, gen.UniformInt)
+	apsp := graph.AllPairs(g)
+	s, err := exact.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := simnet.NewNetwork(s, simnet.WithPath())
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			res, err := nw.Route(graph.Vertex(u), graph.Vertex(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Weight-apsp.Dist(graph.Vertex(u), graph.Vertex(v))) > testutil.Eps {
+				t.Fatalf("%d->%d routed %v want %v", u, v, res.Weight, apsp.Dist(graph.Vertex(u), graph.Vertex(v)))
+			}
+		}
+	}
+	if s.TableWords(0) != g.N()-1 {
+		t.Fatalf("exact tables must be n-1 words")
+	}
+}

@@ -1,0 +1,257 @@
+// Package gen provides deterministic synthetic graph generators.
+//
+// The paper evaluates nothing empirically (it is a pure theory paper), so the
+// workloads used by the reproduction harness are synthetic families chosen to
+// exercise the regimes the theorems talk about: sparse random graphs
+// (m = Theta(n) .. Theta(n log n)), bounded-growth geometric graphs, meshes,
+// expanders via random regular-ish unions, and skewed-degree graphs via
+// preferential attachment. Every generator is deterministic under its seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"compactroute/internal/graph"
+)
+
+// Weighting selects how generated edges are weighted.
+type Weighting int
+
+const (
+	// Unit gives every edge weight 1 (unweighted graphs; Theorems 10/13/15).
+	Unit Weighting = iota + 1
+	// UniformInt gives integer weights uniform in [1, MaxWeight]
+	// (weighted graphs; the warm-up scheme and Theorems 11/16).
+	UniformInt
+)
+
+// Config parameterizes a generator run.
+type Config struct {
+	N         int
+	Seed      int64
+	Weighting Weighting
+	MaxWeight int // used by UniformInt; defaults to 32
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+func (c Config) weight(r *rand.Rand) float64 {
+	switch c.Weighting {
+	case UniformInt:
+		maxW := c.MaxWeight
+		if maxW <= 0 {
+			maxW = 32
+		}
+		return float64(1 + r.Intn(maxW))
+	default:
+		return 1
+	}
+}
+
+// edgeSet accumulates undirected edges without duplicates.
+type edgeSet struct {
+	seen map[[2]graph.Vertex]bool
+	b    *graph.Builder
+}
+
+func newEdgeSet(n int) *edgeSet {
+	return &edgeSet{seen: make(map[[2]graph.Vertex]bool), b: graph.NewBuilder(n)}
+}
+
+func (s *edgeSet) add(u, v graph.Vertex, w float64) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]graph.Vertex{u, v}
+	if s.seen[key] {
+		return false
+	}
+	s.seen[key] = true
+	s.b.AddEdge(u, v, w)
+	return true
+}
+
+// ConnectedGNM generates a connected Erdos-Renyi-style G(n, m) graph: a
+// uniform random spanning tree first (guaranteeing connectivity), then random
+// extra edges up to m total.
+func ConnectedGNM(cfg Config, m int) (*graph.Graph, error) {
+	n := cfg.N
+	if n < 2 {
+		return nil, fmt.Errorf("gen: need n >= 2, got %d", n)
+	}
+	if m < n-1 {
+		return nil, fmt.Errorf("gen: need m >= n-1 for connectivity, got m=%d n=%d", m, n)
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		return nil, fmt.Errorf("gen: m=%d exceeds max %d for n=%d", m, maxM, n)
+	}
+	r := cfg.rng()
+	es := newEdgeSet(n)
+	// Random spanning tree: attach each vertex (in shuffled order) to a
+	// uniformly random earlier vertex.
+	order := r.Perm(n)
+	for i := 1; i < n; i++ {
+		u := graph.Vertex(order[i])
+		v := graph.Vertex(order[r.Intn(i)])
+		es.add(u, v, cfg.weight(r))
+	}
+	for len(es.seen) < m {
+		u := graph.Vertex(r.Intn(n))
+		v := graph.Vertex(r.Intn(n))
+		es.add(u, v, cfg.weight(r))
+	}
+	return es.b.Build()
+}
+
+// Grid generates a rows x cols 2D grid (optionally a torus with wraparound
+// links). Vertex (i, j) has id i*cols+j. cfg.N is ignored.
+func Grid(cfg Config, rows, cols int, torus bool) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: bad grid %dx%d", rows, cols)
+	}
+	r := cfg.rng()
+	es := newEdgeSet(rows * cols)
+	id := func(i, j int) graph.Vertex { return graph.Vertex(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				es.add(id(i, j), id(i, j+1), cfg.weight(r))
+			} else if torus && cols > 2 {
+				es.add(id(i, j), id(i, 0), cfg.weight(r))
+			}
+			if i+1 < rows {
+				es.add(id(i, j), id(i+1, j), cfg.weight(r))
+			} else if torus && rows > 2 {
+				es.add(id(i, j), id(0, j), cfg.weight(r))
+			}
+		}
+	}
+	return es.b.Build()
+}
+
+// Hypercube generates the d-dimensional hypercube on 2^d vertices.
+func Hypercube(cfg Config, d int) (*graph.Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("gen: bad hypercube dimension %d", d)
+	}
+	r := cfg.rng()
+	n := 1 << d
+	es := newEdgeSet(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				es.add(graph.Vertex(u), graph.Vertex(v), cfg.weight(r))
+			}
+		}
+	}
+	return es.b.Build()
+}
+
+// PreferentialAttachment generates a Barabasi-Albert style graph: vertices
+// arrive one at a time and attach k edges to existing vertices chosen
+// proportionally to degree. The result is connected with a skewed degree
+// distribution.
+func PreferentialAttachment(cfg Config, k int) (*graph.Graph, error) {
+	n := cfg.N
+	if k < 1 || n < k+1 {
+		return nil, fmt.Errorf("gen: bad preferential attachment n=%d k=%d", n, k)
+	}
+	r := cfg.rng()
+	es := newEdgeSet(n)
+	// Seed clique on k+1 vertices.
+	var targets []graph.Vertex // one entry per half-edge endpoint: degree-proportional urn
+	for u := 0; u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			es.add(graph.Vertex(u), graph.Vertex(v), cfg.weight(r))
+			targets = append(targets, graph.Vertex(u), graph.Vertex(v))
+		}
+	}
+	for u := k + 1; u < n; u++ {
+		added := 0
+		for attempt := 0; added < k && attempt < 50*k; attempt++ {
+			v := targets[r.Intn(len(targets))]
+			if es.add(graph.Vertex(u), v, cfg.weight(r)) {
+				targets = append(targets, graph.Vertex(u), v)
+				added++
+			}
+		}
+		for added < k { // fall back to uniform targets on pathological draws
+			v := graph.Vertex(r.Intn(u))
+			if es.add(graph.Vertex(u), v, cfg.weight(r)) {
+				targets = append(targets, graph.Vertex(u), v)
+				added++
+			}
+		}
+	}
+	return es.b.Build()
+}
+
+// RandomGeometric places n points uniformly in the unit square and connects
+// pairs within the connectivity-threshold radius sqrt(c * ln n / n). Weights
+// under UniformInt still come from the weight distribution (geometric graphs
+// model bounded-growth metrics, the regime where vicinities are "local").
+func RandomGeometric(cfg Config, c float64) (*graph.Graph, error) {
+	n := cfg.N
+	if n < 2 {
+		return nil, fmt.Errorf("gen: need n >= 2, got %d", n)
+	}
+	if c <= 0 {
+		c = 2
+	}
+	r := cfg.rng()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	rad2 := c * math.Log(float64(n)) / float64(n)
+	es := newEdgeSet(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			if dx*dx+dy*dy <= rad2 {
+				es.add(graph.Vertex(u), graph.Vertex(v), cfg.weight(r))
+			}
+		}
+	}
+	g, err := es.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if !g.Connected() {
+		// Deterministic repair: chain each vertex to its successor if needed.
+		for u := 0; u+1 < n; u++ {
+			es.add(graph.Vertex(u), graph.Vertex(u+1), cfg.weight(r))
+		}
+		return es.b.Build()
+	}
+	return g, nil
+}
+
+// Caterpillar generates a path of length n/2 with a leaf hanging off every
+// spine vertex - a worst-ish case for vicinity-based techniques (long
+// diameter, tiny vicinities).
+func Caterpillar(cfg Config) (*graph.Graph, error) {
+	n := cfg.N
+	if n < 2 {
+		return nil, fmt.Errorf("gen: need n >= 2, got %d", n)
+	}
+	r := cfg.rng()
+	es := newEdgeSet(n)
+	spine := (n + 1) / 2
+	for i := 0; i+1 < spine; i++ {
+		es.add(graph.Vertex(i), graph.Vertex(i+1), cfg.weight(r))
+	}
+	for i := spine; i < n; i++ {
+		es.add(graph.Vertex(i), graph.Vertex(i-spine), cfg.weight(r))
+	}
+	return es.b.Build()
+}

@@ -1,0 +1,154 @@
+package gen_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+)
+
+func TestConnectedGNMProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(seed%64+64)%64
+		m := 3 * n
+		g, err := gen.ConnectedGNM(gen.Config{N: n, Seed: seed, Weighting: gen.Unit}, m)
+		if err != nil {
+			return false
+		}
+		return g.N() == n && g.M() == m && g.Connected() && g.Unit()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectedGNMDeterministic(t *testing.T) {
+	mk := func() *graph.Graph {
+		g, err := gen.ConnectedGNM(gen.Config{N: 60, Seed: 5, Weighting: gen.UniformInt, MaxWeight: 9}, 180)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g2 := mk(), mk()
+	for v := 0; v < g1.N(); v++ {
+		if g1.Degree(graph.Vertex(v)) != g2.Degree(graph.Vertex(v)) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		g1.Neighbors(graph.Vertex(v), func(p graph.Port, u graph.Vertex, w float64) bool {
+			u2, w2, _ := g2.Endpoint(graph.Vertex(v), p)
+			if u2 != u || w2 != w {
+				t.Fatalf("edge mismatch at %d port %d", v, p)
+			}
+			return true
+		})
+	}
+}
+
+func TestConnectedGNMRejectsBadArgs(t *testing.T) {
+	tests := []struct {
+		n, m int
+	}{
+		{1, 0},    // too few vertices
+		{10, 5},   // m < n-1
+		{10, 100}, // m > n(n-1)/2
+	}
+	for _, tt := range tests {
+		if _, err := gen.ConnectedGNM(gen.Config{N: tt.n, Seed: 1}, tt.m); err == nil {
+			t.Errorf("n=%d m=%d: expected error", tt.n, tt.m)
+		}
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	g, err := gen.Grid(gen.Config{Seed: 1}, 5, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 35 || g.M() != 5*6+7*4 {
+		t.Fatalf("grid 5x7: n=%d m=%d", g.N(), g.M())
+	}
+	tg, err := gen.Grid(gen.Config{Seed: 1}, 5, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.M() != 2*35 {
+		t.Fatalf("torus 5x7 should be 4-regular: m=%d", tg.M())
+	}
+	if !tg.Connected() {
+		t.Fatal("torus disconnected")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := gen.Hypercube(gen.Config{Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 32 || g.M() != 32*5/2 {
+		t.Fatalf("Q5: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(graph.Vertex(v)) != 5 {
+			t.Fatalf("Q5 vertex %d degree %d", v, g.Degree(graph.Vertex(v)))
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := gen.PreferentialAttachment(gen.Config{N: 200, Seed: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 || !g.Connected() {
+		t.Fatal("bad PA graph")
+	}
+	// Degree skew: max degree well above the arrival degree.
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(graph.Vertex(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 9 {
+		t.Fatalf("expected a hub, max degree %d", maxDeg)
+	}
+}
+
+func TestRandomGeometricConnected(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g, err := gen.RandomGeometric(gen.Config{N: 150, Seed: seed}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatalf("seed %d: geometric graph disconnected", seed)
+		}
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g, err := gen.Caterpillar(gen.Config{N: 41, Seed: 2, Weighting: gen.UniformInt, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 41 || g.M() != 40 || !g.Connected() {
+		t.Fatalf("caterpillar should be a spanning tree: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestWeightsInRange(t *testing.T) {
+	g, err := gen.ConnectedGNM(gen.Config{N: 50, Seed: 4, Weighting: gen.UniformInt, MaxWeight: 7}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		g.Neighbors(graph.Vertex(v), func(_ graph.Port, _ graph.Vertex, w float64) bool {
+			if w < 1 || w > 7 || w != float64(int(w)) {
+				t.Fatalf("weight %v outside [1,7] integers", w)
+			}
+			return true
+		})
+	}
+}

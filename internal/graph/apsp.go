@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// APSP holds all-pairs shortest-path information: the distance between every
+// pair and, for every ordered pair (s, t), the first vertex after s on the
+// canonical shortest path from s to t. The canonical path is the one produced
+// by the deterministic tie-break of ShortestPaths, so repeated walks always
+// follow the same path.
+//
+// The preprocessing phases of every scheme in the paper are centralized
+// (Section 1: "a centralized algorithm computes routing tables"), so holding
+// the full matrices during construction is faithful to the model; the
+// per-vertex routing tables handed to the simulator never reference APSP.
+type APSP struct {
+	n     int
+	dist  []float64
+	first []Vertex
+}
+
+// AllPairs computes APSP by running a single-source search from every vertex,
+// parallelized across cores.
+func AllPairs(g *Graph) *APSP {
+	n := g.N()
+	a := &APSP{
+		n:     n,
+		dist:  make([]float64, n*n),
+		first: make([]Vertex, n*n),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan Vertex)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range next {
+				s := g.ShortestPaths(src)
+				copy(a.dist[int(src)*n:int(src+1)*n], s.Dist)
+				copy(a.first[int(src)*n:int(src+1)*n], s.First)
+			}
+		}()
+	}
+	for src := 0; src < n; src++ {
+		next <- Vertex(src)
+	}
+	close(next)
+	wg.Wait()
+	return a
+}
+
+// N returns the number of vertices covered by the matrix.
+func (a *APSP) N() int { return a.n }
+
+// Dist returns d(u, v).
+func (a *APSP) Dist(u, v Vertex) float64 { return a.dist[int(u)*a.n+int(v)] }
+
+// First returns the vertex that follows u on the canonical shortest path
+// from u to v. First(u, u) == u; it returns NoVertex if v is unreachable.
+func (a *APSP) First(u, v Vertex) Vertex { return a.first[int(u)*a.n+int(v)] }
+
+// Path returns the canonical shortest path from u to v inclusive, or nil if
+// v is unreachable from u.
+func (a *APSP) Path(u, v Vertex) []Vertex {
+	if math.IsInf(a.Dist(u, v), 1) {
+		return nil
+	}
+	path := []Vertex{u}
+	for x := u; x != v; {
+		x = a.First(x, v)
+		path = append(path, x)
+	}
+	return path
+}
+
+// Eccentricity returns max_v d(u, v) over reachable v.
+func (a *APSP) Eccentricity(u Vertex) float64 {
+	var ecc float64
+	for v := 0; v < a.n; v++ {
+		d := a.dist[int(u)*a.n+v]
+		if !math.IsInf(d, 1) && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// NormalizedDiameter returns D = max d(u,v) / min_{u!=v} d(u,v) over
+// connected pairs, the quantity the paper's weighted-scheme space bounds are
+// stated in. It returns 1 for graphs with fewer than two vertices.
+func (a *APSP) NormalizedDiameter() float64 {
+	var maxD float64
+	minD := Infinity
+	for u := 0; u < a.n; u++ {
+		for v := u + 1; v < a.n; v++ {
+			d := a.dist[u*a.n+v]
+			if math.IsInf(d, 1) {
+				continue
+			}
+			if d > maxD {
+				maxD = d
+			}
+			if d < minD {
+				minD = d
+			}
+		}
+	}
+	if maxD == 0 || math.IsInf(minD, 1) {
+		return 1
+	}
+	return maxD / minD
+}

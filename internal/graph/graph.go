@@ -1,0 +1,226 @@
+// Package graph provides the graph substrate for the routing schemes of
+// Roditty and Tov, "New routing techniques and their applications" (PODC'15):
+// undirected weighted graphs in the fixed-port model of Fraigniaud and
+// Gavoille, together with the shortest-path machinery (BFS, Dijkstra,
+// truncated searches, all-pairs matrices) that the preprocessing phases of
+// the paper's schemes rely on.
+//
+// Vertices are dense integer identifiers in [0, N). Each vertex numbers its
+// incident links with ports 0..deg-1; routing decisions made by the schemes
+// are expressed purely in terms of ports, as required by the compact-routing
+// model. Port numbering is fixed at Build time (adjacency sorted by neighbor
+// id) and never changes afterwards.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Vertex identifies a vertex of a graph. Vertices are dense ids in [0, N).
+type Vertex int32
+
+// Port identifies one of the links incident to a vertex. Ports at a vertex u
+// are numbered 0..Degree(u)-1 in the fixed-port model.
+type Port int32
+
+// NoVertex is the sentinel "no vertex" value.
+const NoVertex Vertex = -1
+
+// NoPort is the sentinel "no port" value.
+const NoPort Port = -1
+
+// halfEdge is one direction of an undirected edge as seen from its tail.
+type halfEdge struct {
+	to  Vertex
+	w   float64
+	rev Port // port number of the reverse half-edge at the head
+}
+
+// Graph is an immutable undirected graph with positive edge weights and
+// fixed port numbering. Build one with a Builder.
+type Graph struct {
+	adj  [][]halfEdge
+	m    int
+	unit bool // all edge weights equal 1
+}
+
+// Builder accumulates edges for a Graph.
+type Builder struct {
+	n     int
+	us    []Vertex
+	vs    []Vertex
+	ws    []float64
+	errAt error
+}
+
+// NewBuilder returns a Builder for a graph with n vertices and no edges.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v} with weight w. Self loops,
+// vertices out of range and non-positive weights are rejected at Build time.
+func (b *Builder) AddEdge(u, v Vertex, w float64) {
+	if b.errAt == nil {
+		switch {
+		case u == v:
+			b.errAt = fmt.Errorf("graph: self loop at vertex %d", u)
+		case u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n:
+			b.errAt = fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+		case w <= 0:
+			b.errAt = fmt.Errorf("graph: edge {%d,%d} has non-positive weight %v", u, v, w)
+		}
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// AddUnitEdge records the undirected edge {u, v} with weight 1.
+func (b *Builder) AddUnitEdge(u, v Vertex) { b.AddEdge(u, v, 1) }
+
+// Build validates the accumulated edges and produces the immutable Graph.
+// Duplicate edges are an error.
+func (b *Builder) Build() (*Graph, error) {
+	if b.errAt != nil {
+		return nil, b.errAt
+	}
+	g := &Graph{
+		adj:  make([][]halfEdge, b.n),
+		m:    len(b.us),
+		unit: true,
+	}
+	deg := make([]int, b.n)
+	for i := range b.us {
+		deg[b.us[i]]++
+		deg[b.vs[i]]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]halfEdge, 0, deg[v])
+	}
+	for i := range b.us {
+		u, v, w := b.us[i], b.vs[i], b.ws[i]
+		g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
+		g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w})
+		if w != 1 {
+			g.unit = false
+		}
+	}
+	// Fixed port numbering: sort each adjacency list by neighbor id, then
+	// wire up the reverse-port indices so that crossing a link from either
+	// side is possible in O(1).
+	for v := range g.adj {
+		a := g.adj[v]
+		sort.Slice(a, func(i, j int) bool { return a[i].to < a[j].to })
+		for i := 1; i < len(a); i++ {
+			if a[i].to == a[i-1].to {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, a[i].to)
+			}
+		}
+	}
+	for u := range g.adj {
+		for p := range g.adj[u] {
+			v := g.adj[u][p].to
+			if Vertex(u) < v {
+				q := g.portTo(v, Vertex(u))
+				g.adj[u][p].rev = q
+				g.adj[v][q].rev = Port(p)
+			}
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Unit reports whether every edge has weight exactly 1 (an unweighted graph).
+func (g *Graph) Unit() bool { return g.unit }
+
+// Degree returns the number of links incident to u.
+func (g *Graph) Degree(u Vertex) int { return len(g.adj[u]) }
+
+// Endpoint returns the vertex at the far end of port p of u, the weight of
+// that link, and the port number of the link as seen from the far end.
+func (g *Graph) Endpoint(u Vertex, p Port) (v Vertex, w float64, rev Port) {
+	e := g.adj[u][p]
+	return e.to, e.w, e.rev
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v Vertex) bool { return g.portTo(u, v) != NoPort }
+
+// PortTo returns the port at u whose link leads to v, or NoPort if {u, v} is
+// not an edge. The standard routing model of Peleg and Upfal assumes this
+// neighbor-to-port mapping is available locally; adjacency lists are sorted,
+// so the lookup is a binary search.
+func (g *Graph) PortTo(u, v Vertex) Port { return g.portTo(u, v) }
+
+func (g *Graph) portTo(u, v Vertex) Port {
+	a := g.adj[u]
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid].to < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a) && a[lo].to == v {
+		return Port(lo)
+	}
+	return NoPort
+}
+
+// EdgeWeight returns the weight of edge {u, v}. It returns an error if the
+// edge does not exist.
+func (g *Graph) EdgeWeight(u, v Vertex) (float64, error) {
+	p := g.portTo(u, v)
+	if p == NoPort {
+		return 0, fmt.Errorf("graph: no edge {%d,%d}", u, v)
+	}
+	return g.adj[u][p].w, nil
+}
+
+// Neighbors calls fn for every port of u in port order. It stops early if fn
+// returns false.
+func (g *Graph) Neighbors(u Vertex, fn func(p Port, v Vertex, w float64) bool) {
+	for p, e := range g.adj[u] {
+		if !fn(Port(p), e.to, e.w) {
+			return
+		}
+	}
+}
+
+// ErrDisconnected is returned by whole-graph computations that require a
+// connected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []Vertex{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				cnt++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return cnt == g.N()
+}

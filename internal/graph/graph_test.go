@@ -1,0 +1,228 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+)
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	tests := []struct {
+		name string
+		add  func(b *graph.Builder)
+	}{
+		{"self loop", func(b *graph.Builder) { b.AddEdge(1, 1, 1) }},
+		{"out of range", func(b *graph.Builder) { b.AddEdge(0, 9, 1) }},
+		{"negative vertex", func(b *graph.Builder) { b.AddEdge(-1, 0, 1) }},
+		{"zero weight", func(b *graph.Builder) { b.AddEdge(0, 1, 0) }},
+		{"negative weight", func(b *graph.Builder) { b.AddEdge(0, 1, -2) }},
+		{"duplicate", func(b *graph.Builder) { b.AddEdge(0, 1, 1); b.AddEdge(1, 0, 1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := graph.NewBuilder(3)
+			tt.add(b)
+			if _, err := b.Build(); err == nil {
+				t.Fatalf("expected error")
+			}
+		})
+	}
+}
+
+func TestPortsAreConsistent(t *testing.T) {
+	g := testutil.MustGNM(t, 40, 120, 7, gen.UniformInt)
+	for u := 0; u < g.N(); u++ {
+		g.Neighbors(graph.Vertex(u), func(p graph.Port, v graph.Vertex, w float64) bool {
+			// PortTo inverts Endpoint.
+			if got := g.PortTo(graph.Vertex(u), v); got != p {
+				t.Fatalf("PortTo(%d,%d)=%d want %d", u, v, got, p)
+			}
+			// Reverse port leads back.
+			_, w2, rev := g.Endpoint(graph.Vertex(u), p)
+			back, w3, rev2 := g.Endpoint(v, rev)
+			if back != graph.Vertex(u) || w2 != w || w3 != w || rev2 != p {
+				t.Fatalf("reverse port mismatch at {%d,%d}", u, v)
+			}
+			return true
+		})
+	}
+	if g.PortTo(0, 0) != graph.NoPort {
+		t.Fatalf("PortTo(0,0) should be NoPort")
+	}
+}
+
+func TestShortestPathsMatchesFloydWarshall(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		wt := gen.Unit
+		if seed%2 == 1 {
+			wt = gen.UniformInt
+		}
+		g := testutil.MustGNM(t, 30, 70, seed, wt)
+		want := testutil.FloydWarshall(g)
+		a := graph.AllPairs(g)
+		for u := 0; u < g.N(); u++ {
+			s := g.ShortestPaths(graph.Vertex(u))
+			for v := 0; v < g.N(); v++ {
+				if math.Abs(s.Dist[v]-want[u][v]) > testutil.Eps {
+					t.Fatalf("seed %d: d(%d,%d)=%v want %v", seed, u, v, s.Dist[v], want[u][v])
+				}
+				if math.Abs(a.Dist(graph.Vertex(u), graph.Vertex(v))-want[u][v]) > testutil.Eps {
+					t.Fatalf("seed %d: APSP d(%d,%d) mismatch", seed, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestAPSPPathIsShortest(t *testing.T) {
+	g := testutil.MustGNM(t, 25, 60, 3, gen.UniformInt)
+	a := graph.AllPairs(g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			path := a.Path(graph.Vertex(u), graph.Vertex(v))
+			if len(path) == 0 {
+				t.Fatalf("no path %d->%d", u, v)
+			}
+			if path[0] != graph.Vertex(u) || path[len(path)-1] != graph.Vertex(v) {
+				t.Fatalf("path endpoints wrong")
+			}
+			var total float64
+			for i := 0; i+1 < len(path); i++ {
+				w, err := g.EdgeWeight(path[i], path[i+1])
+				if err != nil {
+					t.Fatalf("path uses non-edge {%d,%d}", path[i], path[i+1])
+				}
+				total += w
+			}
+			if math.Abs(total-a.Dist(graph.Vertex(u), graph.Vertex(v))) > testutil.Eps {
+				t.Fatalf("path %d->%d has weight %v want %v", u, v, total, a.Dist(graph.Vertex(u), graph.Vertex(v)))
+			}
+		}
+	}
+}
+
+func TestSSSPFirstHopConsistent(t *testing.T) {
+	g := testutil.MustGNM(t, 30, 80, 11, gen.UniformInt)
+	a := graph.AllPairs(g)
+	for u := 0; u < g.N(); u++ {
+		s := g.ShortestPaths(graph.Vertex(u))
+		for v := 0; v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			f := s.First[v]
+			if g.PortTo(graph.Vertex(u), f) == graph.NoPort {
+				t.Fatalf("first hop %d of %d->%d is not a neighbor of %d", f, u, v, u)
+			}
+			w, _ := g.EdgeWeight(graph.Vertex(u), f)
+			// Taking the first hop must lie on a shortest path.
+			if math.Abs(w+a.Dist(f, graph.Vertex(v))-s.Dist[v]) > testutil.Eps {
+				t.Fatalf("first hop %d of %d->%d is not on a shortest path", f, u, v)
+			}
+			// The tree path via Parent must reconstruct and match Dist.
+			path := s.Path(graph.Vertex(v))
+			if len(path) < 2 || path[1] != f {
+				t.Fatalf("Path(%d->%d) does not start with first hop", u, v)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := testutil.MustGNM(t, 40, 90, seed, gen.UniformInt)
+		want := testutil.FloydWarshall(g)
+		for _, k := range []int{1, 3, 7, 40, 100} {
+			for u := 0; u < g.N(); u++ {
+				got := g.Nearest(graph.Vertex(u), k)
+				type pair struct {
+					d float64
+					v int
+				}
+				var all []pair
+				for v := 0; v < g.N(); v++ {
+					if !math.IsInf(want[u][v], 1) {
+						all = append(all, pair{want[u][v], v})
+					}
+				}
+				sort.Slice(all, func(i, j int) bool {
+					if all[i].d != all[j].d {
+						return all[i].d < all[j].d
+					}
+					return all[i].v < all[j].v
+				})
+				// Nearest must be a prefix of the sorted order covering at
+				// least min(k, reachable) vertices and whole final classes.
+				if len(got) < min(k, len(all)) {
+					t.Fatalf("Nearest(%d,%d) returned %d < %d", u, k, len(got), min(k, len(all)))
+				}
+				for i, nr := range got {
+					if int(nr.V) != all[i].v || math.Abs(nr.Dist-all[i].d) > testutil.Eps {
+						t.Fatalf("Nearest(%d,%d)[%d] = (%d,%v) want (%d,%v)", u, k, i, nr.V, nr.Dist, all[i].v, all[i].d)
+					}
+				}
+				// Final distance class is complete.
+				if len(got) < len(all) {
+					lastD := got[len(got)-1].Dist
+					if all[len(got)].d == lastD {
+						t.Fatalf("Nearest(%d,%d) truncated distance class at %v", u, k, lastD)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizedDiameter(t *testing.T) {
+	g := testutil.MustPath(t, 5, []float64{2, 2, 2, 2})
+	a := graph.AllPairs(g)
+	if d := a.NormalizedDiameter(); math.Abs(d-4) > testutil.Eps {
+		t.Fatalf("normalized diameter = %v, want 4", d)
+	}
+}
+
+// TestDijkstraEqualsBFSOnUnitGraphs is a property-based check: on arbitrary
+// connected unit-weight graphs the two search implementations agree.
+func TestDijkstraEqualsBFSOnUnitGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(30)
+		m := n - 1 + r.Intn(2*n)
+		maxM := n * (n - 1) / 2
+		if m > maxM {
+			m = maxM
+		}
+		g, err := gen.ConnectedGNM(gen.Config{N: n, Seed: seed, Weighting: gen.Unit}, m)
+		if err != nil {
+			return false
+		}
+		// Force the Dijkstra path by wrapping weights: rebuild with w=1
+		// (already unit) and compare BFS distances to Floyd-Warshall.
+		want := testutil.FloydWarshall(g)
+		for u := 0; u < n; u++ {
+			s := g.ShortestPaths(graph.Vertex(u))
+			for v := 0; v < n; v++ {
+				if s.Dist[v] != want[u][v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package graph
+
+import "math"
+
+// Infinity is the distance reported for unreachable vertices.
+var Infinity = math.Inf(1)
+
+// SSSP holds a single-source shortest-path tree: distances, tree parents and
+// the first hop of a shortest path from the source to every vertex.
+//
+// Ties between equal-length paths are broken deterministically by the order
+// in which the priority queue pops vertices: by distance first and by vertex
+// id second, so two runs over the same graph always produce the same tree.
+type SSSP struct {
+	Source Vertex
+	Dist   []float64
+	Parent []Vertex // Parent[Source] == NoVertex
+	First  []Vertex // first vertex after Source on a shortest path; First[Source] == Source
+}
+
+// ShortestPaths computes single-source shortest paths from src, using BFS on
+// unit-weight graphs and Dijkstra otherwise.
+func (g *Graph) ShortestPaths(src Vertex) *SSSP {
+	if g.unit {
+		return g.bfs(src)
+	}
+	return g.dijkstra(src)
+}
+
+func newSSSP(g *Graph, src Vertex) *SSSP {
+	s := &SSSP{
+		Source: src,
+		Dist:   make([]float64, g.N()),
+		Parent: make([]Vertex, g.N()),
+		First:  make([]Vertex, g.N()),
+	}
+	for i := range s.Dist {
+		s.Dist[i] = Infinity
+		s.Parent[i] = NoVertex
+		s.First[i] = NoVertex
+	}
+	s.Dist[src] = 0
+	s.First[src] = src
+	return s
+}
+
+func (g *Graph) bfs(src Vertex) *SSSP {
+	s := newSSSP(g, src)
+	queue := make([]Vertex, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if s.Parent[e.to] == NoVertex && e.to != src {
+				s.Parent[e.to] = u
+				s.Dist[e.to] = s.Dist[u] + 1
+				if u == src {
+					s.First[e.to] = e.to
+				} else {
+					s.First[e.to] = s.First[u]
+				}
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return s
+}
+
+func (g *Graph) dijkstra(src Vertex) *SSSP {
+	s := newSSSP(g, src)
+	done := make([]bool, g.N())
+	h := newVertexHeap(g.N())
+	h.push(heapItem{dist: 0, v: src})
+	for h.len() > 0 {
+		it := h.pop()
+		u := it.v
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range g.adj[u] {
+			nd := s.Dist[u] + e.w
+			if nd < s.Dist[e.to] {
+				s.Dist[e.to] = nd
+				s.Parent[e.to] = u
+				if u == src {
+					s.First[e.to] = e.to
+				} else {
+					s.First[e.to] = s.First[u]
+				}
+				h.push(heapItem{dist: nd, v: e.to})
+			}
+		}
+	}
+	return s
+}
+
+// Path reconstructs the tree path from the source to v, inclusive on both
+// ends. It returns nil if v is unreachable.
+func (s *SSSP) Path(v Vertex) []Vertex {
+	if math.IsInf(s.Dist[v], 1) {
+		return nil
+	}
+	var rev []Vertex
+	for x := v; x != NoVertex; x = s.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// heapItem is an entry of the vertex priority queue. Entries compare by
+// (dist, v) so pop order is deterministic.
+type heapItem struct {
+	dist float64
+	v    Vertex
+}
+
+func (a heapItem) less(b heapItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.v < b.v
+}
+
+// vertexHeap is a plain binary min-heap of heapItems. A hand-rolled heap
+// avoids the interface indirection of container/heap in the hot loops of the
+// preprocessing phases.
+type vertexHeap struct {
+	items []heapItem
+}
+
+func newVertexHeap(capacity int) *vertexHeap {
+	return &vertexHeap{items: make([]heapItem, 0, capacity)}
+}
+
+func (h *vertexHeap) len() int { return len(h.items) }
+
+func (h *vertexHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].less(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *vertexHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].less(h.items[small]) {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].less(h.items[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// NearestResult is one finalized vertex of a truncated search, in
+// non-decreasing (dist, id) order from the source.
+type NearestResult struct {
+	V      Vertex
+	Dist   float64
+	Parent Vertex // NoVertex for the source itself
+}
+
+// Nearest runs a truncated shortest-path search from src and returns every
+// vertex whose distance is at most that of the k-th closest vertex, sorted by
+// (dist, id). The result therefore contains at least min(k, reachable)
+// vertices and closes out whole distance classes, which lets callers apply
+// the paper's lexicographic tie-break exactly (B(u, l) in Section 2).
+func (g *Graph) Nearest(src Vertex, k int) []NearestResult {
+	if k <= 0 {
+		return nil
+	}
+	dist := make(map[Vertex]float64, 4*k)
+	parent := make(map[Vertex]Vertex, 4*k)
+	done := make(map[Vertex]bool, 4*k)
+	h := newVertexHeap(4 * k)
+	h.push(heapItem{dist: 0, v: src})
+	dist[src] = 0
+	parent[src] = NoVertex
+	var out []NearestResult
+	var cutoff float64 = Infinity
+	for h.len() > 0 {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		// Once k vertices are finalized, keep going only while the popped
+		// distance still equals the distance of the k-th vertex, so the
+		// final distance class is complete.
+		if len(out) >= k {
+			if it.dist > cutoff {
+				break
+			}
+		}
+		done[it.v] = true
+		out = append(out, NearestResult{V: it.v, Dist: it.dist, Parent: parent[it.v]})
+		if len(out) == k {
+			cutoff = it.dist
+		}
+		for _, e := range g.adj[it.v] {
+			nd := it.dist + e.w
+			if d, ok := dist[e.to]; !ok || nd < d {
+				if done[e.to] {
+					continue
+				}
+				dist[e.to] = nd
+				parent[e.to] = it.v
+				h.push(heapItem{dist: nd, v: e.to})
+			}
+		}
+	}
+	// The heap pops by (dist, id), but a vertex can be *discovered* late:
+	// within the final distance class the pop order may interleave ids, so
+	// re-sort to get the exact lexicographic order the paper requires.
+	sortNearest(out)
+	return out
+}
+
+func sortNearest(rs []NearestResult) {
+	// Insertion-style sort is fine: the slice is already almost sorted.
+	for i := 1; i < len(rs); i++ {
+		j := i
+		for j > 0 && less(rs[j], rs[j-1]) {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+			j--
+		}
+	}
+}
+
+func less(a, b NearestResult) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.V < b.V
+}

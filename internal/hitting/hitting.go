@@ -1,0 +1,183 @@
+// Package hitting implements the hitting sets of Lemma 5 of the paper
+// (following Aingworth et al. and Dor-Halperin-Zwick): given sets
+// S_1..S_k over V, each of size at least s, find a small H that intersects
+// every S_i. The classic greedy set-cover argument gives |H| <= (n/s)·ln k + 1
+// deterministically; a sampling variant is provided for the ablation
+// experiment E7.
+package hitting
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"compactroute/internal/graph"
+)
+
+// Greedy returns a hitting set for the given sets over vertex universe
+// [0, n). It repeatedly picks the vertex contained in the most not-yet-hit
+// sets (ties by smaller vertex id, so the result is deterministic).
+func Greedy(n int, sets [][]graph.Vertex) ([]graph.Vertex, error) {
+	for i, s := range sets {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("hitting: set %d is empty", i)
+		}
+	}
+	// Inverted incidence: vertex -> indices of sets containing it.
+	incidence := make([][]int32, n)
+	for si, s := range sets {
+		for _, v := range s {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("hitting: set %d contains out-of-range vertex %d", si, v)
+			}
+			incidence[v] = append(incidence[v], int32(si))
+		}
+	}
+	count := make([]int32, n) // how many unhit sets each vertex would hit
+	for v := range incidence {
+		count[v] = int32(len(incidence[v]))
+	}
+	hit := make([]bool, len(sets))
+	remaining := len(sets)
+
+	// Bucket queue over counts gives near-linear total time.
+	maxC := int32(0)
+	for _, c := range count {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	buckets := make([][]graph.Vertex, maxC+1)
+	for v := n - 1; v >= 0; v-- { // reversed so pops prefer smaller ids
+		buckets[count[v]] = append(buckets[count[v]], graph.Vertex(v))
+	}
+	var h []graph.Vertex
+	cur := maxC
+	for remaining > 0 && cur > 0 {
+		b := buckets[cur]
+		if len(b) == 0 {
+			cur--
+			continue
+		}
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if count[v] != cur {
+			// Stale entry: re-file under its current count.
+			if count[v] > 0 {
+				buckets[count[v]] = append(buckets[count[v]], v)
+			}
+			continue
+		}
+		h = append(h, v)
+		for _, si := range incidence[v] {
+			if hit[si] {
+				continue
+			}
+			hit[si] = true
+			remaining--
+			for _, u := range sets[si] {
+				if count[u] > 0 {
+					count[u]--
+				}
+			}
+		}
+		count[v] = 0
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("hitting: %d sets left unhit", remaining)
+	}
+	sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+	return h, nil
+}
+
+// Sample returns a hitting set built by uniform sampling at the rate the
+// probabilistic proof of Lemma 5 suggests, patched greedily for any sets the
+// sample misses. Used by ablation E7 to compare against Greedy.
+func Sample(n int, sets [][]graph.Vertex, seed int64) ([]graph.Vertex, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	minSize := len(sets[0])
+	for _, s := range sets {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("hitting: empty set")
+		}
+		if len(s) < minSize {
+			minSize = len(s)
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Sampling probability c*ln(k)/s hits all k sets with constant
+	// probability; the greedy patch below repairs the rest.
+	p := 2.0 * logf(len(sets)) / float64(minSize)
+	if p > 1 {
+		p = 1
+	}
+	inH := make([]bool, n)
+	var h []graph.Vertex
+	for v := 0; v < n; v++ {
+		if r.Float64() < p {
+			inH[v] = true
+			h = append(h, graph.Vertex(v))
+		}
+	}
+	var unhit [][]graph.Vertex
+	for _, s := range sets {
+		ok := false
+		for _, v := range s {
+			if inH[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			unhit = append(unhit, s)
+		}
+	}
+	if len(unhit) > 0 {
+		patch, err := Greedy(n, unhit)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range patch {
+			if !inH[v] {
+				inH[v] = true
+				h = append(h, v)
+			}
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+	return h, nil
+}
+
+func logf(k int) float64 {
+	l := 0.0
+	for x := 1; x < k; x *= 2 {
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l * 0.6931471805599453
+}
+
+// Verify reports an error unless h intersects every set.
+func Verify(h []graph.Vertex, sets [][]graph.Vertex) error {
+	inH := make(map[graph.Vertex]bool, len(h))
+	for _, v := range h {
+		inH[v] = true
+	}
+	for i, s := range sets {
+		ok := false
+		for _, v := range s {
+			if inH[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("hitting: set %d not hit", i)
+		}
+	}
+	return nil
+}

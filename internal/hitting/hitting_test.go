@@ -1,0 +1,126 @@
+package hitting_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/hitting"
+)
+
+func randomSets(r *rand.Rand, n, k, minSize int) [][]graph.Vertex {
+	sets := make([][]graph.Vertex, k)
+	for i := range sets {
+		size := minSize + r.Intn(minSize)
+		perm := r.Perm(n)
+		s := make([]graph.Vertex, 0, size)
+		for _, v := range perm[:size] {
+			s = append(s, graph.Vertex(v))
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+func TestGreedyHitsEverySet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(80)
+		k := 1 + r.Intn(40)
+		sets := randomSets(r, n, k, 3)
+		h, err := hitting.Greedy(n, sets)
+		if err != nil {
+			return false
+		}
+		return hitting.Verify(h, sets) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedySizeIsNearOptimalOnDisjointSets(t *testing.T) {
+	// k disjoint sets need exactly k hitters; greedy must find exactly k.
+	n, k, size := 100, 10, 10
+	sets := make([][]graph.Vertex, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < size; j++ {
+			sets[i] = append(sets[i], graph.Vertex(i*size+j))
+		}
+	}
+	h, err := hitting.Greedy(n, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != k {
+		t.Fatalf("greedy found %d hitters for %d disjoint sets", len(h), k)
+	}
+}
+
+func TestGreedyPrefersSharedVertex(t *testing.T) {
+	// Vertex 0 is in every set: greedy must return just {0}.
+	sets := [][]graph.Vertex{{0, 1, 2}, {0, 3, 4}, {0, 5, 6}}
+	h, err := hitting.Greedy(10, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 1 || h[0] != 0 {
+		t.Fatalf("got %v, want [0]", h)
+	}
+}
+
+func TestGreedyRejectsEmptySet(t *testing.T) {
+	if _, err := hitting.Greedy(5, [][]graph.Vertex{{1}, {}}); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+}
+
+func TestGreedyRejectsOutOfRange(t *testing.T) {
+	if _, err := hitting.Greedy(5, [][]graph.Vertex{{7}}); err == nil {
+		t.Fatal("expected error for out-of-range vertex")
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	sets := randomSets(r, 60, 20, 4)
+	h1, err := hitting.Greedy(60, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := hitting.Greedy(60, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != len(h2) {
+		t.Fatalf("non-deterministic sizes %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("non-deterministic result at %d", i)
+		}
+	}
+}
+
+func TestSampleHitsEverySet(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + r.Intn(100)
+		sets := randomSets(r, n, 30, 5)
+		h, err := hitting.Sample(n, sets, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hitting.Verify(h, sets); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifyDetectsMiss(t *testing.T) {
+	sets := [][]graph.Vertex{{1, 2}, {3, 4}}
+	if err := hitting.Verify([]graph.Vertex{1}, sets); err == nil {
+		t.Fatal("expected verification failure")
+	}
+}

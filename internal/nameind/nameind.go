@@ -1,0 +1,213 @@
+// Package nameind implements the name-independent extension the paper
+// sketches in Section 1: "Using our first technique it is also possible to
+// obtain a name independent routing scheme with stretch 3+eps and routing
+// tables of O~(sqrt n) size."
+//
+// In a name-independent scheme the source knows only the destination's
+// *name* (its vertex id) - no preprocessing-assigned label. Following the
+// hashing idea of Abraham et al. (SPAA'04) that the paper points to: a fixed
+// public hash h maps names to the q colors of the Lemma 6 coloring, and
+// every vertex of color c keeps a dictionary entry (v -> c(v)) for every
+// name v with h(v) = c (O~(n/q) = O~(sqrt n) entries). Routing walks to the
+// hash-designated vertex in the source's vicinity, recovers the color of the
+// destination there, and continues exactly like the warm-up labeled scheme.
+//
+// Honesty note: the straightforward composition implemented here proves the
+// weaker bound (7+4eps)d - one vicinity detour to reach the dictionary plus
+// the (3+2eps)-stretch labeled route from there. Matching the 3+eps claim
+// requires the tighter single-detour analysis of the Abraham et al. scheme,
+// which interleaves dictionary lookup and delivery; StretchBound reports the
+// bound this implementation actually guarantees, and the tests verify it.
+package nameind
+
+import (
+	"fmt"
+	"math"
+
+	"compactroute/internal/coloring"
+	"compactroute/internal/core"
+	"compactroute/internal/graph"
+	"compactroute/internal/schemeutil"
+	"compactroute/internal/simnet"
+	"compactroute/internal/space"
+)
+
+// Params configures the scheme.
+type Params struct {
+	Eps            float64
+	VicinityFactor float64 // default 1.5
+	Seed           int64
+}
+
+// Scheme is the preprocessed name-independent scheme.
+type Scheme struct {
+	g     *graph.Graph
+	eps   float64
+	q     int
+	vc    *schemeutil.VicinityColoring
+	intra *core.Intra
+	// dict[w] holds (name -> color) for every name hashing to w's color.
+	dict  []map[graph.Vertex]int32
+	tally *space.Tally
+}
+
+var _ simnet.Scheme = (*Scheme)(nil)
+
+// hash is the public name-to-color hash. Any fixed function known to all
+// vertices works; a multiplicative hash avoids correlating with the vertex
+// numbering of the generators.
+func hash(v graph.Vertex, q int) int32 {
+	x := uint64(v)*0x9e3779b97f4a7c15 + 0x7f4a7c15
+	x ^= x >> 29
+	return int32(x % uint64(q))
+}
+
+// New runs the preprocessing phase.
+func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
+	if params.VicinityFactor == 0 {
+		params.VicinityFactor = 1.5
+	}
+	n := g.N()
+	q := int(math.Ceil(math.Sqrt(float64(n))))
+	vc, err := schemeutil.BuildVicinityColoring(g, q, params.VicinityFactor, params.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("nameind: %w", err)
+	}
+	intra, err := core.NewIntra(core.IntraConfig{
+		Graph: g, APSP: apsp, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nameind: %w", err)
+	}
+	s := &Scheme{g: g, eps: params.Eps, q: q, vc: vc, intra: intra,
+		dict: make([]map[graph.Vertex]int32, n)}
+	for w := 0; w < n; w++ {
+		s.dict[w] = make(map[graph.Vertex]int32)
+	}
+	for v := 0; v < n; v++ {
+		hc := hash(graph.Vertex(v), q)
+		for _, w := range vc.Col.Class(coloring.Color(hc)) {
+			s.dict[w][graph.Vertex(v)] = vc.PartOf[v]
+		}
+	}
+	s.tally = space.NewTally(n)
+	vc.AddWords(s.tally)
+	intra.AddTableWords(s.tally)
+	for w := 0; w < n; w++ {
+		s.tally.Add("name-dictionary", w, 2*len(s.dict[w]))
+	}
+	return s, nil
+}
+
+type phase int8
+
+const (
+	phaseVicinity phase = iota + 1
+	phaseToDict         // walking to the hash-designated dictionary vertex
+	phaseToRep          // color recovered; walking to the color representative
+	phaseIntra
+)
+
+type packet struct {
+	dst   graph.Vertex
+	ph    phase
+	hop   graph.Vertex // current intermediate target (dictionary or rep)
+	intra *core.IntraState
+}
+
+// Name implements simnet.Scheme.
+func (s *Scheme) Name() string { return "nameind-7+eps" }
+
+// Graph implements simnet.Scheme.
+func (s *Scheme) Graph() *graph.Graph { return s.g }
+
+// Prepare implements simnet.Scheme. Name independence: only the
+// destination's id is consulted - never a label.
+func (s *Scheme) Prepare(src, dst graph.Vertex) (simnet.Packet, error) {
+	pk := &packet{dst: dst}
+	if src == dst || s.vc.Vics[src].Contains(dst) {
+		pk.ph = phaseVicinity
+		return pk, nil
+	}
+	pk.ph = phaseToDict
+	pk.hop = s.vc.Reps[src][hash(dst, s.q)]
+	return pk, nil
+}
+
+// Next implements simnet.Scheme.
+func (s *Scheme) Next(at graph.Vertex, p simnet.Packet) (simnet.Decision, error) {
+	pk, ok := p.(*packet)
+	if !ok {
+		return simnet.Decision{}, fmt.Errorf("nameind: foreign packet %T", p)
+	}
+	if at == pk.dst {
+		return simnet.Deliver(), nil
+	}
+	switch pk.ph {
+	case phaseVicinity:
+		return s.vicinityStep(at, pk.dst)
+	case phaseToDict:
+		if at != pk.hop {
+			return s.vicinityStep(at, pk.hop)
+		}
+		color, ok := s.dict[at][pk.dst]
+		if !ok {
+			return simnet.Decision{}, fmt.Errorf("nameind: dictionary at %d missing name %d", at, pk.dst)
+		}
+		if s.vc.Vics[at].Contains(pk.dst) {
+			pk.ph = phaseVicinity
+			return s.vicinityStep(at, pk.dst)
+		}
+		pk.ph = phaseToRep
+		pk.hop = s.vc.Reps[at][color]
+		fallthrough
+	case phaseToRep:
+		if at != pk.hop {
+			return s.vicinityStep(at, pk.hop)
+		}
+		st, err := s.intra.Start(at, pk.dst)
+		if err != nil {
+			return simnet.Decision{}, fmt.Errorf("nameind: intra start: %w", err)
+		}
+		pk.ph = phaseIntra
+		pk.intra = st
+		fallthrough
+	case phaseIntra:
+		return s.intra.Step(at, pk.intra)
+	default:
+		return simnet.Decision{}, fmt.Errorf("nameind: corrupt packet phase %d", pk.ph)
+	}
+}
+
+func (s *Scheme) vicinityStep(at, target graph.Vertex) (simnet.Decision, error) {
+	first, ok := s.vc.Vics[at].FirstHop(target)
+	if !ok {
+		return simnet.Decision{}, fmt.Errorf("nameind: %d lost vicinity target %d", at, target)
+	}
+	return simnet.Forward(s.g.PortTo(at, first)), nil
+}
+
+// HeaderWords implements simnet.Scheme.
+func (s *Scheme) HeaderWords(p simnet.Packet) int {
+	pk := p.(*packet)
+	w := 3
+	if pk.intra != nil {
+		w += pk.intra.Words()
+	}
+	return w
+}
+
+// TableWords implements simnet.Scheme.
+func (s *Scheme) TableWords(v graph.Vertex) int { return s.tally.At(int(v)) }
+
+// Tally exposes the storage breakdown.
+func (s *Scheme) Tally() *space.Tally { return s.tally }
+
+// LabelWords implements simnet.Scheme: name independence means no label at
+// all - the defining property of the model.
+func (s *Scheme) LabelWords(graph.Vertex) int { return 0 }
+
+// StretchBound implements simnet.Scheme. The composition proves
+// d(u,w) + [d(w,w') + (1+eps) d(w',v)] with d(u,w) <= d and
+// d(w,v) <= 2d, giving (7+4eps)d; see the package comment.
+func (s *Scheme) StretchBound(d float64) float64 { return (7 + 4*s.eps) * d }

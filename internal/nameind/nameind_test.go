@@ -1,0 +1,55 @@
+package nameind_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/nameind"
+	"compactroute/internal/testutil"
+)
+
+func TestAllPairsStretchAndDelivery(t *testing.T) {
+	for _, wt := range []gen.Weighting{gen.Unit, gen.UniformInt} {
+		g := testutil.MustGNM(t, 140, 420, 5, wt)
+		apsp := graph.AllPairs(g)
+		s, err := nameind.New(g, apsp, nameind.Params{Eps: 0.5, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 1, 2))
+	}
+}
+
+func TestNoLabels(t *testing.T) {
+	g := testutil.MustGNM(t, 60, 180, 1, gen.Unit)
+	apsp := graph.AllPairs(g)
+	s, err := nameind.New(g, apsp, nameind.Params{Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defining property of name independence.
+	for v := 0; v < g.N(); v++ {
+		if s.LabelWords(graph.Vertex(v)) != 0 {
+			t.Fatalf("name-independent scheme must have empty labels")
+		}
+	}
+}
+
+func TestDictionaryAccounted(t *testing.T) {
+	g := testutil.MustGNM(t, 100, 300, 2, gen.Unit)
+	apsp := graph.AllPairs(g)
+	s, err := nameind.New(g, apsp, nameind.Params{Eps: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Tally().PartStats("name-dictionary")
+	if st.Total == 0 {
+		t.Fatal("dictionary storage not accounted")
+	}
+	// Every name is stored somewhere: total dictionary entries >= 2n words
+	// (each of the n names appears in every vertex of one color class).
+	if st.Total < int64(2*g.N()) {
+		t.Fatalf("dictionary too small: %d words", st.Total)
+	}
+}

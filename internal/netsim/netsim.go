@@ -1,0 +1,191 @@
+// Package netsim runs a routing scheme on an asynchronous message-passing
+// network: one goroutine per vertex, unbounded mailboxes, purely local
+// forwarding decisions. It realizes the distributed execution model the
+// paper's schemes are designed for (the deterministic hop-by-hop simulator
+// in package simnet is the reference; this package demonstrates that the
+// same local decision functions run unchanged under concurrency).
+//
+// Every spawned goroutine is owned by the Network and stops on Close; see
+// the goroutine-lifetime guidance this repository follows.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+)
+
+// Delivery reports the fate of one routed message.
+type Delivery struct {
+	Src, Dst graph.Vertex
+	Hops     int
+	Weight   float64
+	Err      error
+}
+
+// message is an in-flight packet with its accounting.
+type message struct {
+	pkt      simnet.Packet
+	src, dst graph.Vertex
+	hops     int
+	weight   float64
+	result   chan<- Delivery
+}
+
+// mailbox is an unbounded, non-blocking queue: forwarding between nodes can
+// never deadlock regardless of topology or load.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []*message
+	notify chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) push(msg *message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) drain() []*message {
+	m.mu.Lock()
+	q := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+	return q
+}
+
+// Network is a running concurrent network for one scheme.
+type Network struct {
+	scheme  simnet.Scheme
+	g       *graph.Graph
+	boxes   []*mailbox
+	maxHops int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("netsim: network closed")
+
+// New starts one goroutine per vertex of the scheme's graph. The caller
+// must Close the network to release them.
+func New(s simnet.Scheme) *Network {
+	g := s.Graph()
+	nw := &Network{
+		scheme:  s,
+		g:       g,
+		boxes:   make([]*mailbox, g.N()),
+		maxHops: 8*g.N() + 64,
+		stop:    make(chan struct{}),
+	}
+	for v := 0; v < g.N(); v++ {
+		nw.boxes[v] = newMailbox()
+	}
+	for v := 0; v < g.N(); v++ {
+		nw.wg.Add(1)
+		go nw.run(graph.Vertex(v))
+	}
+	return nw
+}
+
+// run is the per-vertex event loop.
+func (nw *Network) run(self graph.Vertex) {
+	defer nw.wg.Done()
+	box := nw.boxes[self]
+	for {
+		select {
+		case <-nw.stop:
+			return
+		case <-box.notify:
+		}
+		for _, msg := range box.drain() {
+			nw.process(self, msg)
+		}
+	}
+}
+
+// process applies the scheme's local decision at self and either delivers,
+// fails, or forwards the message to the neighbor's mailbox.
+func (nw *Network) process(self graph.Vertex, msg *message) {
+	d, err := nw.scheme.Next(self, msg.pkt)
+	switch {
+	case err != nil:
+		msg.result <- Delivery{Src: msg.src, Dst: msg.dst, Hops: msg.hops, Weight: msg.weight,
+			Err: fmt.Errorf("netsim: at %d: %w", self, err)}
+	case d.Deliver:
+		del := Delivery{Src: msg.src, Dst: msg.dst, Hops: msg.hops, Weight: msg.weight}
+		if self != msg.dst {
+			del.Err = fmt.Errorf("netsim: delivered at %d, want %d", self, msg.dst)
+		}
+		msg.result <- del
+	default:
+		if d.Port < 0 || int(d.Port) >= nw.g.Degree(self) {
+			msg.result <- Delivery{Src: msg.src, Dst: msg.dst, Err: fmt.Errorf("netsim: bad port %d at %d", d.Port, self)}
+			return
+		}
+		next, w, _ := nw.g.Endpoint(self, d.Port)
+		msg.hops++
+		msg.weight += w
+		if msg.hops > nw.maxHops {
+			msg.result <- Delivery{Src: msg.src, Dst: msg.dst, Hops: msg.hops, Weight: msg.weight,
+				Err: fmt.Errorf("netsim: hop limit %d exceeded", nw.maxHops)}
+			return
+		}
+		nw.boxes[next].push(msg)
+	}
+}
+
+// Send injects a message at src addressed to dst and returns a channel that
+// receives exactly one Delivery.
+func (nw *Network) Send(src, dst graph.Vertex) (<-chan Delivery, error) {
+	select {
+	case <-nw.stop:
+		return nil, ErrClosed
+	default:
+	}
+	pkt, err := nw.scheme.Prepare(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: prepare: %w", err)
+	}
+	ch := make(chan Delivery, 1)
+	nw.boxes[src].push(&message{pkt: pkt, src: src, dst: dst, result: ch})
+	return ch, nil
+}
+
+// RouteAll sends every pair concurrently and collects the deliveries.
+func (nw *Network) RouteAll(pairs [][2]graph.Vertex) ([]Delivery, error) {
+	chans := make([]<-chan Delivery, len(pairs))
+	for i, p := range pairs {
+		ch, err := nw.Send(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		chans[i] = ch
+	}
+	out := make([]Delivery, len(pairs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out, nil
+}
+
+// Close stops every node goroutine and waits for them to exit. Messages
+// still in flight are dropped.
+func (nw *Network) Close() {
+	nw.closeOnce.Do(func() { close(nw.stop) })
+	nw.wg.Wait()
+}

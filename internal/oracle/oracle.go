@@ -1,0 +1,80 @@
+// Package oracle implements the (2k-1)-stretch approximate distance oracle
+// of Thorup and Zwick (J. ACM 2005). The paper's introduction frames every
+// routing scheme against the corresponding distance oracle ("given an
+// (alpha, beta)-stretch S-space distance oracle can we also obtain an
+// (alpha, beta)-stretch routing scheme with O(S/n)-space tables?");
+// experiment E5 measures that gap empirically.
+package oracle
+
+import (
+	"fmt"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/space"
+	"compactroute/internal/tzroute"
+)
+
+// Oracle answers approximate distance queries in O(k) time.
+type Oracle struct {
+	h *tzroute.Hierarchy
+	k int
+}
+
+// New builds the oracle on a fresh Thorup-Zwick hierarchy.
+func New(g *graph.Graph, k int, seed int64) (*Oracle, error) {
+	h, err := tzroute.NewHierarchy(g, tzroute.Params{K: k, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	return FromHierarchy(h), nil
+}
+
+// FromHierarchy wraps an existing hierarchy (so a routing scheme and the
+// oracle can share one preprocessing pass).
+func FromHierarchy(h *tzroute.Hierarchy) *Oracle {
+	return &Oracle{h: h, k: h.K}
+}
+
+// K returns the oracle's stretch parameter (stretch is 2k-1).
+func (o *Oracle) K() int { return o.k }
+
+// Query returns an estimate d with d(u,v) <= d <= (2k-1) d(u,v), using the
+// classic bunch-walk: climb levels, swapping the roles of u and v, until the
+// current landmark lands in the other side's bunch.
+func (o *Oracle) Query(u, v graph.Vertex) (float64, error) {
+	if u == v {
+		return 0, nil
+	}
+	w := u
+	i := 0
+	for {
+		if dwv, ok := o.h.BunchDist(v, w); ok {
+			dwu := o.h.D[i][u]
+			return dwu + dwv, nil
+		}
+		i++
+		if i >= o.k {
+			return 0, fmt.Errorf("oracle: query walk escaped the hierarchy (u=%d v=%d)", u, v)
+		}
+		u, v = v, u
+		w = o.h.P[i][u]
+	}
+}
+
+// StretchBound returns the guaranteed upper bound for a true distance d.
+func (o *Oracle) StretchBound(d float64) float64 { return float64(2*o.k-1) * d }
+
+// TableWords returns the oracle storage charged to vertex v: its bunch with
+// distances plus the level landmarks p_i(v).
+func (o *Oracle) TableWords(v graph.Vertex) int {
+	return 2*len(o.h.Bunch(v)) + 2*o.k
+}
+
+// Tally reports per-vertex storage for the experiments.
+func (o *Oracle) Tally() *space.Tally {
+	t := space.NewTally(o.h.G.N())
+	for v := 0; v < o.h.G.N(); v++ {
+		t.Add("oracle-bunches", v, o.TableWords(graph.Vertex(v)))
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/oracle"
+	"compactroute/internal/testutil"
+)
+
+func TestOracleStretch(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		for _, wt := range []gen.Weighting{gen.Unit, gen.UniformInt} {
+			g := testutil.MustGNM(t, 120, 360, int64(k)+10, wt)
+			want := testutil.FloydWarshall(g)
+			o, err := oracle.New(g, k, int64(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < g.N(); u++ {
+				for v := 0; v < g.N(); v += 2 {
+					est, err := o.Query(graph.Vertex(u), graph.Vertex(v))
+					if err != nil {
+						t.Fatalf("k=%d query(%d,%d): %v", k, u, v, err)
+					}
+					d := want[u][v]
+					if est < d-testutil.Eps {
+						t.Fatalf("k=%d: estimate %v below true distance %v", k, est, d)
+					}
+					if est > o.StretchBound(d)+testutil.Eps {
+						t.Fatalf("k=%d: estimate %v exceeds (2k-1)d = %v", k, est, o.StretchBound(d))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOracleSelfQuery(t *testing.T) {
+	g := testutil.MustGNM(t, 40, 90, 1, gen.Unit)
+	o, err := oracle.New(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := o.Query(7, 7)
+	if err != nil || d != 0 {
+		t.Fatalf("self query = (%v, %v)", d, err)
+	}
+}
+
+func TestOracleTableWords(t *testing.T) {
+	g := testutil.MustGNM(t, 100, 250, 2, gen.Unit)
+	o, err := oracle.New(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for v := 0; v < g.N(); v++ {
+		total += int64(o.TableWords(graph.Vertex(v)))
+	}
+	if total == 0 {
+		t.Fatal("no storage accounted")
+	}
+	if o.Tally().TotalStats().Total != total {
+		t.Fatal("tally and TableWords disagree")
+	}
+}

@@ -1,0 +1,92 @@
+package scheme2_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/scheme2"
+	"compactroute/internal/testutil"
+)
+
+func TestAllPairsStretchAndDelivery(t *testing.T) {
+	for _, eps := range []float64{1, 0.5, 0.25} {
+		g := testutil.MustGNM(t, 140, 420, 11, gen.Unit)
+		apsp := graph.AllPairs(g)
+		s, err := scheme2.New(g, apsp, scheme2.Params{Eps: eps, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 1, 2))
+		// (2+eps,1): multiplicative stretch can exceed 2+2eps only through
+		// the additive +1 at distance 1, so it is bounded by 3+2eps overall.
+		if worst > 3+2*eps+testutil.Eps {
+			t.Fatalf("worst stretch %v exceeds 3+2eps", worst)
+		}
+	}
+}
+
+func TestRejectsWeightedGraphs(t *testing.T) {
+	g := testutil.MustGNM(t, 50, 120, 1, gen.UniformInt)
+	apsp := graph.AllPairs(g)
+	if _, err := scheme2.New(g, apsp, scheme2.Params{Eps: 0.5}); err == nil {
+		t.Fatal("Theorem 10 must reject weighted graphs")
+	}
+}
+
+func TestGridGraph(t *testing.T) {
+	g, err := gen.Grid(gen.Config{Seed: 2, Weighting: gen.Unit}, 12, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := graph.AllPairs(g)
+	s, err := scheme2.New(g, apsp, scheme2.Params{Eps: 0.5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 3, 4))
+}
+
+func TestAdjacentPairsRespectAdditiveBound(t *testing.T) {
+	// For d=1 the bound is 2+2eps+1; with eps=0.5 routed paths must be <= 4.
+	g := testutil.MustGNM(t, 120, 360, 17, gen.Unit)
+	apsp := graph.AllPairs(g)
+	s, err := scheme2.New(g, apsp, scheme2.Params{Eps: 0.5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][2]graph.Vertex
+	for u := 0; u < g.N(); u++ {
+		g.Neighbors(graph.Vertex(u), func(_ graph.Port, v graph.Vertex, _ float64) bool {
+			pairs = append(pairs, [2]graph.Vertex{graph.Vertex(u), v})
+			return true
+		})
+	}
+	testutil.VerifyScheme(t, s, apsp, pairs)
+}
+
+func TestLabelAndTableAccounting(t *testing.T) {
+	g := testutil.MustGNM(t, 100, 300, 23, gen.Unit)
+	apsp := graph.AllPairs(g)
+	s, err := scheme2.New(g, apsp, scheme2.Params{Eps: 0.5, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LabelWords(0) != 5 {
+		t.Fatalf("label words = %d, want 5", s.LabelWords(0))
+	}
+	if s.Landmarks() == 0 {
+		t.Fatal("no landmarks")
+	}
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += s.TableWords(graph.Vertex(v))
+	}
+	if total == 0 {
+		t.Fatal("no storage accounted")
+	}
+	parts := s.Tally().Parts()
+	if len(parts) < 4 {
+		t.Fatalf("expected a storage breakdown, got %v", parts)
+	}
+}

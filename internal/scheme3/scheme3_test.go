@@ -1,0 +1,66 @@
+package scheme3_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/scheme3"
+	"compactroute/internal/testutil"
+)
+
+func TestAllPairsStretchAndDelivery(t *testing.T) {
+	tests := []struct {
+		name string
+		wt   gen.Weighting
+		eps  float64
+		seed int64
+	}{
+		{"weighted eps=0.5", gen.UniformInt, 0.5, 1},
+		{"weighted eps=0.25", gen.UniformInt, 0.25, 2},
+		{"unweighted eps=0.5", gen.Unit, 0.5, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := testutil.MustGNM(t, 130, 390, tt.seed, tt.wt)
+			apsp := graph.AllPairs(g)
+			s, err := scheme3.New(g, apsp, scheme3.Params{Eps: tt.eps, Seed: tt.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 1, 2))
+		})
+	}
+}
+
+func TestGeometricGraph(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.Config{N: 150, Seed: 9, Weighting: gen.Unit}, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := graph.AllPairs(g)
+	s, err := scheme3.New(g, apsp, scheme3.Params{Eps: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 2, 3))
+}
+
+func TestTableSizesAreSublinear(t *testing.T) {
+	g := testutil.MustGNM(t, 200, 600, 5, gen.UniformInt)
+	apsp := graph.AllPairs(g)
+	s, err := scheme3.New(g, apsp, scheme3.Params{Eps: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O~(sqrt n) tables: far below the n-1 words of exact routing at any
+	// realistic constant; sanity-bound at n/2 + polylog slack.
+	for v := 0; v < g.N(); v++ {
+		if w := s.TableWords(graph.Vertex(v)); w > 60*15 { // ~ (1/eps) sqrt(n) log n with constants
+			t.Fatalf("table at %d is %d words, implausibly large", v, w)
+		}
+	}
+	if s.LabelWords(0) != 2 {
+		t.Fatalf("label should be (v, color)")
+	}
+}

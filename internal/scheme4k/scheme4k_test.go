@@ -1,0 +1,54 @@
+package scheme4k_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/scheme4k"
+	"compactroute/internal/testutil"
+)
+
+func TestAllPairsStretchAndDelivery(t *testing.T) {
+	tests := []struct {
+		name string
+		k    int
+		wt   gen.Weighting
+		eps  float64
+	}{
+		{"k=3 weighted", 3, gen.UniformInt, 0.5},
+		{"k=4 weighted", 4, gen.UniformInt, 0.5},
+		{"k=3 unweighted", 3, gen.Unit, 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := testutil.MustGNM(t, 140, 420, int64(tt.k), tt.wt)
+			apsp := graph.AllPairs(g)
+			s, err := scheme4k.New(g, apsp, scheme4k.Params{K: tt.k, Eps: tt.eps, Seed: int64(tt.k)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 1, 2))
+		})
+	}
+}
+
+func TestRejectsSmallK(t *testing.T) {
+	g := testutil.MustGNM(t, 30, 60, 1, gen.Unit)
+	apsp := graph.AllPairs(g)
+	if _, err := scheme4k.New(g, apsp, scheme4k.Params{K: 2, Eps: 0.5}); err == nil {
+		t.Fatal("expected error for k < 3")
+	}
+}
+
+func TestLabelWords(t *testing.T) {
+	g := testutil.MustGNM(t, 90, 270, 2, gen.UniformInt)
+	apsp := graph.AllPairs(g)
+	s, err := scheme4k.New(g, apsp, scheme4k.Params{K: 3, Eps: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LabelWords(0) != 7 {
+		t.Fatalf("label words = %d, want 2k+1 = 7", s.LabelWords(0))
+	}
+}

@@ -1,0 +1,73 @@
+package scheme5_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/scheme5"
+	"compactroute/internal/testutil"
+)
+
+func TestAllPairsStretchAndDelivery(t *testing.T) {
+	tests := []struct {
+		name string
+		wt   gen.Weighting
+		eps  float64
+		seed int64
+	}{
+		{"weighted eps=0.5", gen.UniformInt, 0.5, 1},
+		{"weighted eps=0.2", gen.UniformInt, 0.2, 2},
+		{"unweighted eps=0.5", gen.Unit, 0.5, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := testutil.MustGNM(t, 140, 420, tt.seed, tt.wt)
+			apsp := graph.AllPairs(g)
+			s, err := scheme5.New(g, apsp, scheme5.Params{Eps: tt.eps, Seed: tt.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 1, 2))
+		})
+	}
+}
+
+func TestHeavyWeightSpread(t *testing.T) {
+	// Large weight range stresses the log D subsequence doubling of Lemma 8.
+	g, err := gen.ConnectedGNM(gen.Config{N: 120, Seed: 5, Weighting: gen.UniformInt, MaxWeight: 512}, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := graph.AllPairs(g)
+	s, err := scheme5.New(g, apsp, scheme5.Params{Eps: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 2, 3))
+}
+
+func TestCaterpillarWorstCase(t *testing.T) {
+	g, err := gen.Caterpillar(gen.Config{N: 120, Seed: 6, Weighting: gen.UniformInt, MaxWeight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := graph.AllPairs(g)
+	s, err := scheme5.New(g, apsp, scheme5.Params{Eps: 0.5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 2, 3))
+}
+
+func TestLabelIsFourWords(t *testing.T) {
+	g := testutil.MustGNM(t, 80, 240, 7, gen.UniformInt)
+	apsp := graph.AllPairs(g)
+	s, err := scheme5.New(g, apsp, scheme5.Params{Eps: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LabelWords(3) != 4 {
+		t.Fatalf("Theorem 11 labels are 4 log n bits; got %d words", s.LabelWords(3))
+	}
+}

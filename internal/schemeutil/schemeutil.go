@@ -1,0 +1,170 @@
+// Package schemeutil bundles preprocessing steps shared by the routing
+// schemes of Sections 4 and 5: inflated vicinities with a verified Lemma 6
+// coloring and per-color representatives, and cluster forests (one routable
+// tree per cluster, plus the member labels the paper stores at each root).
+package schemeutil
+
+import (
+	"fmt"
+
+	"compactroute/internal/cluster"
+	"compactroute/internal/coloring"
+	"compactroute/internal/graph"
+	"compactroute/internal/space"
+	"compactroute/internal/treeroute"
+	"compactroute/internal/vicinity"
+)
+
+// VicinityColoring is the (B(u, q-tilde), coloring, representatives) bundle
+// that every scheme built on Lemma 6 starts from.
+type VicinityColoring struct {
+	Q    int
+	L    int // actual vicinity size used
+	Vics []*vicinity.Set
+	Col  *coloring.Coloring
+	// PartOf[u] = color of u as an int32 part index (the partition U).
+	PartOf []int32
+	// Reps[u][c] is the closest member of color c inside B(u, q-tilde);
+	// RepDist[u][c] is its distance. Lemma 6 guarantees existence.
+	Reps    [][]graph.Vertex
+	RepDist [][]float64
+}
+
+// BuildVicinityColoring computes inflated vicinities of size
+// InflatedSize(q, n, factor), a q-coloring satisfying Lemma 6 against them,
+// and the per-color representative tables.
+func BuildVicinityColoring(g *graph.Graph, q int, factor float64, seed int64) (*VicinityColoring, error) {
+	n := g.N()
+	if q < 1 {
+		return nil, fmt.Errorf("schemeutil: need q >= 1, got %d", q)
+	}
+	l := vicinity.InflatedSize(q, n, factor)
+	vics, err := vicinity.BuildAll(g, l)
+	if err != nil {
+		return nil, fmt.Errorf("schemeutil: vicinities: %w", err)
+	}
+	sets := make([][]graph.Vertex, n)
+	for u := range sets {
+		ms := vics[u].Members()
+		s := make([]graph.Vertex, len(ms))
+		for i, m := range ms {
+			s[i] = m.V
+		}
+		sets[u] = s
+	}
+	col, err := coloring.New(n, q, sets, seed)
+	if err != nil {
+		return nil, fmt.Errorf("schemeutil: coloring: %w", err)
+	}
+	vc := &VicinityColoring{
+		Q:       q,
+		L:       l,
+		Vics:    vics,
+		Col:     col,
+		PartOf:  make([]int32, n),
+		Reps:    make([][]graph.Vertex, n),
+		RepDist: make([][]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		vc.PartOf[v] = int32(col.Of(graph.Vertex(v)))
+	}
+	for u := 0; u < n; u++ {
+		reps := make([]graph.Vertex, q)
+		dists := make([]float64, q)
+		for c := range reps {
+			reps[c] = graph.NoVertex
+		}
+		found := 0
+		for _, m := range vics[u].Members() { // (dist, id) order: first is closest
+			c := col.Of(m.V)
+			if reps[c] == graph.NoVertex {
+				reps[c] = m.V
+				dists[c] = m.Dist
+				if found++; found == q {
+					break
+				}
+			}
+		}
+		if found != q {
+			return nil, fmt.Errorf("schemeutil: B(%d) lost colors after coloring (internal inconsistency)", u)
+		}
+		vc.Reps[u] = reps
+		vc.RepDist[u] = dists
+	}
+	return vc, nil
+}
+
+// AddWords charges the vicinity tables, coloring and representative tables
+// to a tally.
+func (vc *VicinityColoring) AddWords(t *space.Tally) {
+	for u := range vc.Vics {
+		t.Add("vicinity", u, vc.Vics[u].Words())
+		t.Add("color-reps", u, 2*len(vc.Reps[u])+1) // reps + distances + own color
+	}
+}
+
+// ClusterForest holds one routable tree per cluster of a landmark structure,
+// along with the member labels the paper stores at every root ("for each
+// v in C_A(w) we store at w the label of v in the tree routing scheme").
+type ClusterForest struct {
+	L     *cluster.Landmarks
+	Trees []*treeroute.Tree // indexed by root vertex
+}
+
+// BuildClusterForest turns every cluster of l into a routable tree.
+func BuildClusterForest(g *graph.Graph, l *cluster.Landmarks) (*ClusterForest, error) {
+	f := &ClusterForest{L: l, Trees: make([]*treeroute.Tree, g.N())}
+	for w := 0; w < g.N(); w++ {
+		members := l.Cluster(graph.Vertex(w))
+		if len(members) == 0 {
+			continue
+		}
+		tr, err := treeroute.FromMembers(g, members, func(m cluster.Member) treeroute.Edge {
+			return treeroute.Edge{V: m.V, Parent: m.Parent}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("schemeutil: cluster tree %d: %w", w, err)
+		}
+		f.Trees[w] = tr
+	}
+	return f, nil
+}
+
+// LabelAtRoot returns the tree label of v in the cluster tree rooted at w,
+// which the paper stores in w's routing table.
+func (f *ClusterForest) LabelAtRoot(w, v graph.Vertex) (treeroute.Label, bool) {
+	tr := f.Trees[w]
+	if tr == nil {
+		return treeroute.NoLabel, false
+	}
+	lbl := tr.LabelOf(v)
+	return lbl, lbl != treeroute.NoLabel
+}
+
+// Tree returns the cluster tree rooted at w (nil if the cluster is empty).
+func (f *ClusterForest) Tree(w graph.Vertex) *treeroute.Tree { return f.Trees[w] }
+
+// AddWords charges the forest's storage: every vertex pays for the routing
+// state of each cluster tree it belongs to (one tree per bunch member), and
+// every root additionally pays one word per member label it keeps.
+func (f *ClusterForest) AddWords(t *space.Tally, part string) {
+	for w := 0; w < len(f.Trees); w++ {
+		tr := f.Trees[w]
+		if tr == nil {
+			continue
+		}
+		for _, m := range f.L.Cluster(graph.Vertex(w)) {
+			t.Add(part, int(m.V), tr.WordsAt(m.V))
+		}
+		t.Add(part+"-root-labels", w, 2*tr.Size()) // (member, label) pairs at the root
+	}
+}
+
+// TreeStep adapts a tree-routing decision to a forwarding decision and
+// normalizes errors.
+func TreeStep(tr *treeroute.Tree, at graph.Vertex, lbl treeroute.Label) (deliver bool, port graph.Port, err error) {
+	if tr == nil {
+		return false, graph.NoPort, fmt.Errorf("schemeutil: no tree at this root")
+	}
+	return tr.Next(at, lbl)
+}

@@ -1,0 +1,147 @@
+// Package simnet realizes the compact-routing execution model of the paper
+// (Peleg-Upfal / Fraigniaud-Gavoille): a packet carries a destination label
+// and a small mutable header; each vertex it visits makes a purely local
+// forwarding decision - a function of that vertex's routing table, the label
+// and the header - and the packet crosses the chosen port. The simulator
+// moves packets hop by hop, records the traversed path and weight, and
+// tracks the header's high-water mark in words.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"compactroute/internal/graph"
+)
+
+// Decision is a local forwarding decision: deliver here, or forward on Port.
+type Decision struct {
+	Deliver bool
+	Port    graph.Port
+}
+
+// Deliver is the decision that terminates routing at the current vertex.
+func Deliver() Decision { return Decision{Deliver: true} }
+
+// Forward is the decision to send the packet out on port p.
+func Forward(p graph.Port) Decision { return Decision{Port: p} }
+
+// Packet is an opaque scheme-specific header. Schemes own the concrete type;
+// the simulator only threads it through.
+type Packet interface{}
+
+// Scheme is the common interface of every routing scheme in this repository:
+// the five schemes of the paper, the Thorup-Zwick baseline and the exact
+// baseline. A Scheme is built in a (centralized) preprocessing phase; after
+// that, Prepare and Next must behave as purely local computations - Prepare
+// may use only the source's table and the destination's label, and Next only
+// the current vertex's table and the packet.
+type Scheme interface {
+	// Name identifies the scheme in reports, e.g. "thm11-5+eps".
+	Name() string
+	// Graph returns the graph the scheme was preprocessed for.
+	Graph() *graph.Graph
+	// Prepare builds the initial packet at src for destination dst,
+	// consulting src's routing table and dst's label only.
+	Prepare(src, dst graph.Vertex) (Packet, error)
+	// Next makes the local forwarding decision at the given vertex.
+	Next(at graph.Vertex, p Packet) (Decision, error)
+	// HeaderWords returns the current size of the packet header in words.
+	HeaderWords(p Packet) int
+	// TableWords returns the size of v's routing table in words.
+	TableWords(v graph.Vertex) int
+	// LabelWords returns the size of v's label in words.
+	LabelWords(v graph.Vertex) int
+	// StretchBound returns the maximum routed path length the scheme
+	// guarantees for a source-destination pair at distance d (the bound the
+	// paper's proof actually establishes, e.g. (2+2eps)d+1 for Theorem 10).
+	StretchBound(d float64) float64
+}
+
+// Result describes one completed routing.
+type Result struct {
+	Hops        int
+	Weight      float64
+	Path        []graph.Vertex // visited vertices, src first, dst last
+	HeaderWords int            // high-water mark over the route
+}
+
+// ErrHopLimit is wrapped into errors returned when a packet loops.
+var ErrHopLimit = errors.New("simnet: hop limit exceeded")
+
+// Network executes packets of one Scheme over its graph.
+type Network struct {
+	scheme   Scheme
+	g        *graph.Graph
+	maxHops  int
+	keepPath bool
+}
+
+// Option configures a Network.
+type Option interface{ apply(*Network) }
+
+type optionFunc func(*Network)
+
+func (f optionFunc) apply(n *Network) { f(n) }
+
+// WithMaxHops overrides the loop-protection hop limit (default 8n+64).
+func WithMaxHops(h int) Option {
+	return optionFunc(func(n *Network) { n.maxHops = h })
+}
+
+// WithPath records the full vertex path in Results (off by default to keep
+// large evaluations cheap).
+func WithPath() Option {
+	return optionFunc(func(n *Network) { n.keepPath = true })
+}
+
+// NewNetwork wraps a preprocessed scheme for execution.
+func NewNetwork(s Scheme, opts ...Option) *Network {
+	n := &Network{scheme: s, g: s.Graph(), maxHops: 8*s.Graph().N() + 64}
+	for _, o := range opts {
+		o.apply(n)
+	}
+	return n
+}
+
+// Route sends a packet from src to dst and reports the traversed path.
+func (n *Network) Route(src, dst graph.Vertex) (Result, error) {
+	var res Result
+	pkt, err := n.scheme.Prepare(src, dst)
+	if err != nil {
+		return res, fmt.Errorf("prepare %d->%d: %w", src, dst, err)
+	}
+	at := src
+	if n.keepPath {
+		res.Path = append(res.Path, at)
+	}
+	res.HeaderWords = n.scheme.HeaderWords(pkt)
+	for {
+		d, err := n.scheme.Next(at, pkt)
+		if err != nil {
+			return res, fmt.Errorf("next at %d (%d->%d, hop %d): %w", at, src, dst, res.Hops, err)
+		}
+		if hw := n.scheme.HeaderWords(pkt); hw > res.HeaderWords {
+			res.HeaderWords = hw
+		}
+		if d.Deliver {
+			if at != dst {
+				return res, fmt.Errorf("simnet: packet %d->%d delivered at wrong vertex %d", src, dst, at)
+			}
+			return res, nil
+		}
+		if d.Port < 0 || int(d.Port) >= n.g.Degree(at) {
+			return res, fmt.Errorf("simnet: invalid port %d at vertex %d (degree %d)", d.Port, at, n.g.Degree(at))
+		}
+		next, w, _ := n.g.Endpoint(at, d.Port)
+		res.Hops++
+		res.Weight += w
+		at = next
+		if n.keepPath {
+			res.Path = append(res.Path, at)
+		}
+		if res.Hops > n.maxHops {
+			return res, fmt.Errorf("routing %d->%d: %w (limit %d)", src, dst, ErrHopLimit, n.maxHops)
+		}
+	}
+}

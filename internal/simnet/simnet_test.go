@@ -1,0 +1,124 @@
+package simnet_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+)
+
+// fakeScheme is a controllable scheme for exercising the simulator's
+// failure handling: it forwards along a scripted port sequence.
+type fakeScheme struct {
+	g       *graph.Graph
+	script  func(at graph.Vertex, hop int) simnet.Decision
+	prepErr error
+}
+
+type fakePacket struct{ hop int }
+
+func (f *fakeScheme) Name() string        { return "fake" }
+func (f *fakeScheme) Graph() *graph.Graph { return f.g }
+func (f *fakeScheme) Prepare(_, _ graph.Vertex) (simnet.Packet, error) {
+	if f.prepErr != nil {
+		return nil, f.prepErr
+	}
+	return &fakePacket{}, nil
+}
+func (f *fakeScheme) Next(at graph.Vertex, p simnet.Packet) (simnet.Decision, error) {
+	pk := p.(*fakePacket)
+	d := f.script(at, pk.hop)
+	pk.hop++
+	return d, nil
+}
+func (f *fakeScheme) HeaderWords(p simnet.Packet) int { return p.(*fakePacket).hop }
+func (f *fakeScheme) TableWords(graph.Vertex) int     { return 0 }
+func (f *fakeScheme) LabelWords(graph.Vertex) int     { return 1 }
+func (f *fakeScheme) StretchBound(d float64) float64  { return d }
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddUnitEdge(graph.Vertex(i), graph.Vertex(i+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRouteDeliversAndAccounts(t *testing.T) {
+	g := pathGraph(t, 5)
+	// Forward right until vertex 4, then deliver.
+	s := &fakeScheme{g: g, script: func(at graph.Vertex, _ int) simnet.Decision {
+		if at == 4 {
+			return simnet.Deliver()
+		}
+		return simnet.Forward(g.PortTo(at, at+1))
+	}}
+	nw := simnet.NewNetwork(s, simnet.WithPath())
+	res, err := nw.Route(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 4 || res.Weight != 4 {
+		t.Fatalf("got %+v", res)
+	}
+	if len(res.Path) != 5 || res.Path[0] != 0 || res.Path[4] != 4 {
+		t.Fatalf("path %v", res.Path)
+	}
+	if res.HeaderWords == 0 {
+		t.Fatal("header high-water not tracked")
+	}
+}
+
+func TestRouteDetectsWrongDelivery(t *testing.T) {
+	g := pathGraph(t, 4)
+	s := &fakeScheme{g: g, script: func(graph.Vertex, int) simnet.Decision {
+		return simnet.Deliver() // deliver immediately wherever we are
+	}}
+	nw := simnet.NewNetwork(s)
+	if _, err := nw.Route(0, 3); err == nil || !strings.Contains(err.Error(), "wrong vertex") {
+		t.Fatalf("want wrong-vertex error, got %v", err)
+	}
+}
+
+func TestRouteDetectsLoops(t *testing.T) {
+	g := pathGraph(t, 3)
+	// Bounce between 0 and 1 forever.
+	s := &fakeScheme{g: g, script: func(at graph.Vertex, _ int) simnet.Decision {
+		if at == 0 {
+			return simnet.Forward(g.PortTo(0, 1))
+		}
+		return simnet.Forward(g.PortTo(at, at-1))
+	}}
+	nw := simnet.NewNetwork(s, simnet.WithMaxHops(50))
+	_, err := nw.Route(0, 2)
+	if !errors.Is(err, simnet.ErrHopLimit) {
+		t.Fatalf("want ErrHopLimit, got %v", err)
+	}
+}
+
+func TestRouteRejectsInvalidPort(t *testing.T) {
+	g := pathGraph(t, 3)
+	s := &fakeScheme{g: g, script: func(graph.Vertex, int) simnet.Decision {
+		return simnet.Forward(99)
+	}}
+	nw := simnet.NewNetwork(s)
+	if _, err := nw.Route(0, 2); err == nil || !strings.Contains(err.Error(), "invalid port") {
+		t.Fatalf("want invalid-port error, got %v", err)
+	}
+}
+
+func TestPrepareErrorPropagates(t *testing.T) {
+	g := pathGraph(t, 3)
+	s := &fakeScheme{g: g, prepErr: errors.New("no label")}
+	nw := simnet.NewNetwork(s)
+	if _, err := nw.Route(0, 2); err == nil || !strings.Contains(err.Error(), "no label") {
+		t.Fatalf("want prepare error, got %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package space provides uniform storage accounting for routing tables,
+// labels and headers, measured in words: one vertex id, port number, color,
+// distance or tree label counts as one word. Table 1 of the paper compares
+// schemes by per-vertex table size, so every scheme reports its storage
+// through a Tally and the evaluation harness summarizes them with Stats.
+package space
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tally accumulates per-vertex word counts, broken down by named component
+// (e.g. "vicinity", "landmark-trees", "sequences") so the experiments can
+// report where the space goes.
+type Tally struct {
+	n       int
+	total   []int
+	byPart  map[string][]int
+	ordered []string
+}
+
+// NewTally creates a tally over n vertices.
+func NewTally(n int) *Tally {
+	return &Tally{n: n, total: make([]int, n), byPart: make(map[string][]int)}
+}
+
+// Add charges words of storage to vertex v under the named component.
+func (t *Tally) Add(part string, v int, words int) {
+	if words == 0 {
+		return
+	}
+	p, ok := t.byPart[part]
+	if !ok {
+		p = make([]int, t.n)
+		t.byPart[part] = p
+		t.ordered = append(t.ordered, part)
+	}
+	p[v] += words
+	t.total[v] += words
+}
+
+// At returns the total words stored at vertex v.
+func (t *Tally) At(v int) int { return t.total[v] }
+
+// Parts returns the component names in insertion order.
+func (t *Tally) Parts() []string { return append([]string(nil), t.ordered...) }
+
+// PartAt returns the words charged to v under the named component.
+func (t *Tally) PartAt(part string, v int) int {
+	p, ok := t.byPart[part]
+	if !ok {
+		return 0
+	}
+	return p[v]
+}
+
+// Stats summarizes a tally or any per-vertex series.
+type Stats struct {
+	Max   int
+	Mean  float64
+	P99   int
+	Total int64
+}
+
+// Summarize computes Stats over the given per-vertex values.
+func Summarize(values []int) Stats {
+	if len(values) == 0 {
+		return Stats{}
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var sum int64
+	for _, v := range sorted {
+		sum += int64(v)
+	}
+	idx := int(math.Ceil(0.99*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return Stats{
+		Max:   sorted[len(sorted)-1],
+		Mean:  float64(sum) / float64(len(sorted)),
+		P99:   sorted[idx],
+		Total: sum,
+	}
+}
+
+// TotalStats summarizes the tally's per-vertex totals.
+func (t *Tally) TotalStats() Stats { return Summarize(t.total) }
+
+// PartStats summarizes one component.
+func (t *Tally) PartStats(part string) Stats {
+	p, ok := t.byPart[part]
+	if !ok {
+		return Stats{}
+	}
+	return Summarize(p)
+}
+
+// String renders a compact breakdown.
+func (t *Tally) String() string {
+	s := fmt.Sprintf("total: max=%d mean=%.1f", t.TotalStats().Max, t.TotalStats().Mean)
+	for _, part := range t.ordered {
+		st := t.PartStats(part)
+		s += fmt.Sprintf("; %s: max=%d mean=%.1f", part, st.Max, st.Mean)
+	}
+	return s
+}
+
+// FitExponent fits the slope of log(y) against log(x) by least squares; the
+// scaling experiments use it to estimate the exponent of table growth
+// (e.g. ~2/3 for Theorem 10) from measurements at several n.
+func FitExponent(xs []float64, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / denom
+}

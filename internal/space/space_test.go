@@ -1,0 +1,85 @@
+package space_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/space"
+)
+
+func TestTallyAccumulates(t *testing.T) {
+	tl := space.NewTally(3)
+	tl.Add("a", 0, 5)
+	tl.Add("a", 0, 2)
+	tl.Add("b", 0, 1)
+	tl.Add("b", 2, 10)
+	tl.Add("zero", 1, 0) // zero-word adds are dropped
+
+	if got := tl.At(0); got != 8 {
+		t.Fatalf("At(0) = %d", got)
+	}
+	if got := tl.PartAt("a", 0); got != 7 {
+		t.Fatalf("PartAt(a,0) = %d", got)
+	}
+	if got := tl.PartAt("missing", 0); got != 0 {
+		t.Fatalf("PartAt(missing) = %d", got)
+	}
+	parts := tl.Parts()
+	if len(parts) != 2 || parts[0] != "a" || parts[1] != "b" {
+		t.Fatalf("Parts() = %v", parts)
+	}
+	st := tl.TotalStats()
+	if st.Max != 10 || st.Total != 18 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := space.Summarize([]int{1, 2, 3, 4, 100})
+	if st.Max != 100 || st.Total != 110 || math.Abs(st.Mean-22) > 1e-9 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.P99 != 100 {
+		t.Fatalf("p99 = %d", st.P99)
+	}
+	if s := space.Summarize(nil); s.Max != 0 || s.Total != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []int{3, 1, 2}
+	space.Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestFitExponentRecoversPowerLaws(t *testing.T) {
+	f := func(raw uint8) bool {
+		exp := 0.1 + float64(raw%40)/20 // exponents in [0.1, 2.05]
+		xs := []float64{100, 200, 400, 800}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = 7.3 * math.Pow(x, exp)
+		}
+		got := space.FitExponent(xs, ys)
+		return math.Abs(got-exp) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitExponentDegenerate(t *testing.T) {
+	if !math.IsNaN(space.FitExponent([]float64{1}, []float64{1})) {
+		t.Fatal("single point should be NaN")
+	}
+	if !math.IsNaN(space.FitExponent([]float64{2, 2}, []float64{1, 5})) {
+		t.Fatal("zero x-variance should be NaN")
+	}
+	if !math.IsNaN(space.FitExponent([]float64{1, 2}, []float64{1})) {
+		t.Fatal("length mismatch should be NaN")
+	}
+}

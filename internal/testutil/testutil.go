@@ -1,0 +1,93 @@
+// Package testutil provides shared fixtures for the package tests: small
+// deterministic graphs, brute-force reference computations to check the
+// optimized implementations against, and stretch assertions.
+package testutil
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+)
+
+// Eps is the slack used when comparing float path lengths built from
+// integer weights.
+const Eps = 1e-9
+
+// MustGNM builds a connected G(n, m) graph or fails the test.
+func MustGNM(t *testing.T, n, m int, seed int64, wt gen.Weighting) *graph.Graph {
+	t.Helper()
+	g, err := gen.ConnectedGNM(gen.Config{N: n, Seed: seed, Weighting: wt, MaxWeight: 16}, m)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !g.Connected() {
+		t.Fatalf("generated graph not connected")
+	}
+	return g
+}
+
+// MustPath builds a path graph 0-1-2-...-(n-1) with the given edge weights
+// (len(weights) == n-1), or unit weights when weights is nil.
+func MustPath(t *testing.T, n int, weights []float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		b.AddEdge(graph.Vertex(i), graph.Vertex(i+1), w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build path: %v", err)
+	}
+	return g
+}
+
+// FloydWarshall computes reference all-pairs distances in O(n^3).
+func FloydWarshall(g *graph.Graph) [][]float64 {
+	n := g.N()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		g.Neighbors(graph.Vertex(u), func(_ graph.Port, v graph.Vertex, w float64) bool {
+			if w < d[u][v] {
+				d[u][v] = w
+				d[v][u] = w
+			}
+			return true
+		})
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if math.IsInf(d[i][k], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := d[i][k] + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+					d[j][i] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// CheckStretch fails the test unless got <= bound (with float slack).
+func CheckStretch(t *testing.T, name string, src, dst graph.Vertex, got, bound float64) {
+	t.Helper()
+	if got > bound+Eps {
+		t.Fatalf("%s: route %d->%d has length %v > bound %v", name, src, dst, got, bound)
+	}
+}

@@ -1,0 +1,43 @@
+package testutil
+
+import (
+	"testing"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+)
+
+// Pairs enumerates ordered vertex pairs of an n-vertex graph with the given
+// strides (stride 1,1 = all pairs).
+func Pairs(n, strideSrc, strideDst int) [][2]graph.Vertex {
+	var ps [][2]graph.Vertex
+	for u := 0; u < n; u += strideSrc {
+		for v := 0; v < n; v += strideDst {
+			ps = append(ps, [2]graph.Vertex{graph.Vertex(u), graph.Vertex(v)})
+		}
+	}
+	return ps
+}
+
+// VerifyScheme routes every given pair through the scheme's network and
+// fails the test on any delivery failure or stretch-bound violation. It
+// returns the worst observed multiplicative stretch over pairs at distance
+// greater than zero.
+func VerifyScheme(t *testing.T, s simnet.Scheme, apsp *graph.APSP, pairs [][2]graph.Vertex) float64 {
+	t.Helper()
+	nw := simnet.NewNetwork(s)
+	worst := 1.0
+	for _, p := range pairs {
+		src, dst := p[0], p[1]
+		res, err := nw.Route(src, dst)
+		if err != nil {
+			t.Fatalf("%s: route %d->%d: %v", s.Name(), src, dst, err)
+		}
+		d := apsp.Dist(src, dst)
+		CheckStretch(t, s.Name(), src, dst, res.Weight, s.StretchBound(d))
+		if d > 0 && res.Weight/d > worst {
+			worst = res.Weight / d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,18 @@
+package treeroute
+
+import "compactroute/internal/graph"
+
+// SPT builds a routable tree from the single-source shortest path tree of
+// root, spanning every vertex reachable from it.
+func SPT(g *graph.Graph, root graph.Vertex) (*Tree, error) {
+	s := g.ShortestPaths(root)
+	edges := make([]Edge, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		if graph.Vertex(v) == root {
+			edges = append(edges, Edge{V: root, Parent: graph.NoVertex})
+		} else if s.Parent[v] != graph.NoVertex {
+			edges = append(edges, Edge{V: graph.Vertex(v), Parent: s.Parent[v]})
+		}
+	}
+	return New(g, edges)
+}

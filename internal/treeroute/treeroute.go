@@ -1,0 +1,215 @@
+// Package treeroute implements the tree routing scheme of Lemma 3 of the
+// paper: given a tree and the label of a destination vertex, route from any
+// tree vertex to the destination along the tree path.
+//
+// Substitution note (documented in DESIGN.md): Fraigniaud-Gavoille and
+// Thorup-Zwick achieve O(log^2 n / log log n)-bit storage per vertex with
+// port-renumbering tricks. This implementation uses classic interval
+// routing - the label of a vertex is its DFS entry time, and each vertex
+// stores its own interval plus its children's intervals and ports. The
+// routes taken are identical (the unique tree path), so every stretch result
+// is unaffected; storage is O(deg_T(u)) words and is accounted honestly by
+// WordsAt, which the space experiments report.
+package treeroute
+
+import (
+	"fmt"
+	"sort"
+
+	"compactroute/internal/graph"
+)
+
+// Label is the routing label of a vertex within one tree: its DFS entry time.
+type Label int32
+
+// NoLabel is returned for vertices outside the tree.
+const NoLabel Label = -1
+
+// node is the per-vertex routing record.
+type node struct {
+	v          graph.Vertex
+	enter      Label
+	exit       Label
+	parentPort graph.Port
+	// children, in increasing DFS-entry order. childEnter[i] is the entry
+	// time of the i-th child; the interval of that child is
+	// [childEnter[i], childEnter[i+1]) within (enter, exit].
+	childEnter []Label
+	childPort  []graph.Port
+}
+
+// Tree is a routable tree over a subset of a graph's vertices.
+type Tree struct {
+	root  graph.Vertex
+	nodes map[graph.Vertex]*node
+}
+
+// Edge is a parent link used to describe the tree to New.
+type Edge struct {
+	V      graph.Vertex
+	Parent graph.Vertex // NoVertex for the root
+}
+
+// New builds a routable tree from parent links. Exactly one edge must name
+// the root (Parent == NoVertex), every parent link must be an edge of g, and
+// the links must form a single connected tree.
+func New(g *graph.Graph, edges []Edge) (*Tree, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("treeroute: empty tree")
+	}
+	t := &Tree{nodes: make(map[graph.Vertex]*node, len(edges)), root: graph.NoVertex}
+	children := make(map[graph.Vertex][]graph.Vertex, len(edges))
+	for _, e := range edges {
+		if _, dup := t.nodes[e.V]; dup {
+			return nil, fmt.Errorf("treeroute: duplicate vertex %d", e.V)
+		}
+		t.nodes[e.V] = &node{v: e.V, parentPort: graph.NoPort}
+		if e.Parent == graph.NoVertex {
+			if t.root != graph.NoVertex {
+				return nil, fmt.Errorf("treeroute: two roots %d and %d", t.root, e.V)
+			}
+			t.root = e.V
+		} else {
+			children[e.Parent] = append(children[e.Parent], e.V)
+		}
+	}
+	if t.root == graph.NoVertex {
+		return nil, fmt.Errorf("treeroute: no root")
+	}
+	for _, e := range edges {
+		if e.Parent == graph.NoVertex {
+			continue
+		}
+		if _, ok := t.nodes[e.Parent]; !ok {
+			return nil, fmt.Errorf("treeroute: parent %d of %d not in tree", e.Parent, e.V)
+		}
+		p := g.PortTo(e.V, e.Parent)
+		if p == graph.NoPort {
+			return nil, fmt.Errorf("treeroute: tree link {%d,%d} is not a graph edge", e.V, e.Parent)
+		}
+		t.nodes[e.V].parentPort = p
+	}
+	for v := range children {
+		cs := children[v]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	// Iterative DFS assigning enter/exit times.
+	var clock Label
+	type frame struct {
+		v    graph.Vertex
+		next int
+	}
+	stack := []frame{{v: t.root}}
+	t.nodes[t.root].enter = clock
+	visited := 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		cs := children[f.v]
+		if f.next < len(cs) {
+			c := cs[f.next]
+			f.next++
+			clock++
+			t.nodes[c].enter = clock
+			visited++
+			nd := t.nodes[f.v]
+			nd.childEnter = append(nd.childEnter, clock)
+			nd.childPort = append(nd.childPort, graphPort(g, f.v, c))
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		t.nodes[f.v].exit = clock
+		stack = stack[:len(stack)-1]
+	}
+	if visited != len(edges) {
+		return nil, fmt.Errorf("treeroute: tree has %d edges but DFS reached %d vertices (cycle or disconnection)", len(edges), visited)
+	}
+	return t, nil
+}
+
+func graphPort(g *graph.Graph, u, v graph.Vertex) graph.Port {
+	return g.PortTo(u, v)
+}
+
+// FromMembers builds a tree from cluster-style members (V, Parent).
+func FromMembers[T any](g *graph.Graph, members []T, conv func(T) Edge) (*Tree, error) {
+	edges := make([]Edge, len(members))
+	for i, m := range members {
+		edges[i] = conv(m)
+	}
+	return New(g, edges)
+}
+
+// Root returns the tree's root vertex.
+func (t *Tree) Root() graph.Vertex { return t.root }
+
+// Size returns the number of vertices in the tree.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Contains reports whether v is a tree vertex.
+func (t *Tree) Contains(v graph.Vertex) bool {
+	_, ok := t.nodes[v]
+	return ok
+}
+
+// LabelOf returns the routing label of v, or NoLabel if v is not in the tree.
+func (t *Tree) LabelOf(v graph.Vertex) Label {
+	nd, ok := t.nodes[v]
+	if !ok {
+		return NoLabel
+	}
+	return nd.enter
+}
+
+// Next makes the local forwarding decision at u for a packet whose
+// destination carries label lbl: deliver here, or forward on the returned
+// port. It errors if u is outside the tree or lbl is not a label of this
+// tree.
+func (t *Tree) Next(u graph.Vertex, lbl Label) (deliver bool, port graph.Port, err error) {
+	nd, ok := t.nodes[u]
+	if !ok {
+		return false, graph.NoPort, fmt.Errorf("treeroute: vertex %d not in tree rooted at %d", u, t.root)
+	}
+	switch {
+	case lbl == nd.enter:
+		return true, graph.NoPort, nil
+	case lbl < nd.enter || lbl > nd.exit:
+		if nd.parentPort == graph.NoPort {
+			return false, graph.NoPort, fmt.Errorf("treeroute: label %d outside tree rooted at %d", lbl, t.root)
+		}
+		return false, nd.parentPort, nil
+	default:
+		// lbl lies in some child's interval: rightmost childEnter <= lbl.
+		i := sort.Search(len(nd.childEnter), func(i int) bool { return nd.childEnter[i] > lbl }) - 1
+		if i < 0 {
+			return false, graph.NoPort, fmt.Errorf("treeroute: inconsistent intervals at %d for label %d", u, lbl)
+		}
+		return false, nd.childPort[i], nil
+	}
+}
+
+// WordsAt returns the number of words of routing state vertex v stores for
+// this tree: its interval, its parent port and one (enter, port) pair per
+// child. Returns 0 for vertices outside the tree.
+func (t *Tree) WordsAt(v graph.Vertex) int {
+	nd, ok := t.nodes[v]
+	if !ok {
+		return 0
+	}
+	return 3 + 2*len(nd.childEnter)
+}
+
+// Depth returns the number of tree edges between v and the root, or -1 if v
+// is not in the tree. O(depth); used by tests only.
+func (t *Tree) Depth(g *graph.Graph, v graph.Vertex) int {
+	nd, ok := t.nodes[v]
+	if !ok {
+		return -1
+	}
+	depth := 0
+	for nd.parentPort != graph.NoPort {
+		parent, _, _ := g.Endpoint(nd.v, nd.parentPort)
+		nd = t.nodes[parent]
+		depth++
+	}
+	return depth
+}

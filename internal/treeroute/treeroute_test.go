@@ -1,0 +1,176 @@
+package treeroute_test
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/cluster"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+	"compactroute/internal/treeroute"
+)
+
+// routeOnTree walks tree-routing decisions from src toward dst and returns
+// the traversed weight and hop count.
+func routeOnTree(t *testing.T, g *graph.Graph, tr *treeroute.Tree, src, dst graph.Vertex) (float64, int) {
+	t.Helper()
+	lbl := tr.LabelOf(dst)
+	if lbl == treeroute.NoLabel {
+		t.Fatalf("dst %d not in tree", dst)
+	}
+	at := src
+	var weight float64
+	hops := 0
+	for {
+		deliver, port, err := tr.Next(at, lbl)
+		if err != nil {
+			t.Fatalf("Next at %d: %v", at, err)
+		}
+		if deliver {
+			if at != dst {
+				t.Fatalf("delivered at %d, want %d", at, dst)
+			}
+			return weight, hops
+		}
+		next, w, _ := g.Endpoint(at, port)
+		weight += w
+		at = next
+		hops++
+		if hops > 4*g.N() {
+			t.Fatalf("tree routing loop %d->%d", src, dst)
+		}
+	}
+}
+
+func TestSPTRoutesOnShortestPaths(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := testutil.MustGNM(t, 30, 70, seed, gen.UniformInt)
+		want := testutil.FloydWarshall(g)
+		root := graph.Vertex(int(seed) % g.N())
+		tr, err := treeroute.SPT(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Size() != g.N() {
+			t.Fatalf("SPT should span the graph")
+		}
+		// Routing from the root to any v is a shortest path.
+		for v := 0; v < g.N(); v++ {
+			w, _ := routeOnTree(t, g, tr, root, graph.Vertex(v))
+			if math.Abs(w-want[root][v]) > testutil.Eps {
+				t.Fatalf("root->%d routed %v want %v", v, w, want[root][v])
+			}
+		}
+		// Routing between arbitrary pairs stays within the tree-path bound
+		// d_T(u, v) <= d(u, root) + d(root, v).
+		for u := 0; u < g.N(); u += 3 {
+			for v := 0; v < g.N(); v += 5 {
+				w, _ := routeOnTree(t, g, tr, graph.Vertex(u), graph.Vertex(v))
+				if w > want[u][root]+want[root][v]+testutil.Eps {
+					t.Fatalf("%d->%d via tree %v exceeds through-root bound", u, v, w)
+				}
+				if w < want[u][v]-testutil.Eps {
+					t.Fatalf("%d->%d via tree %v beats shortest distance %v", u, v, w, want[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestClusterTreeRouting(t *testing.T) {
+	g := testutil.MustGNM(t, 60, 150, 4, gen.UniformInt)
+	var a []graph.Vertex
+	for v := 0; v < g.N(); v += 6 {
+		a = append(a, graph.Vertex(v))
+	}
+	l, err := cluster.New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < g.N(); w++ {
+		members := l.Cluster(graph.Vertex(w))
+		if len(members) < 2 {
+			continue
+		}
+		tr, err := treeroute.FromMembers(g, members, func(m cluster.Member) treeroute.Edge {
+			return treeroute.Edge{V: m.V, Parent: m.Parent}
+		})
+		if err != nil {
+			t.Fatalf("cluster tree %d: %v", w, err)
+		}
+		// From the root, routing to each member follows the cluster's
+		// shortest path (Dist recorded in the member).
+		for _, m := range members {
+			weight, _ := routeOnTree(t, g, tr, graph.Vertex(w), m.V)
+			if math.Abs(weight-m.Dist) > testutil.Eps {
+				t.Fatalf("cluster tree %d: route to %d = %v want %v", w, m.V, weight, m.Dist)
+			}
+		}
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	g := testutil.MustPath(t, 4, nil)
+	mk := func(edges []treeroute.Edge) error {
+		_, err := treeroute.New(g, edges)
+		return err
+	}
+	if err := mk(nil); err == nil {
+		t.Fatal("want error: empty")
+	}
+	if err := mk([]treeroute.Edge{{V: 0, Parent: graph.NoVertex}, {V: 1, Parent: graph.NoVertex}}); err == nil {
+		t.Fatal("want error: two roots")
+	}
+	if err := mk([]treeroute.Edge{{V: 1, Parent: 0}}); err == nil {
+		t.Fatal("want error: no root")
+	}
+	if err := mk([]treeroute.Edge{{V: 0, Parent: graph.NoVertex}, {V: 2, Parent: 0}}); err == nil {
+		t.Fatal("want error: parent link not a graph edge")
+	}
+	if err := mk([]treeroute.Edge{{V: 0, Parent: graph.NoVertex}, {V: 1, Parent: 0}, {V: 1, Parent: 0}}); err == nil {
+		t.Fatal("want error: duplicate vertex")
+	}
+	if err := mk([]treeroute.Edge{{V: 0, Parent: graph.NoVertex}, {V: 1, Parent: 0}, {V: 3, Parent: 2}}); err == nil {
+		t.Fatal("want error: parent outside tree")
+	}
+}
+
+func TestNextRejectsForeignInputs(t *testing.T) {
+	g := testutil.MustPath(t, 5, nil)
+	tr, err := treeroute.SPT(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Next(99, 0); err == nil {
+		t.Fatal("want error for vertex outside tree")
+	}
+	if _, _, err := tr.Next(0, treeroute.Label(1000)); err == nil {
+		t.Fatal("want error for label outside tree")
+	}
+}
+
+func TestWordsAt(t *testing.T) {
+	// Star: root stores 3 + 2*(n-1) words, leaves 3 + 0.
+	b := graph.NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		b.AddUnitEdge(0, graph.Vertex(i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := treeroute.SPT(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.WordsAt(0); got != 3+2*4 {
+		t.Fatalf("root words = %d", got)
+	}
+	if got := tr.WordsAt(1); got != 3 {
+		t.Fatalf("leaf words = %d", got)
+	}
+	if got := tr.WordsAt(99); got != 0 {
+		t.Fatalf("outside words = %d", got)
+	}
+}

@@ -1,0 +1,119 @@
+package tzroute_test
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+	"compactroute/internal/tzroute"
+)
+
+func TestBaselineStretch(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		for _, wt := range []gen.Weighting{gen.Unit, gen.UniformInt} {
+			g := testutil.MustGNM(t, 130, 390, int64(k), wt)
+			apsp := graph.AllPairs(g)
+			s, err := tzroute.New(g, tzroute.Params{K: k, Seed: int64(k)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 1, 2))
+		}
+	}
+}
+
+func TestHierarchyInvariants(t *testing.T) {
+	g := testutil.MustGNM(t, 100, 300, 5, gen.UniformInt)
+	want := testutil.FloydWarshall(g)
+	h, err := tzroute.NewHierarchy(g, tzroute.Params{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Levels are nested and non-empty.
+	for i := 1; i < h.K; i++ {
+		if len(h.Levels[i]) == 0 {
+			t.Fatalf("level %d empty", i)
+		}
+		inPrev := make(map[graph.Vertex]bool)
+		for _, v := range h.Levels[i-1] {
+			inPrev[v] = true
+		}
+		for _, v := range h.Levels[i] {
+			if !inPrev[v] {
+				t.Fatalf("A_%d not a subset of A_%d", i, i-1)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		// D[i][v] is the true distance to A_i and is monotone in i.
+		for i := 0; i < h.K; i++ {
+			best := math.Inf(1)
+			for _, w := range h.Levels[i] {
+				if want[v][w] < best {
+					best = want[v][w]
+				}
+			}
+			if math.Abs(h.D[i][v]-best) > testutil.Eps {
+				t.Fatalf("d(%d, A_%d) = %v want %v", v, i, h.D[i][v], best)
+			}
+			if i > 0 && h.D[i][v] < h.D[i-1][v]-testutil.Eps {
+				t.Fatalf("d(%d, A_i) not monotone", v)
+			}
+		}
+		// The tie-chained p_i keeps v inside C(p_i(v)): its tree label exists.
+		for i := 0; i < h.K; i++ {
+			w := h.P[i][v]
+			if math.Abs(want[v][w]-h.D[i][v]) > testutil.Eps {
+				t.Fatalf("p_%d(%d)=%d is not at distance d(v, A_%d)", i, v, w, i)
+			}
+			if h.Trees[w].LabelOf(graph.Vertex(v)) < 0 {
+				t.Fatalf("v=%d missing from T(p_%d(v)=%d)", v, i, w)
+			}
+		}
+		// Bunch distances agree with true distances.
+		for _, w := range h.Bunch(graph.Vertex(v)) {
+			d, ok := h.BunchDist(graph.Vertex(v), w)
+			if !ok || math.Abs(d-want[v][w]) > testutil.Eps {
+				t.Fatalf("bunch dist (%d,%d) wrong", v, w)
+			}
+		}
+	}
+	// Top-level landmarks span V: every vertex has them in its bunch.
+	for v := 0; v < g.N(); v++ {
+		for _, w := range h.Levels[h.K-1] {
+			if !h.InBunch(graph.Vertex(v), w) {
+				t.Fatalf("top landmark %d missing from B(%d)", w, v)
+			}
+		}
+	}
+}
+
+func TestRejectsBadK(t *testing.T) {
+	g := testutil.MustGNM(t, 20, 40, 1, gen.Unit)
+	if _, err := tzroute.New(g, tzroute.Params{K: 1}); err == nil {
+		t.Fatal("expected error for k=1")
+	}
+}
+
+func TestBunchSizeShrinksWithK(t *testing.T) {
+	g := testutil.MustGNM(t, 250, 750, 3, gen.Unit)
+	h2, err := tzroute.NewHierarchy(g, tzroute.Params{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := tzroute.NewHierarchy(g, tzroute.Params{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=2 bunches are Theta(sqrt n)-ish; k=4 should not be larger on average.
+	sum2, sum4 := 0, 0
+	for v := 0; v < g.N(); v++ {
+		sum2 += len(h2.Bunch(graph.Vertex(v)))
+		sum4 += len(h4.Bunch(graph.Vertex(v)))
+	}
+	if sum4 > 2*sum2 {
+		t.Fatalf("k=4 bunches (%d) unexpectedly larger than k=2 (%d)", sum4, sum2)
+	}
+}

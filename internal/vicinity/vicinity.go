@@ -1,0 +1,205 @@
+// Package vicinity implements the vertex vicinities B(u, l) of Section 2 of
+// the paper: the l closest vertices of u, with ties broken by lexicographic
+// order of vertex ids, together with the first-edge tables of Lemma 2 that
+// route a message from u to any v in B(u, l) on a shortest path.
+package vicinity
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"compactroute/internal/graph"
+)
+
+// Member is one vertex of a vicinity together with the routing information
+// Lemma 2 stores for it: the first hop of a shortest path from the center.
+type Member struct {
+	V     graph.Vertex
+	Dist  float64
+	First graph.Vertex // first vertex after the center on a shortest path; == V for neighbors, == center for the center itself
+}
+
+// Set is the vicinity B(u, l) of a single center vertex u.
+type Set struct {
+	center  graph.Vertex
+	radius  float64 // r_u(l) of the paper
+	members []Member
+	index   map[graph.Vertex]int32
+}
+
+// Build computes B(u, l). The result always contains u itself (at distance
+// 0), so l must be at least 1.
+func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("vicinity: need l >= 1, got %d", l)
+	}
+	near := g.Nearest(u, l)
+	if len(near) > l {
+		near = near[:l]
+	}
+	s := &Set{
+		center:  u,
+		members: make([]Member, len(near)),
+		index:   make(map[graph.Vertex]int32, len(near)),
+	}
+	for i, nr := range near {
+		first := nr.V
+		if nr.V == u {
+			first = u
+		} else if nr.Parent != u {
+			// Walk up: parents appear earlier in (dist, id) order, so their
+			// First values are already final.
+			pj, ok := s.index[nr.Parent]
+			if !ok {
+				return nil, fmt.Errorf("vicinity: parent %d of %d missing from truncated search", nr.Parent, nr.V)
+			}
+			first = s.members[pj].First
+		}
+		s.members[i] = Member{V: nr.V, Dist: nr.Dist, First: first}
+		s.index[nr.V] = int32(i)
+	}
+	s.radius = s.computeRadius(g)
+	return s, nil
+}
+
+// computeRadius computes r_u(l): the largest value r such that every vertex
+// at distance exactly r from u belongs to the set. Distance classes below the
+// maximum member distance are complete by construction (Nearest closes
+// classes), so the radius is the maximum member distance unless the last
+// class was truncated by the size cutoff.
+func (s *Set) computeRadius(g *graph.Graph) float64 {
+	if len(s.members) == 0 {
+		return 0
+	}
+	last := s.members[len(s.members)-1].Dist
+	// The last distance class is complete iff no excluded vertex sits at
+	// exactly distance `last`. Ask for one extra vertex to find out.
+	extra := g.Nearest(s.center, len(s.members)+1)
+	if len(extra) <= len(s.members) {
+		return last // vicinity covers every reachable vertex
+	}
+	if extra[len(s.members)].Dist == last {
+		// Truncated class: radius is the largest complete class below it.
+		for i := len(s.members) - 1; i >= 0; i-- {
+			if s.members[i].Dist < last {
+				return s.members[i].Dist
+			}
+		}
+		return 0
+	}
+	return last
+}
+
+// BuildAll computes B(u, l) for every vertex in parallel.
+func BuildAll(g *graph.Graph, l int) ([]*Set, error) {
+	sets := make([]*Set, g.N())
+	workers := runtime.GOMAXPROCS(0)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan graph.Vertex)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				s, err := Build(g, u, l)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				sets[u] = s
+			}
+		}()
+	}
+	for u := 0; u < g.N(); u++ {
+		next <- graph.Vertex(u)
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sets, nil
+}
+
+// Center returns the vertex this vicinity belongs to.
+func (s *Set) Center() graph.Vertex { return s.center }
+
+// Size returns the number of members (including the center).
+func (s *Set) Size() int { return len(s.members) }
+
+// Radius returns r_u(l).
+func (s *Set) Radius() float64 { return s.radius }
+
+// Contains reports whether v is in the vicinity.
+func (s *Set) Contains(v graph.Vertex) bool {
+	_, ok := s.index[v]
+	return ok
+}
+
+// Dist returns d(center, v) if v is a member.
+func (s *Set) Dist(v graph.Vertex) (float64, bool) {
+	i, ok := s.index[v]
+	if !ok {
+		return math.Inf(1), false
+	}
+	return s.members[i].Dist, true
+}
+
+// FirstHop returns the first vertex after the center on a shortest path to
+// member v. This is the Lemma 2 routing table entry.
+func (s *Set) FirstHop(v graph.Vertex) (graph.Vertex, bool) {
+	i, ok := s.index[v]
+	if !ok || v == s.center {
+		return graph.NoVertex, false
+	}
+	return s.members[i].First, true
+}
+
+// Members returns the members in (dist, id) order. The returned slice is
+// owned by the Set; callers must not modify it.
+func (s *Set) Members() []Member { return s.members }
+
+// MaxDist returns the distance of the farthest member.
+func (s *Set) MaxDist() float64 {
+	if len(s.members) == 0 {
+		return 0
+	}
+	return s.members[len(s.members)-1].Dist
+}
+
+// Words returns the space of the Lemma 2 table in words: one (vertex, first
+// edge, distance) triple per member.
+func (s *Set) Words() int { return 3 * len(s.members) }
+
+// InflatedSize computes the paper's x-tilde = alpha * x * log n inflation,
+// clamped to [x, n]: the vicinity size used whenever the paper writes
+// B(u, q-tilde). factor plays the role of the "large enough constant" alpha;
+// the correctness of every construction in this module tree is independent
+// of the factor (hitting sets and colorings are built against the actual
+// vicinities), so the factor only moves space constants.
+func InflatedSize(x int, n int, factor float64) int {
+	if x < 1 {
+		x = 1
+	}
+	l := int(math.Ceil(factor * float64(x) * math.Log(float64(n))))
+	if l < x {
+		l = x
+	}
+	if l < 1 {
+		l = 1
+	}
+	if l > n {
+		l = n
+	}
+	return l
+}
