@@ -14,12 +14,15 @@ package compactroute_test
 //	BenchmarkHittingSet      - E7:  greedy vs sampled hitting sets
 //	BenchmarkAdjacentPairs   - E8:  Delta=1 degenerate cases of Thms 13/15
 //	BenchmarkHeaderSize      - E9:  header high-water marks vs eps
+//	BenchmarkParallelPipeline - E10: construction + batched-evaluation
+//	                           wall-clock vs worker count
 //
 // Metrics are attached with b.ReportMetric; the timed loop measures per-hop
 // routing throughput of the preprocessed scheme.
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -473,6 +476,50 @@ func BenchmarkAdjacentPairs(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(ev.MaxStretch, "max-routed-length-d1")
+		})
+	}
+}
+
+// BenchmarkParallelPipeline is E10: combined construction + evaluation
+// wall-clock of the concurrent execution layer on a 2048-vertex graph,
+// sweeping the worker count from 1 to all cores. Each iteration runs the
+// full pipeline - APSP, Thorup-Zwick preprocessing, and the batched
+// evaluation engine over 20000 sampled pairs - under the given parallelism
+// cap; on a multicore machine the all-cores run should beat workers=1 by at
+// least the ISSUE's 2x target. The determinism tests assert separately that
+// every worker count produces an identical scheme and Evaluation.
+func BenchmarkParallelPipeline(b *testing.B) {
+	const n = 2048
+	g, err := compactroute.GNM(n, 4*n, benchSeed, true, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := compactroute.SamplePairs(n, 20000, benchSeed)
+	workerCounts := []int{1}
+	if cores := runtime.GOMAXPROCS(0); cores > 1 {
+		if cores > 4 {
+			workerCounts = append(workerCounts, cores/2)
+		}
+		workerCounts = append(workerCounts, cores)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			compactroute.SetParallelism(workers)
+			defer compactroute.SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				apsp := compactroute.AllPairs(g)
+				s, err := compactroute.NewThorupZwick(g, compactroute.Options{K: 2, Seed: benchSeed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev, err := compactroute.EvaluateBatched(s, apsp, pairs, compactroute.EvalOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ev.BoundViolations != 0 {
+					b.Fatalf("%d stretch-bound violations", ev.BoundViolations)
+				}
+			}
 		})
 	}
 }

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,20 +20,26 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "graphstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphstat", flag.ContinueOnError)
 	var (
-		family   = flag.String("family", "gnm", "gnm | grid | torus | hypercube | pa | geometric")
-		n        = flag.Int("n", 512, "number of vertices (gnm/pa/geometric)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		weighted = flag.Bool("weighted", false, "integer weights in [1,32]")
+		family   = fs.String("family", "gnm", "gnm | grid | torus | hypercube | pa | geometric")
+		n        = fs.Int("n", 512, "number of vertices (gnm/pa/geometric)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		weighted = fs.Bool("weighted", false, "integer weights in [1,32]")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var (
 		g   *compactroute.Graph
@@ -69,11 +77,11 @@ func run() error {
 			ecc = e
 		}
 	}
-	fmt.Printf("family:       %s\n", *family)
-	fmt.Printf("n, m:         %d, %d\n", g.N(), g.M())
-	fmt.Printf("unweighted:   %v\n", g.Unit())
-	fmt.Printf("diameter:     %.0f\n", ecc)
-	fmt.Printf("normalized D: %.1f\n", apsp.NormalizedDiameter())
-	fmt.Printf("degree:       min=%d median=%d max=%d\n", degs[0], degs[len(degs)/2], degs[len(degs)-1])
+	fmt.Fprintf(out, "family:       %s\n", *family)
+	fmt.Fprintf(out, "n, m:         %d, %d\n", g.N(), g.M())
+	fmt.Fprintf(out, "unweighted:   %v\n", g.Unit())
+	fmt.Fprintf(out, "diameter:     %.0f\n", ecc)
+	fmt.Fprintf(out, "normalized D: %.1f\n", apsp.NormalizedDiameter())
+	fmt.Fprintf(out, "degree:       min=%d median=%d max=%d\n", degs[0], degs[len(degs)/2], degs[len(degs)-1])
 	return nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFamilies(t *testing.T) {
+	for _, family := range []string{"gnm", "grid", "hypercube"} {
+		var out strings.Builder
+		if err := run([]string{"-family", family, "-n", "64"}, &out); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		text := out.String()
+		for _, want := range []string{"family:", "n, m:", "diameter:", "normalized D:", "degree:"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s output missing %q:\n%s", family, want, text)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownFamily(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-family", "nope"}, &out); err == nil {
+		t.Fatal("expected error for unknown family")
+	}
+}

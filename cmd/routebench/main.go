@@ -1,16 +1,22 @@
 // Command routebench regenerates the paper's evaluation as text tables: the
 // Table 1 reproduction (every routing scheme of the paper plus baselines,
 // with measured stretch and per-vertex table words) and the space-scaling
-// experiment E2 (growth exponents of table size against n).
+// experiment E2 (growth exponents of table size against n). See
+// EXPERIMENTS.md for the methodology.
 //
 // Usage:
 //
-//	routebench [-n 512] [-eps 0.25] [-seed 2015] [-pairs 2000] [-scaling]
+//	routebench [-n 512] [-eps 0.25] [-seed 2015] [-pairs 2000] [-workers 0] [-scaling]
+//
+// -workers caps the worker count of both the parallel preprocessing phase
+// and the batched evaluation engine (0 = all cores).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -67,23 +73,34 @@ func rows() []row {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "routebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("routebench", flag.ContinueOnError)
 	var (
-		n       = flag.Int("n", 512, "number of vertices")
-		eps     = flag.Float64("eps", 0.25, "epsilon of the (1+eps) techniques")
-		seed    = flag.Int64("seed", 2015, "random seed")
-		pairs   = flag.Int("pairs", 2000, "sampled source-destination pairs")
-		scaling = flag.Bool("scaling", false, "also run the E2 space-scaling experiment")
+		n       = fs.Int("n", 512, "number of vertices")
+		eps     = fs.Float64("eps", 0.25, "epsilon of the (1+eps) techniques")
+		seed    = fs.Int64("seed", 2015, "random seed")
+		pairs   = fs.Int("pairs", 2000, "sampled source-destination pairs")
+		workers = fs.Int("workers", 0, "construction and evaluation workers (0 = all cores)")
+		scaling = fs.Bool("scaling", false, "also run the E2 space-scaling experiment")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	compactroute.SetParallelism(*workers)
+	defer compactroute.SetParallelism(0)
+	evalOpts := compactroute.EvalOptions{Workers: *workers}
 
-	fmt.Printf("# Table 1 reproduction: G(n=%d, m=%d), eps=%v, %d sampled pairs\n\n", *n, 4**n, *eps, *pairs)
+	fmt.Fprintf(out, "# Table 1 reproduction: G(n=%d, m=%d), eps=%v, %d sampled pairs, %d workers\n\n",
+		*n, 4**n, *eps, *pairs, compactroute.Parallelism())
 	graphs := make(map[bool]*compactroute.Graph)
 	apsps := make(map[bool]*compactroute.APSP)
 	for _, weighted := range []bool{false, true} {
@@ -96,7 +113,7 @@ func run() error {
 	}
 	ps := compactroute.SamplePairs(*n, *pairs, *seed)
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tgraph\tpaper stretch\tpaper space\tmax stretch\tmean stretch\tmax add\ttable max\ttable mean\tlabel\theader\tviol")
 	for _, r := range rows() {
 		g, a := graphs[r.weighted], apsps[r.weighted]
@@ -104,7 +121,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
-		ev, err := compactroute.Evaluate(s, a, ps)
+		ev, err := compactroute.EvaluateBatched(s, a, ps, evalOpts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
@@ -120,32 +137,32 @@ func run() error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Println("\nliterature rows of Table 1 not re-implemented here (cited values):")
-	fmt.Println("  abraham-gavoille: (2,1) stretch, O~(n^3/4) space [DISC'11]")
-	fmt.Println("  chechik:          10.52 stretch, O~(n^1/4 logD) space [PODC'13]")
+	fmt.Fprintln(out, "\nliterature rows of Table 1 not re-implemented here (cited values):")
+	fmt.Fprintln(out, "  abraham-gavoille: (2,1) stretch, O~(n^3/4) space [DISC'11]")
+	fmt.Fprintln(out, "  chechik:          10.52 stretch, O~(n^1/4 logD) space [PODC'13]")
 
 	// Extension sketched in Section 1: name-independent routing (no labels).
 	ni, err := compactroute.NewNameIndependent(graphs[true], apsps[true], compactroute.Options{Eps: *eps, Seed: *seed})
 	if err != nil {
 		return err
 	}
-	ev, err := compactroute.Evaluate(ni, apsps[true], ps)
+	ev, err := compactroute.EvaluateBatched(ni, apsps[true], ps, evalOpts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nextension (Section 1 sketch): %s - max stretch %.3f (bound %.2f), table mean %.0f words, label %d words, viol %d\n",
+	fmt.Fprintf(out, "\nextension (Section 1 sketch): %s - max stretch %.3f (bound %.2f), table mean %.0f words, label %d words, viol %d\n",
 		ni.Name(), ev.MaxStretch, ni.StretchBound(1), ev.Tables.Mean, ev.MaxLabel, ev.BoundViolations)
 
 	if *scaling {
-		if err := runScaling(*eps, *seed, *pairs); err != nil {
+		if err := runScaling(out, *eps, *seed, *pairs, evalOpts); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runScaling(eps float64, seed int64, pairs int) error {
-	fmt.Println("\n# E2: space-scaling exponents (mean table words vs n, log-log fit)")
+func runScaling(out io.Writer, eps float64, seed int64, pairs int, evalOpts compactroute.EvalOptions) error {
+	fmt.Fprintln(out, "\n# E2: space-scaling exponents (mean table words vs n, log-log fit)")
 	ns := []int{128, 256, 512, 1024}
 	type fit struct {
 		name     string
@@ -156,7 +173,7 @@ func runScaling(eps float64, seed int64, pairs int) error {
 		{"tz-k2", 0.5, 1}, {"tz-k3", 1. / 3, 2}, {"warmup", 0.5, 3},
 		{"thm10", 2. / 3, 4}, {"thm11", 1. / 3, 7}, {"thm16-k4", 0.25, 8},
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tpaper exponent\tfitted exponent\tmean words by n")
 	all := rows()
 	for _, f := range fits {
@@ -173,7 +190,7 @@ func runScaling(eps float64, seed int64, pairs int) error {
 			if err != nil {
 				return fmt.Errorf("%s n=%d: %w", r.name, n, err)
 			}
-			ev, err := compactroute.Evaluate(s, a, compactroute.SamplePairs(n, pairs/2, seed))
+			ev, err := compactroute.EvaluateBatched(s, a, compactroute.SamplePairs(n, pairs/2, seed), evalOpts)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmallGraph drives the full main path (graph generation, every
+// scheme's preprocessing, batched evaluation, table rendering) on a tiny
+// graph with an explicit worker cap.
+func TestRunSmallGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every scheme; skipped in short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-n", "96", "-pairs", "150", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Table 1 reproduction",
+		"2 workers",
+		"thm11", "thm16-k4", "tz-k2", "exact",
+		"nameind",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Every row must report zero stretch-bound violations (last column).
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 2 && (fields[1] == "weighted" || fields[1] == "unweighted") {
+			if fields[len(fields)-1] != "0" {
+				t.Errorf("row reports violations: %s", line)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

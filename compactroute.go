@@ -35,6 +35,7 @@ import (
 	"compactroute/internal/nameind"
 	"compactroute/internal/netsim"
 	"compactroute/internal/oracle"
+	"compactroute/internal/parallel"
 	"compactroute/internal/scheme2"
 	"compactroute/internal/scheme3"
 	"compactroute/internal/scheme4k"
@@ -79,6 +80,18 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // AllPairs computes the all-pairs shortest-path matrices the preprocessing
 // phases consume.
 func AllPairs(g *Graph) *APSP { return graph.AllPairs(g) }
+
+// SetParallelism caps the worker count of every concurrent construction and
+// evaluation loop in the package (AllPairs, the scheme constructors and
+// EvaluateBatched's default); n <= 0 restores the GOMAXPROCS default. The
+// outputs of every constructor are identical for every setting - parallelism
+// only changes wall-clock time. It is not safe to call concurrently with a
+// running construction.
+func SetParallelism(n int) { parallel.SetLimit(n) }
+
+// Parallelism returns the worker count currently used by the concurrent
+// construction and evaluation loops.
+func Parallelism() int { return parallel.Workers() }
 
 // NewNetwork wraps a preprocessed scheme for hop-by-hop execution.
 func NewNetwork(s Scheme) *Network { return simnet.NewNetwork(s) }

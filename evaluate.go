@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"compactroute/internal/parallel"
 	"compactroute/internal/simnet"
 	"compactroute/internal/space"
 )
@@ -59,38 +60,82 @@ func AllPairsList(n int) [][2]Vertex {
 	return pairs
 }
 
+// EvalOptions configures the batched evaluation engine.
+type EvalOptions struct {
+	// Workers is the number of routing workers; <= 0 selects the current
+	// parallelism default (GOMAXPROCS, or the SetParallelism override).
+	Workers int
+}
+
+// pairOutcome is the per-pair routing record a worker fills in. Every pair
+// owns one slot, so workers never contend and the merge below can run over
+// pair indices in order - the aggregation is bit-identical for every worker
+// count.
+type pairOutcome struct {
+	weight float64
+	hops   int
+	header int
+}
+
 // Evaluate routes every pair through the scheme and aggregates stretch,
 // hops, header and storage statistics. A routing failure is returned as an
-// error; stretch-bound violations are counted, not fatal.
+// error; stretch-bound violations are counted, not fatal. It is the
+// single-worker fixed point of EvaluateBatched.
 func Evaluate(s Scheme, apsp *APSP, pairs [][2]Vertex) (Evaluation, error) {
+	return EvaluateBatched(s, apsp, pairs, EvalOptions{Workers: 1})
+}
+
+// EvaluateBatched is the batched evaluation engine: it shards pairs across
+// opts.Workers routing workers, each routing its share through the scheme
+// concurrently, and merges the per-pair outcomes deterministically (in pair
+// order, the order the sequential path uses), so the returned Evaluation is
+// identical to Evaluate for every worker count. A routing failure aborts the
+// evaluation with the error of the lowest failing pair index.
+//
+// Prepare and Next of a preprocessed Scheme are read-only local computations
+// (see simnet.Scheme), so a single Network is safely shared by all workers.
+func EvaluateBatched(s Scheme, apsp *APSP, pairs [][2]Vertex, opts EvalOptions) (Evaluation, error) {
 	ev := Evaluation{Scheme: s.Name(), Pairs: len(pairs)}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
 	nw := simnet.NewNetwork(s)
+	outcomes := make([]pairOutcome, len(pairs))
+	if err := parallel.ForNErr(workers, len(pairs), func(i int) error {
+		res, err := nw.Route(pairs[i][0], pairs[i][1])
+		if err != nil {
+			return fmt.Errorf("evaluate %s: %w", s.Name(), err)
+		}
+		outcomes[i] = pairOutcome{weight: res.Weight, hops: res.Hops, header: res.HeaderWords}
+		return nil
+	}); err != nil {
+		return ev, err
+	}
+	// Deterministic merge in pair order.
 	var stretchSum float64
 	var stretchCnt int
 	var hopsSum int
-	for _, p := range pairs {
-		res, err := nw.Route(p[0], p[1])
-		if err != nil {
-			return ev, fmt.Errorf("evaluate %s: %w", s.Name(), err)
-		}
+	for i, p := range pairs {
+		o := outcomes[i]
 		d := apsp.Dist(p[0], p[1])
-		if res.Weight > s.StretchBound(d)+1e-9 {
+		if o.weight > s.StretchBound(d)+1e-9 {
 			ev.BoundViolations++
 		}
 		if d > 0 {
-			str := res.Weight / d
+			str := o.weight / d
 			stretchSum += str
 			stretchCnt++
 			if str > ev.MaxStretch {
 				ev.MaxStretch = str
 			}
-			if add := res.Weight - d; add > ev.MaxAdditive {
+			if add := o.weight - d; add > ev.MaxAdditive {
 				ev.MaxAdditive = add
 			}
 		}
-		hopsSum += res.Hops
-		if res.HeaderWords > ev.MaxHeader {
-			ev.MaxHeader = res.HeaderWords
+		hopsSum += o.hops
+		if o.header > ev.MaxHeader {
+			ev.MaxHeader = o.header
 		}
 	}
 	if stretchCnt > 0 {
@@ -99,11 +144,16 @@ func Evaluate(s Scheme, apsp *APSP, pairs [][2]Vertex) (Evaluation, error) {
 	if len(pairs) > 0 {
 		ev.MeanHops = float64(hopsSum) / float64(len(pairs))
 	}
+	// Storage accounting: per-vertex slots, merged in vertex order.
 	g := s.Graph()
 	tables := make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
+	labels := make([]int, g.N())
+	parallel.ForN(workers, g.N(), func(v int) {
 		tables[v] = s.TableWords(Vertex(v))
-		if lw := s.LabelWords(Vertex(v)); lw > ev.MaxLabel {
+		labels[v] = s.LabelWords(Vertex(v))
+	})
+	for _, lw := range labels {
+		if lw > ev.MaxLabel {
 			ev.MaxLabel = lw
 		}
 	}

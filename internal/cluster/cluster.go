@@ -15,9 +15,26 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
 )
+
+// dijkstraScratch is the reusable per-search state of the pruned cluster
+// searches, pooled so each worker recycles one pair of maps across roots
+// (single-worker runs keep the seed's allocate-once behavior).
+type dijkstraScratch struct {
+	dist   map[graph.Vertex]float64
+	parent map[graph.Vertex]graph.Vertex
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &dijkstraScratch{
+		dist:   make(map[graph.Vertex]float64, 64),
+		parent: make(map[graph.Vertex]graph.Vertex, 64),
+	}
+}}
 
 // Member is one vertex of a cluster together with its position in the
 // cluster's shortest-path tree.
@@ -177,14 +194,20 @@ func (l *Landmarks) nearestLandmarks(g *graph.Graph) {
 // condition d(w, v) < d(v, A). The standard Thorup-Zwick argument shows the
 // pruned search reaches every cluster member along a shortest path that
 // stays inside the cluster, so the parents form the cluster tree T_{C_A(w)}.
+//
+// The per-root searches are independent and run on the shared worker pool;
+// each writes only clusters[w]. The bunches (the transpose of the cluster
+// relation) are merged sequentially in root order afterwards, so the result
+// is identical for every worker count.
 func (l *Landmarks) buildClusters(g *graph.Graph) {
 	n := g.N()
 	l.clusters = make([][]Member, n)
 	l.bunches = make([][]graph.Vertex, n)
-	dist := make(map[graph.Vertex]float64, 64)
-	parent := make(map[graph.Vertex]graph.Vertex, 64)
-	for wi := 0; wi < n; wi++ {
+	parallel.For(n, func(wi int) {
 		w := graph.Vertex(wi)
+		scratch := scratchPool.Get().(*dijkstraScratch)
+		defer scratchPool.Put(scratch)
+		dist, parent := scratch.dist, scratch.parent
 		clear(dist)
 		clear(parent)
 		h := newClusterHeap()
@@ -212,8 +235,10 @@ func (l *Landmarks) buildClusters(g *graph.Graph) {
 			})
 		}
 		l.clusters[wi] = members
-		for _, m := range members {
-			l.bunches[m.V] = append(l.bunches[m.V], w)
+	})
+	for wi := 0; wi < n; wi++ {
+		for _, m := range l.clusters[wi] {
+			l.bunches[m.V] = append(l.bunches[m.V], graph.Vertex(wi))
 		}
 	}
 	for v := range l.bunches {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
 	"compactroute/internal/simnet"
 	"compactroute/internal/space"
 	"compactroute/internal/vicinity"
@@ -84,8 +85,9 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 		}
 	}
 	// Relay representatives: for every vertex and every part index, the
-	// closest member of that part inside the vertex's vicinity.
-	for u := 0; u < n; u++ {
+	// closest member of that part inside the vertex's vicinity. Each vertex
+	// owns its relayRep[u] slot, so the loop runs on the worker pool.
+	if err := parallel.ForErr(n, func(u int) error {
 		reps := make([]graph.Vertex, q)
 		for j := range reps {
 			reps[j] = graph.NoVertex
@@ -102,16 +104,19 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 		}
 		for j := range reps {
 			if reps[j] == graph.NoVertex {
-				return nil, fmt.Errorf("core: U_%d does not intersect B(%d) (hitting precondition of Lemma 8 violated)", j, u)
+				return fmt.Errorf("core: U_%d does not intersect B(%d) (hitting precondition of Lemma 8 violated)", j, u)
 			}
 		}
 		in.relayRep[u] = reps
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	// Sequences: every u stores one per target in W_{part(u)}.
-	for u := 0; u < n; u++ {
+	if err := parallel.ForErr(n, func(u int) error {
 		j := cfg.UPartOf[u]
 		if int(j) >= q {
-			continue // parts beyond W receive no targets
+			return nil // parts beyond W receive no targets
 		}
 		in.seqs[u] = make(map[graph.Vertex]interSeq, len(cfg.WParts[j]))
 		for _, w := range cfg.WParts[j] {
@@ -120,10 +125,13 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 			}
 			sq, err := in.buildSequence(apsp, graph.Vertex(u), w, j)
 			if err != nil {
-				return nil, fmt.Errorf("core: inter sequence %d->%d: %w", u, w, err)
+				return fmt.Errorf("core: inter sequence %d->%d: %w", u, w, err)
 			}
 			in.seqs[u][w] = sq
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return in, nil
 }

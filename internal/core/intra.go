@@ -5,6 +5,7 @@ import (
 
 	"compactroute/internal/graph"
 	"compactroute/internal/hitting"
+	"compactroute/internal/parallel"
 	"compactroute/internal/simnet"
 	"compactroute/internal/space"
 	"compactroute/internal/treeroute"
@@ -86,13 +87,24 @@ func NewIntra(cfg IntraConfig) (*Intra, error) {
 	inH := make([]bool, n)
 	for _, w := range h {
 		inH[w] = true
-		t, err := treeroute.SPT(g, w)
-		if err != nil {
-			return nil, fmt.Errorf("core: landmark tree %d: %w", w, err)
-		}
-		in.trees[w] = t
 	}
-	for u := 0; u < n; u++ {
+	// One spanning SPT per landmark; the searches are independent and each
+	// writes its own slot, merged into the map in landmark order.
+	landmarkTrees := make([]*treeroute.Tree, len(h))
+	if err := parallel.ForErr(len(h), func(i int) error {
+		t, err := treeroute.SPT(g, h[i])
+		if err != nil {
+			return fmt.Errorf("core: landmark tree %d: %w", h[i], err)
+		}
+		landmarkTrees[i] = t
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, w := range h {
+		in.trees[w] = landmarkTrees[i]
+	}
+	if err := parallel.ForErr(n, func(u int) error {
 		in.bestH[u] = graph.NoVertex
 		for _, m := range cfg.Vics[u].Members() { // (dist, id) order: first hit is best
 			if inH[m.V] {
@@ -101,29 +113,36 @@ func NewIntra(cfg IntraConfig) (*Intra, error) {
 			}
 		}
 		if in.bestH[u] == graph.NoVertex {
-			return nil, fmt.Errorf("core: hitting set misses B(%d)", u)
+			return fmt.Errorf("core: hitting set misses B(%d)", u)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	// Group vertices by part and build per-pair sequences.
+	// Group vertices by part and build per-pair sequences. Every source owns
+	// its seqs[u] map, so the per-vertex loop runs on the worker pool.
 	parts := make(map[int32][]graph.Vertex)
 	for u := 0; u < n; u++ {
 		parts[cfg.PartOf[u]] = append(parts[cfg.PartOf[u]], graph.Vertex(u))
 	}
-	for _, members := range parts {
-		for _, u := range members {
-			in.seqs[u] = make(map[graph.Vertex]intraSeq, len(members)-1)
-			for _, v := range members {
-				if u == v {
-					continue
-				}
-				sq, err := in.buildSequence(apsp, u, v)
-				if err != nil {
-					return nil, fmt.Errorf("core: sequence %d->%d: %w", u, v, err)
-				}
-				in.seqs[u][v] = sq
+	if err := parallel.ForErr(n, func(ui int) error {
+		u := graph.Vertex(ui)
+		members := parts[cfg.PartOf[ui]]
+		in.seqs[u] = make(map[graph.Vertex]intraSeq, len(members)-1)
+		for _, v := range members {
+			if u == v {
+				continue
 			}
+			sq, err := in.buildSequence(apsp, u, v)
+			if err != nil {
+				return fmt.Errorf("core: sequence %d->%d: %w", u, v, err)
+			}
+			in.seqs[u][v] = sq
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return in, nil
 }

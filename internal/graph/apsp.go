@@ -2,8 +2,8 @@ package graph
 
 import (
 	"math"
-	"runtime"
-	"sync"
+
+	"compactroute/internal/parallel"
 )
 
 // APSP holds all-pairs shortest-path information: the distance between every
@@ -31,28 +31,11 @@ func AllPairs(g *Graph) *APSP {
 		dist:  make([]float64, n*n),
 		first: make([]Vertex, n*n),
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan Vertex)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for src := range next {
-				s := g.ShortestPaths(src)
-				copy(a.dist[int(src)*n:int(src+1)*n], s.Dist)
-				copy(a.first[int(src)*n:int(src+1)*n], s.First)
-			}
-		}()
-	}
-	for src := 0; src < n; src++ {
-		next <- Vertex(src)
-	}
-	close(next)
-	wg.Wait()
+	parallel.For(n, func(src int) {
+		s := g.ShortestPaths(Vertex(src))
+		copy(a.dist[src*n:(src+1)*n], s.Dist)
+		copy(a.first[src*n:(src+1)*n], s.First)
+	})
 	return a
 }
 

@@ -27,6 +27,7 @@ import (
 	"compactroute/internal/cluster"
 	"compactroute/internal/core"
 	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
 	"compactroute/internal/schemeutil"
 	"compactroute/internal/simnet"
 	"compactroute/internal/space"
@@ -105,16 +106,25 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		hash:   make([]map[graph.Vertex]via, n),
 		labels: make([]label, n),
 	}
-	for _, w := range lms.A {
-		tr, err := treeroute.SPT(g, w)
+	// One global SPT per landmark, built on the worker pool (each slot is
+	// owned by its landmark index) and merged into the map in landmark order.
+	globalTrees := make([]*treeroute.Tree, len(lms.A))
+	if err := parallel.ForErr(len(lms.A), func(i int) error {
+		tr, err := treeroute.SPT(g, lms.A[i])
 		if err != nil {
-			return nil, fmt.Errorf("scheme2: global tree %d: %w", w, err)
+			return fmt.Errorf("scheme2: global tree %d: %w", lms.A[i], err)
 		}
-		s.global[w] = tr
+		globalTrees[i] = tr
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, w := range lms.A {
+		s.global[w] = globalTrees[i]
 	}
 	// Hash tables: for every w in B(u, q-tilde) and every v in C_A(w), w is
 	// a member of B(u, q-tilde) /\ B_A(v); keep the best per destination.
-	for u := 0; u < n; u++ {
+	parallel.For(n, func(u int) {
 		h := make(map[graph.Vertex]via)
 		for _, m := range vc.Vics[u].Members() {
 			for _, cm := range lms.Cluster(m.V) {
@@ -125,8 +135,8 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 			}
 		}
 		s.hash[u] = h
-	}
-	for v := 0; v < n; v++ {
+	})
+	parallel.For(n, func(v int) {
 		pa := lms.P[v]
 		s.labels[v] = label{
 			color:   vc.PartOf[v],
@@ -134,7 +144,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 			distPA:  lms.DistA[v],
 			treeLbl: s.global[pa].LabelOf(graph.Vertex(v)),
 		}
-	}
+	})
 	s.intra, err = core.NewIntra(core.IntraConfig{
 		Graph: g, APSP: apsp, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
 	})

@@ -24,6 +24,7 @@ import (
 	"compactroute/internal/cluster"
 	"compactroute/internal/core"
 	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
 	"compactroute/internal/schemeutil"
 	"compactroute/internal/simnet"
 	"compactroute/internal/space"
@@ -212,9 +213,11 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 	}
 
 	// Merged hash tables: for every i in {0..l}, every w in B_i(u) and every
-	// v in C_{L_{l-i}}(w), the pair (u, v) can route exactly through w.
+	// v in C_{L_{l-i}}(w), the pair (u, v) can route exactly through w. Each
+	// vertex owns its table; the (sum, w, level) tie-break makes the merged
+	// entry independent of iteration order.
 	s.hash = make([]map[graph.Vertex]via, n)
-	for u := 0; u < n; u++ {
+	parallel.For(n, func(u int) {
 		h := make(map[graph.Vertex]via)
 		for i := 0; i <= l; i++ {
 			lm := s.lms[l-i]
@@ -229,7 +232,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 			}
 		}
 		s.hash[u] = h
-	}
+	})
 
 	// Labels: one entry per label level j in the image of kOf.
 	labelLevels := make([]int, 0, l)
@@ -237,7 +240,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		labelLevels = append(labelLevels, kOf(i))
 	}
 	s.labels = make([]glLabel, n)
-	for v := 0; v < n; v++ {
+	if err := parallel.ForErr(n, func(v int) error {
 		lbl := glLabel{
 			p:     make([]graph.Vertex, l+1),
 			alpha: make([]int32, l+1),
@@ -257,11 +260,14 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 				z := apsp.First(pv, graph.Vertex(v))
 				lbl.port[j] = g.PortTo(pv, z)
 				if lbl.port[j] == graph.NoPort {
-					return nil, fmt.Errorf("schemegl: first edge (%d,%d) missing", pv, z)
+					return fmt.Errorf("schemegl: first edge (%d,%d) missing", pv, z)
 				}
 			}
 		}
 		s.labels[v] = lbl
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	s.buildTally()

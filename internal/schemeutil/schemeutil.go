@@ -10,6 +10,7 @@ import (
 	"compactroute/internal/cluster"
 	"compactroute/internal/coloring"
 	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
 	"compactroute/internal/space"
 	"compactroute/internal/treeroute"
 	"compactroute/internal/vicinity"
@@ -68,7 +69,7 @@ func BuildVicinityColoring(g *graph.Graph, q int, factor float64, seed int64) (*
 	for v := 0; v < n; v++ {
 		vc.PartOf[v] = int32(col.Of(graph.Vertex(v)))
 	}
-	for u := 0; u < n; u++ {
+	if err := parallel.ForErr(n, func(u int) error {
 		reps := make([]graph.Vertex, q)
 		dists := make([]float64, q)
 		for c := range reps {
@@ -86,10 +87,13 @@ func BuildVicinityColoring(g *graph.Graph, q int, factor float64, seed int64) (*
 			}
 		}
 		if found != q {
-			return nil, fmt.Errorf("schemeutil: B(%d) lost colors after coloring (internal inconsistency)", u)
+			return fmt.Errorf("schemeutil: B(%d) lost colors after coloring (internal inconsistency)", u)
 		}
 		vc.Reps[u] = reps
 		vc.RepDist[u] = dists
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return vc, nil
 }
@@ -111,21 +115,25 @@ type ClusterForest struct {
 	Trees []*treeroute.Tree // indexed by root vertex
 }
 
-// BuildClusterForest turns every cluster of l into a routable tree.
+// BuildClusterForest turns every cluster of l into a routable tree. The
+// per-root trees are independent and built on the shared worker pool.
 func BuildClusterForest(g *graph.Graph, l *cluster.Landmarks) (*ClusterForest, error) {
 	f := &ClusterForest{L: l, Trees: make([]*treeroute.Tree, g.N())}
-	for w := 0; w < g.N(); w++ {
+	if err := parallel.ForErr(g.N(), func(w int) error {
 		members := l.Cluster(graph.Vertex(w))
 		if len(members) == 0 {
-			continue
+			return nil
 		}
 		tr, err := treeroute.FromMembers(g, members, func(m cluster.Member) treeroute.Edge {
 			return treeroute.Edge{V: m.V, Parent: m.Parent}
 		})
 		if err != nil {
-			return nil, fmt.Errorf("schemeutil: cluster tree %d: %w", w, err)
+			return fmt.Errorf("schemeutil: cluster tree %d: %w", w, err)
 		}
 		f.Trees[w] = tr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return f, nil
 }

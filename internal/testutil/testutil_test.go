@@ -1,0 +1,85 @@
+package testutil_test
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/exact"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+)
+
+func TestMustGNMIsConnectedAndDeterministic(t *testing.T) {
+	g1 := testutil.MustGNM(t, 80, 240, 3, gen.Unit)
+	g2 := testutil.MustGNM(t, 80, 240, 3, gen.Unit)
+	if g1.N() != 80 || g1.M() != 240 {
+		t.Fatalf("got n=%d m=%d", g1.N(), g1.M())
+	}
+	if !g1.Connected() {
+		t.Fatal("MustGNM returned a disconnected graph")
+	}
+	for v := 0; v < g1.N(); v++ {
+		if g1.Degree(graph.Vertex(v)) != g2.Degree(graph.Vertex(v)) {
+			t.Fatalf("same seed produced different graphs at vertex %d", v)
+		}
+	}
+}
+
+func TestMustPath(t *testing.T) {
+	g := testutil.MustPath(t, 5, []float64{1, 2, 3, 4})
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	apsp := graph.AllPairs(g)
+	if d := apsp.Dist(0, 4); d != 1+2+3+4 {
+		t.Fatalf("end-to-end distance %v, want 10", d)
+	}
+	unit := testutil.MustPath(t, 4, nil)
+	if d := graph.AllPairs(unit).Dist(0, 3); d != 3 {
+		t.Fatalf("unit path distance %v, want 3", d)
+	}
+}
+
+func TestFloydWarshallMatchesAllPairs(t *testing.T) {
+	g := testutil.MustGNM(t, 60, 150, 11, gen.UniformInt)
+	want := testutil.FloydWarshall(g)
+	apsp := graph.AllPairs(g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			got := apsp.Dist(graph.Vertex(u), graph.Vertex(v))
+			if math.Abs(got-want[u][v]) > testutil.Eps {
+				t.Fatalf("d(%d,%d): AllPairs %v, FloydWarshall %v", u, v, got, want[u][v])
+			}
+		}
+	}
+}
+
+func TestPairsEnumeration(t *testing.T) {
+	ps := testutil.Pairs(4, 1, 1)
+	if len(ps) != 16 {
+		t.Fatalf("Pairs(4,1,1) returned %d pairs, want 16", len(ps))
+	}
+	ps = testutil.Pairs(6, 2, 3)
+	if len(ps) != 6 { // sources {0,2,4} x destinations {0,3}
+		t.Fatalf("Pairs(6,2,3) returned %d pairs, want 6", len(ps))
+	}
+	for _, p := range ps {
+		if int(p[0])%2 != 0 || int(p[1])%3 != 0 {
+			t.Fatalf("pair %v violates strides", p)
+		}
+	}
+}
+
+func TestVerifySchemeAcceptsExactRouting(t *testing.T) {
+	g := testutil.MustGNM(t, 50, 130, 5, gen.Unit)
+	s, err := exact.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := graph.AllPairs(g)
+	worst := testutil.VerifyScheme(t, s, apsp, testutil.Pairs(g.N(), 3, 3))
+	if worst > 1+testutil.Eps {
+		t.Fatalf("exact routing reported stretch %v > 1", worst)
+	}
+}

@@ -19,9 +19,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"compactroute/internal/cluster"
 	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
 	"compactroute/internal/simnet"
 	"compactroute/internal/space"
 	"compactroute/internal/treeroute"
@@ -99,12 +101,15 @@ func NewHierarchy(g *graph.Graph, params Params) (*Hierarchy, error) {
 	// d(v, A_i) = d(v, A_{i+1}), which guarantees v in C(p_i(v)).
 	h.P = make([][]graph.Vertex, k)
 	h.D = make([][]float64, k)
-	for i := 0; i < k; i++ {
+	if err := parallel.ForErr(k, func(i int) error {
 		pi, di, err := cluster.Nearest(g, h.Levels[i])
 		if err != nil {
-			return nil, fmt.Errorf("tzroute: nearest level %d: %w", i, err)
+			return fmt.Errorf("tzroute: nearest level %d: %w", i, err)
 		}
 		h.P[i], h.D[i] = pi, di
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for i := k - 2; i >= 0; i-- {
 		for v := 0; v < n; v++ {
@@ -122,6 +127,10 @@ func NewHierarchy(g *graph.Graph, params Params) (*Hierarchy, error) {
 // buildClusters computes C(w) = {v : d(w,v) < d(v, A_{level(w)+1})} for every
 // w via a pruned Dijkstra (threshold infinity at the top level) and turns
 // each into a routable tree.
+//
+// The per-root searches run on the shared worker pool; each writes only its
+// own tree and member list. The bunch transpose is merged sequentially in
+// root order so the structure is independent of the worker count.
 func (h *Hierarchy) buildClusters() error {
 	g := h.G
 	n := g.N()
@@ -132,15 +141,21 @@ func (h *Hierarchy) buildClusters() error {
 	for v := 0; v < n; v++ {
 		h.bunchDist[v] = make(map[graph.Vertex]float64)
 	}
-	dist := make(map[graph.Vertex]float64, 64)
-	parent := make(map[graph.Vertex]graph.Vertex, 64)
-	for wi := 0; wi < n; wi++ {
+	type clusterMembers struct {
+		vs []graph.Vertex
+		ds []float64
+	}
+	members := make([]clusterMembers, n)
+	if err := parallel.ForErr(n, func(wi int) error {
 		w := graph.Vertex(wi)
 		lvl := int(h.level[w])
 		var thr []float64
 		if lvl+1 < h.K {
 			thr = h.D[lvl+1]
 		}
+		scratch := scratchPool.Get().(*dijkstraScratch)
+		defer scratchPool.Put(scratch)
+		dist, parent := scratch.dist, scratch.parent
 		clear(dist)
 		clear(parent)
 		pq := &pairHeap{}
@@ -154,6 +169,8 @@ func (h *Hierarchy) buildClusters() error {
 				continue
 			}
 			edges = append(edges, treeroute.Edge{V: u, Parent: parent[u]})
+			members[wi].vs = append(members[wi].vs, u)
+			members[wi].ds = append(members[wi].ds, d)
 			g.Neighbors(u, func(_ graph.Port, x graph.Vertex, ew float64) bool {
 				nd := d + ew
 				if thr != nil && nd >= thr[x] {
@@ -172,9 +189,15 @@ func (h *Hierarchy) buildClusters() error {
 			return fmt.Errorf("tzroute: cluster tree %d: %w", w, err)
 		}
 		h.Trees[wi] = tr
-		for _, e := range edges {
-			h.bunch[e.V] = append(h.bunch[e.V], w)
-			h.bunchDist[e.V][w] = dist[e.V]
+		return nil
+	}); err != nil {
+		return err
+	}
+	for wi := 0; wi < n; wi++ {
+		w := graph.Vertex(wi)
+		for i, v := range members[wi].vs {
+			h.bunch[v] = append(h.bunch[v], w)
+			h.bunchDist[v][w] = members[wi].ds[i]
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -263,9 +286,9 @@ func New(g *graph.Graph, params Params) (*Scheme, error) {
 		return nil, err
 	}
 	s := &Scheme{h: h, k: params.K, labels: make([]Label, g.N())}
-	for v := 0; v < g.N(); v++ {
+	parallel.For(g.N(), func(v int) {
 		s.labels[v] = h.LabelOf(graph.Vertex(v))
-	}
+	})
 	s.tally = space.NewTally(g.N())
 	h.AddWords(s.tally)
 	return s, nil
@@ -395,3 +418,18 @@ func (h *pairHeap) pop() (float64, graph.Vertex) {
 	}
 	return d, v
 }
+
+// dijkstraScratch is the reusable per-search state of the pruned cluster
+// searches, pooled so each worker recycles one pair of maps across roots
+// (single-worker runs keep the seed's allocate-once behavior).
+type dijkstraScratch struct {
+	dist   map[graph.Vertex]float64
+	parent map[graph.Vertex]graph.Vertex
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &dijkstraScratch{
+		dist:   make(map[graph.Vertex]float64, 64),
+		parent: make(map[graph.Vertex]graph.Vertex, 64),
+	}
+}}

@@ -7,10 +7,9 @@ package vicinity
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
 )
 
 // Member is one vertex of a vicinity together with the routing information
@@ -95,38 +94,15 @@ func (s *Set) computeRadius(g *graph.Graph) float64 {
 // BuildAll computes B(u, l) for every vertex in parallel.
 func BuildAll(g *graph.Graph, l int) ([]*Set, error) {
 	sets := make([]*Set, g.N())
-	workers := runtime.GOMAXPROCS(0)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan graph.Vertex)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for u := range next {
-				s, err := Build(g, u, l)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				sets[u] = s
-			}
-		}()
-	}
-	for u := 0; u < g.N(); u++ {
-		next <- graph.Vertex(u)
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := parallel.ForErr(g.N(), func(u int) error {
+		s, err := Build(g, graph.Vertex(u), l)
+		if err != nil {
+			return err
+		}
+		sets[u] = s
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return sets, nil
 }

@@ -1,0 +1,135 @@
+package compactroute_test
+
+// Determinism regression tests for the concurrent execution layer: the
+// parallel construction phase and the batched evaluation engine must be pure
+// functions of their inputs - identical results for every worker count and
+// goroutine schedule.
+
+import (
+	"reflect"
+	"testing"
+
+	"compactroute"
+)
+
+// evaluateAll routes pairs through every scheme and returns one Evaluation
+// per scheme, in scheme order.
+func evaluateAll(t *testing.T, schemes []compactroute.Scheme, apsp *compactroute.APSP,
+	pairs [][2]compactroute.Vertex, workers int) []compactroute.Evaluation {
+	t.Helper()
+	evs := make([]compactroute.Evaluation, len(schemes))
+	for i, s := range schemes {
+		ev, err := compactroute.EvaluateBatched(s, apsp, pairs, compactroute.EvalOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("%s (workers=%d): %v", s.Name(), workers, err)
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// TestBatchedEvaluationMatchesSequential pins the engine's core guarantee:
+// for a fixed generator seed and pair seed, the parallel evaluation returns
+// an Evaluation identical (bit for bit, including float means) to the
+// sequential path.
+func TestBatchedEvaluationMatchesSequential(t *testing.T) {
+	const n = 120
+	unweighted, weighted, uAPSP, wAPSP := buildAll(t, n)
+	pairs := compactroute.SamplePairs(n, 800, 17)
+	for _, tc := range []struct {
+		schemes []compactroute.Scheme
+		apsp    *compactroute.APSP
+	}{
+		{unweighted, uAPSP},
+		{weighted, wAPSP},
+	} {
+		sequential := evaluateAll(t, tc.schemes, tc.apsp, pairs, 1)
+		for _, workers := range []int{2, 3, 8} {
+			parallelEvs := evaluateAll(t, tc.schemes, tc.apsp, pairs, workers)
+			for i, s := range tc.schemes {
+				if !reflect.DeepEqual(sequential[i], parallelEvs[i]) {
+					t.Errorf("%s: workers=%d evaluation differs from sequential:\n seq: %+v\n par: %+v",
+						s.Name(), workers, sequential[i], parallelEvs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelConstructionDeterministic pins the construction-side guarantee:
+// schemes built with different worker counts (including fully sequential)
+// have identical routing tables, labels and routing behavior - the parallel
+// preprocessing must not depend on goroutine scheduling.
+func TestParallelConstructionDeterministic(t *testing.T) {
+	const n = 120
+	pairs := compactroute.SamplePairs(n, 600, 23)
+	type snapshot struct {
+		tables []int
+		labels []int
+		evs    []compactroute.Evaluation
+	}
+	build := func(workers int) (uSnap, wSnap snapshot) {
+		compactroute.SetParallelism(workers)
+		defer compactroute.SetParallelism(0)
+		unweighted, weighted, uAPSP, wAPSP := buildAll(t, n)
+		snap := func(schemes []compactroute.Scheme, apsp *compactroute.APSP) snapshot {
+			var s snapshot
+			for _, sch := range schemes {
+				for v := 0; v < n; v++ {
+					s.tables = append(s.tables, sch.TableWords(compactroute.Vertex(v)))
+					s.labels = append(s.labels, sch.LabelWords(compactroute.Vertex(v)))
+				}
+			}
+			s.evs = evaluateAll(t, schemes, apsp, pairs, 1)
+			return s
+		}
+		return snap(unweighted, uAPSP), snap(weighted, wAPSP)
+	}
+	u1, w1 := build(1)
+	for _, workers := range []int{4, 16} {
+		u2, w2 := build(workers)
+		for name, pair := range map[string][2]snapshot{
+			"unweighted": {u1, u2},
+			"weighted":   {w1, w2},
+		} {
+			if !reflect.DeepEqual(pair[0].tables, pair[1].tables) {
+				t.Errorf("%s: workers=%d construction produced different routing tables", name, workers)
+			}
+			if !reflect.DeepEqual(pair[0].labels, pair[1].labels) {
+				t.Errorf("%s: workers=%d construction produced different labels", name, workers)
+			}
+			if !reflect.DeepEqual(pair[0].evs, pair[1].evs) {
+				t.Errorf("%s: workers=%d construction routes differently:\n w1: %+v\n w%d: %+v",
+					name, workers, pair[0].evs, workers, pair[1].evs)
+			}
+		}
+	}
+}
+
+// TestRaceSmoke constructs and evaluates every scheme on a small graph with
+// multiple workers. It is sized to run in short mode so that
+// `go test -race -short ./...` exercises every concurrent code path.
+func TestRaceSmoke(t *testing.T) {
+	const n = 64
+	compactroute.SetParallelism(4)
+	defer compactroute.SetParallelism(0)
+	unweighted, weighted, uAPSP, wAPSP := buildAll(t, n)
+	pairs := compactroute.SamplePairs(n, 200, 31)
+	for _, tc := range []struct {
+		schemes []compactroute.Scheme
+		apsp    *compactroute.APSP
+	}{
+		{unweighted, uAPSP},
+		{weighted, wAPSP},
+	} {
+		for _, s := range tc.schemes {
+			ev, err := compactroute.EvaluateBatched(s, tc.apsp, pairs, compactroute.EvalOptions{Workers: 4})
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if ev.BoundViolations != 0 {
+				t.Fatalf("%s: %d stretch-bound violations", s.Name(), ev.BoundViolations)
+			}
+		}
+	}
+}
