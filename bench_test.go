@@ -16,13 +16,17 @@ package compactroute_test
 //	BenchmarkHeaderSize      - E9:  header high-water marks vs eps
 //	BenchmarkParallelPipeline - E10: construction + batched-evaluation
 //	                           wall-clock vs worker count
+//	BenchmarkLazyScaling     - E11: construction through LazyAPSP at sizes
+//	                           where the dense matrices are prohibitive
 //
 // Metrics are attached with b.ReportMetric; the timed loop measures per-hop
 // routing throughput of the preprocessed scheme.
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -298,7 +302,7 @@ func BenchmarkLemma7Sweep(b *testing.B) {
 		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
 			fx := lemmaSetup(b, 384, 5, true)
 			in, err := core.NewIntra(core.IntraConfig{
-				Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: eps,
+				Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: eps,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -332,7 +336,7 @@ func BenchmarkLemma8Sweep(b *testing.B) {
 				wParts[i%fx.q] = append(wParts[i%fx.q], w)
 			}
 			in, err := core.NewInter(core.InterConfig{
-				Graph: fx.g, APSP: fx.apsp, Vics: fx.vics,
+				Graph: fx.g, Paths: fx.apsp, Vics: fx.vics,
 				UPartOf: fx.partOf, WParts: wParts, Eps: eps,
 			})
 			if err != nil {
@@ -394,7 +398,7 @@ func BenchmarkSequenceBudget(b *testing.B) {
 		b.Run(fmt.Sprintf("b=%d", int(2/eps+0.999)), func(b *testing.B) {
 			fx := lemmaSetup(b, 384, 5, true)
 			in, err := core.NewIntra(core.IntraConfig{
-				Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: eps,
+				Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: eps,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -522,6 +526,67 @@ func BenchmarkParallelPipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// envInt reads a positive integer knob from the environment.
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+// BenchmarkLazyScaling is E11: scheme construction through a LazyAPSP whose
+// row cache is bounded by a configurable memory budget, at graph sizes where
+// the dense all-pairs matrices are prohibitive (12 n^2 bytes: ~4.8 GB at
+// n = 20000, ~30 GB at n = 50000). The default size keeps the benchmark
+// runnable in a quick sweep; set E11_N (e.g. E11_N=50000) and E11_BUDGET_MB
+// to reproduce the scaling experiment of EXPERIMENTS.md:
+//
+//	E11_N=50000 E11_BUDGET_MB=512 go test -bench LazyScaling -benchtime 1x -timeout 0
+//
+// The benchmark fails if the cache's peak footprint exceeds its budget; the
+// reported metrics record the footprint the dense path would have needed.
+func BenchmarkLazyScaling(b *testing.B) {
+	n := envInt("E11_N", 4096)
+	budgetMB := envInt("E11_BUDGET_MB", 64)
+	g, err := compactroute.GNM(n, 4*n, benchSeed, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st compactroute.LazyStats
+	var tableMean float64
+	for i := 0; i < b.N; i++ {
+		lazy := compactroute.NewLazyAPSP(g, int64(budgetMB)<<20)
+		s, err := compactroute.NewTheorem11(g, lazy, compactroute.Options{Eps: 0.5, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := compactroute.Evaluate(s, lazy, compactroute.SamplePairs(n, 200, benchSeed+5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ev.BoundViolations != 0 {
+			b.Fatalf("%d stretch-bound violations", ev.BoundViolations)
+		}
+		st = lazy.Stats()
+		tableMean = ev.Tables.Mean
+		// Regression guard on the cache accounting (an insert-before-evict
+		// bug would trip it). PeakBytes can legitimately exceed the budget
+		// only below the documented one-row-per-shard floor, which every E11
+		// configuration is far above.
+		if st.BudgetBytes >= int64(lazy.CapacityRows())*st.RowBytes && st.PeakBytes > st.BudgetBytes {
+			b.Fatalf("cache peak %d bytes exceeds budget %d", st.PeakBytes, st.BudgetBytes)
+		}
+	}
+	b.ReportMetric(float64(n), "n")
+	b.ReportMetric(12*float64(n)*float64(n)/(1<<20), "dense-hypothetical-mb")
+	b.ReportMetric(float64(st.PeakBytes)/(1<<20), "cache-peak-mb")
+	b.ReportMetric(float64(st.Misses), "rows-computed")
+	b.ReportMetric(float64(st.Evictions), "rows-evicted")
+	b.ReportMetric(tableMean, "table-mean-words")
 }
 
 // BenchmarkHeaderSize is E9: header high-water marks against the

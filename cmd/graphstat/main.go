@@ -6,6 +6,12 @@
 // Usage:
 //
 //	graphstat [-family gnm] [-n 512] [-seed 1] [-weighted]
+//	          [-pathsource dense|lazy] [-mem-budget 256]
+//
+// -pathsource selects how distances are computed: "dense" materializes the
+// O(n^2) all-pairs matrices, "lazy" streams per-source rows through an LRU
+// cache of -mem-budget MiB, which scales the stats to graphs whose dense
+// matrix would not fit in memory.
 package main
 
 import (
@@ -36,6 +42,8 @@ func run(args []string, out io.Writer) error {
 		n        = fs.Int("n", 512, "number of vertices (gnm/pa/geometric)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		weighted = fs.Bool("weighted", false, "integer weights in [1,32]")
+		source   = fs.String("pathsource", "dense", "distance source: dense | lazy")
+		budget   = fs.Int("mem-budget", 256, "lazy path-source row-cache budget in MiB")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,23 +73,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	apsp := compactroute.AllPairs(g)
+	paths, err := compactroute.NewPathSource(g, *source, *budget)
+	if err != nil {
+		return err
+	}
 	degs := make([]int, g.N())
 	for v := 0; v < g.N(); v++ {
 		degs[v] = g.Degree(compactroute.Vertex(v))
 	}
 	sort.Ints(degs)
-	var ecc float64
-	for v := 0; v < g.N(); v++ {
-		if e := apsp.Eccentricity(compactroute.Vertex(v)); e > ecc {
-			ecc = e
-		}
-	}
+	// One pass over the source rows covers diameter and normalized D; with a
+	// lazy source, separate sweeps would recompute every evicted row twice.
+	ds := compactroute.SummarizeDistances(paths)
 	fmt.Fprintf(out, "family:       %s\n", *family)
 	fmt.Fprintf(out, "n, m:         %d, %d\n", g.N(), g.M())
 	fmt.Fprintf(out, "unweighted:   %v\n", g.Unit())
-	fmt.Fprintf(out, "diameter:     %.0f\n", ecc)
-	fmt.Fprintf(out, "normalized D: %.1f\n", apsp.NormalizedDiameter())
+	fmt.Fprintf(out, "diameter:     %.0f\n", ds.Diameter)
+	fmt.Fprintf(out, "normalized D: %.1f\n", ds.NormalizedDiameter)
 	fmt.Fprintf(out, "degree:       min=%d median=%d max=%d\n", degs[0], degs[len(degs)/2], degs[len(degs)-1])
 	return nil
 }

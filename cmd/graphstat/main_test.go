@@ -26,3 +26,31 @@ func TestRunRejectsUnknownFamily(t *testing.T) {
 		t.Fatal("expected error for unknown family")
 	}
 }
+
+func TestRunRejectsUnknownPathSource(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "16", "-pathsource", "psychic"}, &out); err == nil {
+		t.Fatal("expected error for unknown path source")
+	}
+}
+
+// TestDeterminismDenseLazySameStats asserts the printed statistics are
+// byte-identical whether distances come from the dense matrices or from a
+// lazy source at the smallest expressible budget (which at n=80 still holds
+// every row - eviction-forcing equivalence lives in the graph and scheme
+// level tests; this pins the CLI wiring).
+func TestDeterminismDenseLazySameStats(t *testing.T) {
+	for _, family := range []string{"gnm", "grid"} {
+		var dense, lazy strings.Builder
+		if err := run([]string{"-family", family, "-n", "80", "-pathsource", "dense"}, &dense); err != nil {
+			t.Fatalf("%s dense: %v", family, err)
+		}
+		if err := run([]string{"-family", family, "-n", "80", "-pathsource", "lazy", "-mem-budget", "1"}, &lazy); err != nil {
+			t.Fatalf("%s lazy: %v", family, err)
+		}
+		if dense.String() != lazy.String() {
+			t.Errorf("%s: dense and lazy stats diverge:\n--- dense ---\n%s\n--- lazy ---\n%s",
+				family, dense.String(), lazy.String())
+		}
+	}
+}

@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	routebench [-n 512] [-eps 0.25] [-seed 2015] [-pairs 2000] [-workers 0] [-scaling]
+//	routebench [-n 512] [-eps 0.25] [-seed 2015] [-pairs 2000] [-workers 0]
+//	           [-pathsource dense|lazy] [-mem-budget 256] [-scaling]
 //
 // -workers caps the worker count of both the parallel preprocessing phase
-// and the batched evaluation engine (0 = all cores).
+// and the batched evaluation engine (0 = all cores). -pathsource selects how
+// preprocessing reads shortest paths: "dense" materializes the full O(n^2)
+// matrices (fast, memory-hungry), "lazy" computes per-source rows on demand
+// behind an LRU cache of -mem-budget MiB. Both produce identical tables.
 package main
 
 import (
@@ -28,45 +32,45 @@ type row struct {
 	paper    string // the bound the paper states for this row
 	space    string // the space the paper states
 	weighted bool
-	build    func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error)
+	build    func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error)
 }
 
 func rows() []row {
 	return []row{
 		{"exact", "1", "O(n)", false,
-			func(g *compactroute.Graph, _ *compactroute.APSP, _ float64, _ int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, _ compactroute.PathSource, _ float64, _ int64) (compactroute.Scheme, error) {
 				return compactroute.NewExact(g)
 			}},
 		{"tz-k2", "3", "O~(n^1/2)", true,
-			func(g *compactroute.Graph, _ *compactroute.APSP, _ float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, _ compactroute.PathSource, _ float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewThorupZwick(g, compactroute.Options{K: 2, Seed: seed})
 			}},
 		{"tz-k3", "7", "O~(n^1/3)", true,
-			func(g *compactroute.Graph, _ *compactroute.APSP, _ float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, _ compactroute.PathSource, _ float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewThorupZwick(g, compactroute.Options{K: 3, Seed: seed})
 			}},
 		{"warmup", "3+eps", "O~(n^1/2 /eps)", true,
-			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewWarmup3(g, a, compactroute.Options{Eps: eps, Seed: seed})
 			}},
 		{"thm10", "(2+eps,1)", "O~(n^2/3 /eps)", false,
-			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewTheorem10(g, a, compactroute.Options{Eps: eps, Seed: seed})
 			}},
 		{"thm13-l3", "(2.33+eps,2)", "O~(n^3/5 /eps)", false,
-			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewTheorem13(g, a, compactroute.Options{Eps: eps, Seed: seed, L: 3})
 			}},
 		{"thm15-l2", "(4+eps,2)", "O~(n^2/5 /eps)", false,
-			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewTheorem15(g, a, compactroute.Options{Eps: eps, Seed: seed, L: 2})
 			}},
 		{"thm11", "5+eps", "O~(n^1/3 logD /eps)", true,
-			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewTheorem11(g, a, compactroute.Options{Eps: eps, Seed: seed})
 			}},
 		{"thm16-k4", "9+eps", "O~(n^1/4 logD /eps)", true,
-			func(g *compactroute.Graph, a *compactroute.APSP, eps float64, seed int64) (compactroute.Scheme, error) {
+			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewTheorem16(g, a, compactroute.Options{Eps: eps, Seed: seed, K: 4})
 			}},
 	}
@@ -90,6 +94,8 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 2015, "random seed")
 		pairs   = fs.Int("pairs", 2000, "sampled source-destination pairs")
 		workers = fs.Int("workers", 0, "construction and evaluation workers (0 = all cores)")
+		source  = fs.String("pathsource", "dense", "shortest-path source for preprocessing: dense | lazy")
+		budget  = fs.Int("mem-budget", 256, "lazy path-source row-cache budget in MiB")
 		scaling = fs.Bool("scaling", false, "also run the E2 space-scaling experiment")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,17 +105,21 @@ func run(args []string, out io.Writer) error {
 	defer compactroute.SetParallelism(0)
 	evalOpts := compactroute.EvalOptions{Workers: *workers}
 
-	fmt.Fprintf(out, "# Table 1 reproduction: G(n=%d, m=%d), eps=%v, %d sampled pairs, %d workers\n\n",
-		*n, 4**n, *eps, *pairs, compactroute.Parallelism())
+	fmt.Fprintf(out, "# Table 1 reproduction: G(n=%d, m=%d), eps=%v, %d sampled pairs, %d workers, %s paths\n\n",
+		*n, 4**n, *eps, *pairs, compactroute.Parallelism(), *source)
 	graphs := make(map[bool]*compactroute.Graph)
-	apsps := make(map[bool]*compactroute.APSP)
+	apsps := make(map[bool]compactroute.PathSource)
 	for _, weighted := range []bool{false, true} {
 		g, err := compactroute.GNM(*n, 4**n, *seed, weighted, 32)
 		if err != nil {
 			return err
 		}
 		graphs[weighted] = g
-		apsps[weighted] = compactroute.AllPairs(g)
+		src, err := compactroute.NewPathSource(g, *source, *budget)
+		if err != nil {
+			return err
+		}
+		apsps[weighted] = src
 	}
 	ps := compactroute.SamplePairs(*n, *pairs, *seed)
 
@@ -154,14 +164,14 @@ func run(args []string, out io.Writer) error {
 		ni.Name(), ev.MaxStretch, ni.StretchBound(1), ev.Tables.Mean, ev.MaxLabel, ev.BoundViolations)
 
 	if *scaling {
-		if err := runScaling(out, *eps, *seed, *pairs, evalOpts); err != nil {
+		if err := runScaling(out, *eps, *seed, *pairs, *source, *budget, evalOpts); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runScaling(out io.Writer, eps float64, seed int64, pairs int, evalOpts compactroute.EvalOptions) error {
+func runScaling(out io.Writer, eps float64, seed int64, pairs int, source string, budgetMB int, evalOpts compactroute.EvalOptions) error {
 	fmt.Fprintln(out, "\n# E2: space-scaling exponents (mean table words vs n, log-log fit)")
 	ns := []int{128, 256, 512, 1024}
 	type fit struct {
@@ -185,7 +195,10 @@ func runScaling(out io.Writer, eps float64, seed int64, pairs int, evalOpts comp
 			if err != nil {
 				return err
 			}
-			a := compactroute.AllPairs(g)
+			a, err := compactroute.NewPathSource(g, source, budgetMB)
+			if err != nil {
+				return err
+			}
 			s, err := r.build(g, a, eps, seed)
 			if err != nil {
 				return fmt.Errorf("%s n=%d: %w", r.name, n, err)

@@ -44,3 +44,40 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("expected flag parse error")
 	}
 }
+
+func TestRunRejectsUnknownPathSource(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "16", "-pathsource", "telepathic"}, &out); err == nil {
+		t.Fatal("expected error for unknown path source")
+	}
+}
+
+// TestDeterminismDenseLazyIdenticalTables asserts the full CLI pipeline
+// produces byte-identical tables whether preprocessing reads shortest paths
+// from the dense matrices or from an eviction-heavy lazy cache - the
+// end-to-end form of the PathSource equivalence guarantee.
+func TestDeterminismDenseLazyIdenticalTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every scheme twice; skipped in short mode")
+	}
+	var dense, lazy strings.Builder
+	if err := run([]string{"-n", "72", "-pairs", "120", "-pathsource", "dense"}, &dense); err != nil {
+		t.Fatal(err)
+	}
+	// The smallest expressible budget; eviction-forcing equivalence is
+	// covered by TestDeterminismLazyDenseEquivalence, this test pins the
+	// CLI wiring end to end.
+	if err := run([]string{"-n", "72", "-pairs", "120", "-pathsource", "lazy", "-mem-budget", "1"}, &lazy); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		// Drop the header line, which names the selected path source.
+		if i := strings.Index(s, "\n"); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if trim(dense.String()) != trim(lazy.String()) {
+		t.Errorf("dense and lazy runs diverge:\n--- dense ---\n%s\n--- lazy ---\n%s", dense.String(), lazy.String())
+	}
+}

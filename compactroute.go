@@ -29,6 +29,8 @@
 package compactroute
 
 import (
+	"fmt"
+
 	"compactroute/internal/exact"
 	"compactroute/internal/gen"
 	"compactroute/internal/graph"
@@ -56,8 +58,25 @@ type (
 	Vertex = graph.Vertex
 	// Port identifies a link at a vertex.
 	Port = graph.Port
-	// APSP holds all-pairs shortest-path matrices used by preprocessing.
-	APSP = graph.APSP
+	// PathSource abstracts the all-pairs shortest-path access the
+	// preprocessing phases consume: dense matrices (DenseAPSP) or on-demand
+	// per-source rows behind a bounded cache (LazyAPSP). Both produce
+	// bit-identical answers; they trade memory against recomputation.
+	PathSource = graph.PathSource
+	// DenseAPSP materializes the full n x n matrices: O(n^2) words, O(1)
+	// queries - the fast path for small graphs.
+	DenseAPSP = graph.DenseAPSP
+	// LazyAPSP computes per-source rows on demand behind a sharded LRU cache
+	// with a configurable memory budget - the construction path for graphs
+	// where the dense matrices cannot be allocated.
+	LazyAPSP = graph.LazyAPSP
+	// LazyStats is a snapshot of a LazyAPSP's cache counters.
+	LazyStats = graph.LazyStats
+	// DistanceSummary bundles eccentricities, diameter and normalized
+	// diameter, computed in one pass over the source rows.
+	DistanceSummary = graph.DistanceSummary
+	// APSP is the historical name of DenseAPSP.
+	APSP = graph.DenseAPSP
 	// Scheme is the common interface of all routing schemes.
 	Scheme = simnet.Scheme
 	// Network executes packets of one Scheme hop by hop.
@@ -77,9 +96,49 @@ type (
 // NewBuilder returns a Builder for a graph with n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
-// AllPairs computes the all-pairs shortest-path matrices the preprocessing
-// phases consume.
-func AllPairs(g *Graph) *APSP { return graph.AllPairs(g) }
+// AllPairs computes the dense all-pairs shortest-path matrices the
+// preprocessing phases consume: Theta(n^2) words bought once for O(1)
+// queries. For graphs where that matrix does not fit, use NewLazyAPSP.
+func AllPairs(g *Graph) *DenseAPSP { return graph.AllPairs(g) }
+
+// NewLazyAPSP wraps g in a PathSource that computes per-source shortest-path
+// rows on demand and caches them in a concurrency-safe sharded LRU bounded by
+// memBudget bytes (<= 0 selects a 256 MiB default). Every scheme constructed
+// from it is bit-identical to one constructed from AllPairs(g); only memory
+// and wall-clock time differ.
+func NewLazyAPSP(g *Graph, memBudget int64) *LazyAPSP {
+	return graph.NewLazyAPSP(g, graph.LazyConfig{MemBudget: memBudget})
+}
+
+// NewPathSource builds the shortest-path source named by kind: "dense" for
+// AllPairs matrices, "lazy" for an on-demand row cache of budgetMiB MiB. It
+// is the selection behind the -pathsource/-mem-budget CLI flags; both kinds
+// yield bit-identical schemes.
+func NewPathSource(g *Graph, kind string, budgetMiB int) (PathSource, error) {
+	switch kind {
+	case "dense":
+		return AllPairs(g), nil
+	case "lazy":
+		return NewLazyAPSP(g, int64(budgetMiB)<<20), nil
+	default:
+		return nil, fmt.Errorf("compactroute: unknown path source %q (want dense or lazy)", kind)
+	}
+}
+
+// Eccentricities returns max_v d(u, v) for every vertex u, computed one
+// source row at a time on the worker pool.
+func Eccentricities(ps PathSource) []float64 { return graph.Eccentricities(ps) }
+
+// NormalizedDiameter returns D = max d(u,v) / min_{u!=v} d(u,v) over
+// connected pairs, the quantity the paper's weighted-scheme space bounds are
+// stated in.
+func NormalizedDiameter(ps PathSource) float64 { return graph.NormalizedDiameterOf(ps) }
+
+// SummarizeDistances computes eccentricities, diameter and normalized
+// diameter visiting every source row exactly once - use it over separate
+// Eccentricities + NormalizedDiameter calls when ps is a LazyAPSP, whose
+// evicted rows are recomputed on every visit.
+func SummarizeDistances(ps PathSource) DistanceSummary { return graph.SummarizeDistances(ps) }
 
 // SetParallelism caps the worker count of every concurrent construction and
 // evaluation loop in the package (AllPairs, the scheme constructors and
@@ -161,32 +220,32 @@ func (o Options) eps() float64 {
 
 // NewWarmup3 builds the warm-up (3+eps)-stretch scheme of Section 4
 // (O~((1/eps) sqrt n) tables, weighted graphs).
-func NewWarmup3(g *Graph, apsp *APSP, o Options) (Scheme, error) {
-	return scheme3.New(g, apsp, scheme3.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
+func NewWarmup3(g *Graph, ps PathSource, o Options) (Scheme, error) {
+	return scheme3.New(g, ps, scheme3.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
 }
 
 // NewTheorem10 builds the (2+eps, 1)-stretch scheme of Theorem 10
 // (O~((1/eps) n^{2/3}) tables, unweighted graphs).
-func NewTheorem10(g *Graph, apsp *APSP, o Options) (Scheme, error) {
-	return scheme2.New(g, apsp, scheme2.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
+func NewTheorem10(g *Graph, ps PathSource, o Options) (Scheme, error) {
+	return scheme2.New(g, ps, scheme2.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
 }
 
 // NewTheorem11 builds the (5+eps)-stretch scheme of Theorem 11
 // (O~((1/eps) n^{1/3} log D) tables, weighted graphs) - the paper's
 // headline result.
-func NewTheorem11(g *Graph, apsp *APSP, o Options) (Scheme, error) {
-	return scheme5.New(g, apsp, scheme5.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
+func NewTheorem11(g *Graph, ps PathSource, o Options) (Scheme, error) {
+	return scheme5.New(g, ps, scheme5.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
 }
 
 // NewTheorem13 builds the (3-2/l+eps, 2)-stretch scheme of Theorem 13
 // (O~(l (1/eps) n^{l/(2l-1)}) tables, unweighted graphs). Options.L
 // defaults to 2.
-func NewTheorem13(g *Graph, apsp *APSP, o Options) (Scheme, error) {
+func NewTheorem13(g *Graph, ps PathSource, o Options) (Scheme, error) {
 	l := o.L
 	if l == 0 {
 		l = 2
 	}
-	return schemegl.New(g, apsp, schemegl.Params{
+	return schemegl.New(g, ps, schemegl.Params{
 		L: l, Variant: schemegl.Minus, Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed,
 	})
 }
@@ -194,12 +253,12 @@ func NewTheorem13(g *Graph, apsp *APSP, o Options) (Scheme, error) {
 // NewTheorem15 builds the (3+2/l+eps, 2)-stretch scheme of Theorem 15
 // (O~(l (1/eps) n^{l/(2l+1)}) tables, unweighted graphs). Options.L
 // defaults to 2.
-func NewTheorem15(g *Graph, apsp *APSP, o Options) (Scheme, error) {
+func NewTheorem15(g *Graph, ps PathSource, o Options) (Scheme, error) {
 	l := o.L
 	if l == 0 {
 		l = 2
 	}
-	return schemegl.New(g, apsp, schemegl.Params{
+	return schemegl.New(g, ps, schemegl.Params{
 		L: l, Variant: schemegl.Plus, Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed,
 	})
 }
@@ -207,12 +266,12 @@ func NewTheorem15(g *Graph, apsp *APSP, o Options) (Scheme, error) {
 // NewTheorem16 builds the (4k-7+eps)-stretch scheme of Theorem 16
 // (O~((1/eps) n^{1/k} log D) tables, weighted graphs). Options.K defaults
 // to 4 (stretch 9+eps, the Table 1 row).
-func NewTheorem16(g *Graph, apsp *APSP, o Options) (Scheme, error) {
+func NewTheorem16(g *Graph, ps PathSource, o Options) (Scheme, error) {
 	k := o.K
 	if k == 0 {
 		k = 4
 	}
-	return scheme4k.New(g, apsp, scheme4k.Params{
+	return scheme4k.New(g, ps, scheme4k.Params{
 		K: k, Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed,
 	})
 }
@@ -223,8 +282,8 @@ func NewTheorem16(g *Graph, apsp *APSP, o Options) (Scheme, error) {
 // O~(sqrt(n)/eps) tables. This implementation's provable bound is (7+4eps)d;
 // see the package comment of internal/nameind for why the sketched 3+eps
 // needs the full Abraham et al. machinery.
-func NewNameIndependent(g *Graph, apsp *APSP, o Options) (Scheme, error) {
-	return nameind.New(g, apsp, nameind.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
+func NewNameIndependent(g *Graph, ps PathSource, o Options) (Scheme, error) {
+	return nameind.New(g, ps, nameind.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed})
 }
 
 // NewThorupZwick builds the (4k-5)-stretch Thorup-Zwick baseline.

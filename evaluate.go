@@ -33,8 +33,12 @@ type Evaluation struct {
 }
 
 // SamplePairs draws count ordered pairs of distinct vertices uniformly at
-// random, deterministically under seed.
+// random, deterministically under seed. Graphs with fewer than two vertices
+// have no distinct pairs, so n < 2 (or count <= 0) returns an empty slice.
 func SamplePairs(n, count int, seed int64) [][2]Vertex {
+	if n < 2 || count <= 0 {
+		return nil
+	}
 	r := rand.New(rand.NewSource(seed))
 	pairs := make([][2]Vertex, 0, count)
 	for len(pairs) < count {
@@ -70,19 +74,22 @@ type EvalOptions struct {
 // pairOutcome is the per-pair routing record a worker fills in. Every pair
 // owns one slot, so workers never contend and the merge below can run over
 // pair indices in order - the aggregation is bit-identical for every worker
-// count.
+// count. The true distance is looked up in the parallel phase too: against a
+// LazyAPSP it may cost a shortest-path search, which must not serialize
+// inside the merge loop.
 type pairOutcome struct {
 	weight float64
 	hops   int
 	header int
+	dist   float64
 }
 
 // Evaluate routes every pair through the scheme and aggregates stretch,
 // hops, header and storage statistics. A routing failure is returned as an
 // error; stretch-bound violations are counted, not fatal. It is the
 // single-worker fixed point of EvaluateBatched.
-func Evaluate(s Scheme, apsp *APSP, pairs [][2]Vertex) (Evaluation, error) {
-	return EvaluateBatched(s, apsp, pairs, EvalOptions{Workers: 1})
+func Evaluate(s Scheme, paths PathSource, pairs [][2]Vertex) (Evaluation, error) {
+	return EvaluateBatched(s, paths, pairs, EvalOptions{Workers: 1})
 }
 
 // EvaluateBatched is the batched evaluation engine: it shards pairs across
@@ -94,7 +101,7 @@ func Evaluate(s Scheme, apsp *APSP, pairs [][2]Vertex) (Evaluation, error) {
 //
 // Prepare and Next of a preprocessed Scheme are read-only local computations
 // (see simnet.Scheme), so a single Network is safely shared by all workers.
-func EvaluateBatched(s Scheme, apsp *APSP, pairs [][2]Vertex, opts EvalOptions) (Evaluation, error) {
+func EvaluateBatched(s Scheme, paths PathSource, pairs [][2]Vertex, opts EvalOptions) (Evaluation, error) {
 	ev := Evaluation{Scheme: s.Name(), Pairs: len(pairs)}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -107,7 +114,12 @@ func EvaluateBatched(s Scheme, apsp *APSP, pairs [][2]Vertex, opts EvalOptions) 
 		if err != nil {
 			return fmt.Errorf("evaluate %s: %w", s.Name(), err)
 		}
-		outcomes[i] = pairOutcome{weight: res.Weight, hops: res.Hops, header: res.HeaderWords}
+		outcomes[i] = pairOutcome{
+			weight: res.Weight,
+			hops:   res.Hops,
+			header: res.HeaderWords,
+			dist:   paths.Dist(pairs[i][0], pairs[i][1]),
+		}
 		return nil
 	}); err != nil {
 		return ev, err
@@ -116,9 +128,9 @@ func EvaluateBatched(s Scheme, apsp *APSP, pairs [][2]Vertex, opts EvalOptions) 
 	var stretchSum float64
 	var stretchCnt int
 	var hopsSum int
-	for i, p := range pairs {
+	for i := range pairs {
 		o := outcomes[i]
-		d := apsp.Dist(p[0], p[1])
+		d := o.dist
 		if o.weight > s.StretchBound(d)+1e-9 {
 			ev.BoundViolations++
 		}

@@ -63,7 +63,7 @@ func TestLemma7RoutesSamePartPairs(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			fx := newFixture(t, 120, 360, 4, 3, tt.wt)
 			in, err := core.NewIntra(core.IntraConfig{
-				Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: tt.eps,
+				Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: tt.eps,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -96,7 +96,7 @@ func TestLemma7HeaderStaysSmall(t *testing.T) {
 	fx := newFixture(t, 100, 300, 3, 5, gen.Unit)
 	eps := 0.25
 	in, err := core.NewIntra(core.IntraConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: eps,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: eps,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +142,7 @@ func TestLemma8RoutesPartToTargets(t *testing.T) {
 				wParts[i%fx.q] = append(wParts[i%fx.q], w)
 			}
 			in, err := core.NewInter(core.InterConfig{
-				Graph: fx.g, APSP: fx.apsp, Vics: fx.vics,
+				Graph: fx.g, Paths: fx.apsp, Vics: fx.vics,
 				UPartOf: fx.partOf, WParts: wParts, Eps: tt.eps,
 			})
 			if err != nil {
@@ -182,7 +182,7 @@ func TestLemma8RejectsWrongPart(t *testing.T) {
 		wParts[v%fx.q] = append(wParts[v%fx.q], graph.Vertex(v))
 	}
 	in, err := core.NewInter(core.InterConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics,
 		UPartOf: fx.partOf, WParts: wParts, Eps: 0.5,
 	})
 	if err != nil {
@@ -204,7 +204,7 @@ func TestLemma8RejectsWrongPart(t *testing.T) {
 func TestIntraRejectsBadEps(t *testing.T) {
 	fx := newFixture(t, 40, 100, 2, 2, gen.Unit)
 	_, err := core.NewIntra(core.IntraConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0,
 	})
 	if err == nil {
 		t.Fatal("expected error for eps=0")
@@ -214,7 +214,7 @@ func TestIntraRejectsBadEps(t *testing.T) {
 func TestIntraSelfRoute(t *testing.T) {
 	fx := newFixture(t, 40, 100, 2, 2, gen.Unit)
 	in, err := core.NewIntra(core.IntraConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -23,6 +23,7 @@ type Inter struct {
 	b       int
 	eps     float64
 	scale   float64 // omega_min: unit of the doubling thresholds
+	maxDist float64 // 2x one eccentricity: upper bound on any finite distance
 
 	// relayRep[u][j] is a vertex of U_j inside B(u, q-tilde); its existence
 	// is the hitting precondition of the lemma.
@@ -40,7 +41,8 @@ type interSeq struct {
 // InterConfig carries the inputs of Lemma 8.
 type InterConfig struct {
 	Graph *graph.Graph
-	APSP  *graph.APSP
+	// Paths supplies canonical shortest-path queries (dense or lazy).
+	Paths graph.PathSource
 	// Vics[u] must be B(u, q-tilde) for every vertex, where q = number of
 	// parts of the partitions.
 	Vics []*vicinity.Set
@@ -54,7 +56,7 @@ type InterConfig struct {
 
 // NewInter runs the Lemma 8 preprocessing.
 func NewInter(cfg InterConfig) (*Inter, error) {
-	g, apsp := cfg.Graph, cfg.APSP
+	g, paths := cfg.Graph, cfg.Paths
 	n := g.N()
 	if len(cfg.Vics) != n || len(cfg.UPartOf) != n {
 		return nil, fmt.Errorf("core: inter config arrays must have length n=%d", n)
@@ -73,6 +75,7 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 		b:        b,
 		eps:      cfg.Eps,
 		scale:    minEdgeWeight(g),
+		maxDist:  maxDistBound(paths),
 		relayRep: make([][]graph.Vertex, n),
 		seqs:     make([]map[graph.Vertex]interSeq, n),
 	}
@@ -123,7 +126,7 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 			if graph.Vertex(u) == w {
 				continue
 			}
-			sq, err := in.buildSequence(apsp, graph.Vertex(u), w, j)
+			sq, err := in.buildSequence(paths, graph.Vertex(u), w, j)
 			if err != nil {
 				return fmt.Errorf("core: inter sequence %d->%d: %w", u, w, err)
 			}
@@ -141,9 +144,9 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 // with doubling thresholds 2*scale/b, 4*scale/b, ... Each subsequence either
 // finishes the route (reaches w), hands off to a relay in U_j, or fills its
 // 2b-vertex budget and doubles the threshold.
-func (in *Inter) buildSequence(apsp *graph.APSP, u, w graph.Vertex, j int32) (interSeq, error) {
+func (in *Inter) buildSequence(paths graph.PathSource, u, w graph.Vertex, j int32) (interSeq, error) {
 	var sq interSeq
-	if apsp.Dist(u, w) == graph.Infinity {
+	if paths.Dist(u, w) == graph.Infinity {
 		return sq, fmt.Errorf("unreachable")
 	}
 	// Shortcut kept from Lemma 2: a target already inside the vicinity is
@@ -152,12 +155,12 @@ func (in *Inter) buildSequence(apsp *graph.APSP, u, w graph.Vertex, j int32) (in
 		sq.waypoints = []graph.Vertex{w}
 		return sq, nil
 	}
-	u1 := apsp.First(u, w)
+	u1 := paths.First(u, w)
 	sq.waypoints = append(sq.waypoints, u1)
 	if u1 == w {
 		return sq, nil
 	}
-	u2 := apsp.First(u1, w)
+	u2 := paths.First(u1, w)
 	sq.waypoints = append(sq.waypoints, u2)
 	if u2 == w {
 		return sq, nil
@@ -171,7 +174,7 @@ func (in *Inter) buildSequence(apsp *graph.APSP, u, w graph.Vertex, j int32) (in
 			last = v
 		}
 	}
-	maxSubseqs := 2*log2ceil(in.g.N())*int(math.Ceil(math.Log2(maxDistBound(apsp)/in.scale+2))) + 16
+	maxSubseqs := 2*log2ceil(in.g.N())*int(math.Ceil(math.Log2(in.maxDist/in.scale+2))) + 16
 	for sub := 0; ; sub++ {
 		if sub > maxSubseqs {
 			return sq, fmt.Errorf("subsequence count exceeded bound %d", maxSubseqs)
@@ -183,7 +186,7 @@ func (in *Inter) buildSequence(apsp *graph.APSP, u, w graph.Vertex, j int32) (in
 				appendWP(w)
 				return sq, nil
 			}
-			y, z, err := exitEdge(apsp, in.vics[x], x, w)
+			y, z, err := exitEdge(paths, in.vics[x], x, w)
 			if err != nil {
 				return sq, err
 			}
@@ -192,7 +195,7 @@ func (in *Inter) buildSequence(apsp *graph.APSP, u, w graph.Vertex, j int32) (in
 				appendWP(y)
 				appendWP(w)
 				return sq, nil
-			case apsp.Dist(x, z) < s:
+			case paths.Dist(x, z) < s:
 				relay := in.relayRep[x][j]
 				appendWP(relay)
 				sq.relay = true
@@ -222,13 +225,16 @@ func log2ceil(n int) int {
 	return l
 }
 
-func maxDistBound(apsp *graph.APSP) float64 {
+// maxDistBound upper-bounds every finite pairwise distance: the eccentricity
+// of any one vertex times 2 bounds the diameter. It reads a single row, and
+// NewInter computes it once up front - per-sequence recomputation would make
+// a lazy PathSource re-derive the row on every cache eviction.
+func maxDistBound(paths graph.PathSource) float64 {
 	var maxD float64 = 1
-	for u := 0; u < apsp.N(); u++ {
-		if e := apsp.Eccentricity(graph.Vertex(u)); e > maxD {
+	if paths.N() > 0 {
+		if e := graph.EccentricityOf(paths, 0); e > maxD {
 			maxD = e
 		}
-		break // eccentricity of one vertex times 2 bounds the diameter
 	}
 	return 2 * maxD
 }

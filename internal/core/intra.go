@@ -37,7 +37,8 @@ type intraSeq struct {
 // IntraConfig carries the inputs of Lemma 7.
 type IntraConfig struct {
 	Graph *graph.Graph
-	APSP  *graph.APSP
+	// Paths supplies canonical shortest-path queries (dense or lazy).
+	Paths graph.PathSource
 	// Vics[u] must be B(u, q-tilde) for every vertex.
 	Vics []*vicinity.Set
 	// PartOf[u] is the index of u's part in the partition U.
@@ -49,7 +50,7 @@ type IntraConfig struct {
 // vicinities, builds a spanning shortest-path tree per landmark and the
 // per-pair waypoint sequences.
 func NewIntra(cfg IntraConfig) (*Intra, error) {
-	g, apsp := cfg.Graph, cfg.APSP
+	g, paths := cfg.Graph, cfg.Paths
 	n := g.N()
 	if len(cfg.Vics) != n || len(cfg.PartOf) != n {
 		return nil, fmt.Errorf("core: intra config arrays must have length n=%d", n)
@@ -134,7 +135,7 @@ func NewIntra(cfg IntraConfig) (*Intra, error) {
 			if u == v {
 				continue
 			}
-			sq, err := in.buildSequence(apsp, u, v)
+			sq, err := in.buildSequence(paths, u, v)
 			if err != nil {
 				return fmt.Errorf("core: sequence %d->%d: %w", u, v, err)
 			}
@@ -149,9 +150,9 @@ func NewIntra(cfg IntraConfig) (*Intra, error) {
 
 // buildSequence runs the waypoint-construction process of Lemma 7 for the
 // pair (u, v).
-func (in *Intra) buildSequence(apsp *graph.APSP, u, v graph.Vertex) (intraSeq, error) {
+func (in *Intra) buildSequence(paths graph.PathSource, u, v graph.Vertex) (intraSeq, error) {
 	sq := intraSeq{landmark: graph.NoVertex}
-	d := apsp.Dist(u, v)
+	d := paths.Dist(u, v)
 	if d == graph.Infinity {
 		return sq, fmt.Errorf("unreachable")
 	}
@@ -173,7 +174,7 @@ func (in *Intra) buildSequence(apsp *graph.APSP, u, v graph.Vertex) (intraSeq, e
 			appendWP(v, last)
 			return sq, nil
 		}
-		y, z, err := exitEdge(apsp, in.vics[x], x, v)
+		y, z, err := exitEdge(paths, in.vics[x], x, v)
 		if err != nil {
 			return sq, err
 		}
@@ -182,7 +183,7 @@ func (in *Intra) buildSequence(apsp *graph.APSP, u, v graph.Vertex) (intraSeq, e
 			last = appendWP(y, last)
 			appendWP(v, last)
 			return sq, nil
-		case apsp.Dist(x, z) < s:
+		case paths.Dist(x, z) < s:
 			w := in.bestH[x]
 			appendWP(w, last)
 			sq.landmark = w

@@ -53,7 +53,7 @@ func TestClaim9HandoffsBounded(t *testing.T) {
 		wParts[i%fx.q] = append(wParts[i%fx.q], w)
 	}
 	in, err := core.NewInter(core.InterConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics,
 		UPartOf: fx.partOf, WParts: wParts, Eps: 0.5,
 	})
 	if err != nil {
@@ -79,7 +79,7 @@ func TestClaim9HandoffsBounded(t *testing.T) {
 func TestForeignPacketsRejected(t *testing.T) {
 	fx := newFixture(t, 60, 180, 2, 3, gen.Unit)
 	in, err := core.NewIntra(core.IntraConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestForeignPacketsRejected(t *testing.T) {
 func TestIntraSequencesLieOnShortestPaths(t *testing.T) {
 	fx := newFixture(t, 90, 270, 3, 13, gen.UniformInt)
 	in, err := core.NewIntra(core.IntraConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +143,7 @@ func TestIntraSequencesLieOnShortestPaths(t *testing.T) {
 func TestErrorsNameTheirPackage(t *testing.T) {
 	fx := newFixture(t, 60, 180, 2, 3, gen.Unit)
 	in, err := core.NewIntra(core.IntraConfig{
-		Graph: fx.g, APSP: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
+		Graph: fx.g, Paths: fx.apsp, Vics: fx.vics, PartOf: fx.partOf, Eps: 0.5,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -15,13 +15,13 @@ import (
 // (dist, id) order"), so a forward walk finds it.
 //
 // Preconditions: v is not in B(x) and v is reachable from x.
-func exitEdge(apsp *graph.APSP, vic *vicinity.Set, x, v graph.Vertex) (y, z graph.Vertex, err error) {
+func exitEdge(paths graph.PathSource, vic *vicinity.Set, x, v graph.Vertex) (y, z graph.Vertex, err error) {
 	if vic.Contains(v) {
 		return graph.NoVertex, graph.NoVertex, fmt.Errorf("core: exitEdge called with %d inside B(%d)", v, x)
 	}
 	y = x
 	for {
-		z = apsp.First(y, v)
+		z = paths.First(y, v)
 		if z == graph.NoVertex || z == y {
 			return graph.NoVertex, graph.NoVertex, fmt.Errorf("core: no path from %d to %d", x, v)
 		}

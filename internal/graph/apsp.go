@@ -1,32 +1,38 @@
 package graph
 
 import (
-	"math"
-
 	"compactroute/internal/parallel"
 )
 
-// APSP holds all-pairs shortest-path information: the distance between every
-// pair and, for every ordered pair (s, t), the first vertex after s on the
-// canonical shortest path from s to t. The canonical path is the one produced
-// by the deterministic tie-break of ShortestPaths, so repeated walks always
-// follow the same path.
+// DenseAPSP holds all-pairs shortest-path information as dense matrices: the
+// distance between every pair and, for every ordered pair (s, t), the first
+// vertex after s on the canonical shortest path from s to t. The canonical
+// path is the one produced by the deterministic tie-break of ShortestPaths,
+// so repeated walks always follow the same path.
 //
 // The preprocessing phases of every scheme in the paper are centralized
 // (Section 1: "a centralized algorithm computes routing tables"), so holding
 // the full matrices during construction is faithful to the model; the
-// per-vertex routing tables handed to the simulator never reference APSP.
-type APSP struct {
+// per-vertex routing tables handed to the simulator never reference the
+// matrices. DenseAPSP is the small-n fast path of the PathSource interface -
+// O(n^2) words of memory bought once for O(1) queries; use LazyAPSP when the
+// matrix does not fit.
+type DenseAPSP struct {
 	n     int
 	dist  []float64
 	first []Vertex
 }
 
+// APSP is the historical name of DenseAPSP, kept for existing callers.
+type APSP = DenseAPSP
+
+var _ PathSource = (*DenseAPSP)(nil)
+
 // AllPairs computes APSP by running a single-source search from every vertex,
 // parallelized across cores.
-func AllPairs(g *Graph) *APSP {
+func AllPairs(g *Graph) *DenseAPSP {
 	n := g.N()
-	a := &APSP{
+	a := &DenseAPSP{
 		n:     n,
 		dist:  make([]float64, n*n),
 		first: make([]Vertex, n*n),
@@ -40,63 +46,36 @@ func AllPairs(g *Graph) *APSP {
 }
 
 // N returns the number of vertices covered by the matrix.
-func (a *APSP) N() int { return a.n }
+func (a *DenseAPSP) N() int { return a.n }
 
 // Dist returns d(u, v).
-func (a *APSP) Dist(u, v Vertex) float64 { return a.dist[int(u)*a.n+int(v)] }
+func (a *DenseAPSP) Dist(u, v Vertex) float64 { return a.dist[int(u)*a.n+int(v)] }
 
 // First returns the vertex that follows u on the canonical shortest path
 // from u to v. First(u, u) == u; it returns NoVertex if v is unreachable.
-func (a *APSP) First(u, v Vertex) Vertex { return a.first[int(u)*a.n+int(v)] }
+func (a *DenseAPSP) First(u, v Vertex) Vertex { return a.first[int(u)*a.n+int(v)] }
+
+// Row returns the matrix row of src as shared read-only slices.
+func (a *DenseAPSP) Row(src Vertex) Row {
+	lo, hi := int(src)*a.n, (int(src)+1)*a.n
+	return Row{Src: src, Dist: a.dist[lo:hi:hi], First: a.first[lo:hi:hi]}
+}
 
 // Path returns the canonical shortest path from u to v inclusive, or nil if
 // v is unreachable from u.
-func (a *APSP) Path(u, v Vertex) []Vertex {
-	if math.IsInf(a.Dist(u, v), 1) {
-		return nil
-	}
-	path := []Vertex{u}
-	for x := u; x != v; {
-		x = a.First(x, v)
-		path = append(path, x)
-	}
-	return path
-}
+func (a *DenseAPSP) Path(u, v Vertex) []Vertex { return pathVia(a, u, v) }
 
-// Eccentricity returns max_v d(u, v) over reachable v.
-func (a *APSP) Eccentricity(u Vertex) float64 {
-	var ecc float64
-	for v := 0; v < a.n; v++ {
-		d := a.dist[int(u)*a.n+v]
-		if !math.IsInf(d, 1) && d > ecc {
-			ecc = d
-		}
-	}
-	return ecc
+// Eccentricity returns max_v d(u, v) over reachable v. A single row scan is
+// too small to parallelize; the all-sources loops (Eccentricities,
+// SummarizeDistances) carry the parallelism.
+func (a *DenseAPSP) Eccentricity(u Vertex) float64 {
+	return rowMaxFinite(a.Row(u).Dist)
 }
 
 // NormalizedDiameter returns D = max d(u,v) / min_{u!=v} d(u,v) over
 // connected pairs, the quantity the paper's weighted-scheme space bounds are
-// stated in. It returns 1 for graphs with fewer than two vertices.
-func (a *APSP) NormalizedDiameter() float64 {
-	var maxD float64
-	minD := Infinity
-	for u := 0; u < a.n; u++ {
-		for v := u + 1; v < a.n; v++ {
-			d := a.dist[u*a.n+v]
-			if math.IsInf(d, 1) {
-				continue
-			}
-			if d > maxD {
-				maxD = d
-			}
-			if d < minD {
-				minD = d
-			}
-		}
-	}
-	if maxD == 0 || math.IsInf(minD, 1) {
-		return 1
-	}
-	return maxD / minD
+// stated in. It returns 1 for graphs with fewer than two vertices. Rows are
+// scanned on the worker pool and reduced in index order (SummarizeDistances).
+func (a *DenseAPSP) NormalizedDiameter() float64 {
+	return NormalizedDiameterOf(a)
 }

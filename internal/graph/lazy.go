@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLazyBudget is the cache budget LazyAPSP uses when LazyConfig leaves
+// MemBudget unset: 256 MiB of cached rows.
+const DefaultLazyBudget = 256 << 20
+
+// defaultLazyShards balances lock contention against per-shard cache skew.
+const defaultLazyShards = 16
+
+// LazyConfig configures a LazyAPSP.
+type LazyConfig struct {
+	// MemBudget caps the memory held by cached rows, in bytes; <= 0 selects
+	// DefaultLazyBudget. The budget is split evenly across shards and every
+	// shard keeps at least one row, so the effective floor is Shards rows.
+	MemBudget int64
+	// Shards is the number of independently locked cache shards; <= 0
+	// selects a default of 16.
+	Shards int
+}
+
+// LazyStats is a snapshot of a LazyAPSP's cache behavior.
+type LazyStats struct {
+	Hits      int64
+	Misses    int64 // rows computed because they were not cached
+	Evictions int64
+	// CachedRows and PeakRows count rows resident now and at the high-water
+	// mark; RowBytes is the accounted size of one row, so PeakBytes =
+	// PeakRows * RowBytes is the cache's peak footprint.
+	CachedRows int
+	PeakRows   int
+	RowBytes   int64
+	PeakBytes  int64
+	// BudgetBytes is the configured budget after defaulting.
+	BudgetBytes int64
+}
+
+// LazyAPSP is a PathSource that computes per-source shortest-path rows on
+// demand and retains them in a concurrency-safe sharded LRU cache bounded by
+// a memory budget. Rows come from the same deterministic ShortestPaths
+// tie-break as DenseAPSP, so every query answer is bit-identical to the dense
+// matrix; only wall-clock time and memory differ. It is the construction
+// path for graphs where the Theta(n^2) dense matrices cannot be allocated.
+//
+// Concurrent Row calls for the same uncached source may compute the row more
+// than once; all copies are identical and at most one is retained. The
+// transient memory of in-flight computations (one row per calling goroutine)
+// is outside the budget, which only governs retained rows.
+type LazyAPSP struct {
+	g           *Graph
+	n           int
+	rowBytes    int64
+	budget      int64
+	capPerShard int
+	shards      []lazyShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	rows      atomic.Int64
+	peakRows  atomic.Int64
+}
+
+var _ PathSource = (*LazyAPSP)(nil)
+
+// lazyShard is one lock domain of the cache: a map for lookup plus an
+// intrusive doubly-linked list in recency order (head = most recent).
+type lazyShard struct {
+	mu         sync.Mutex
+	entries    map[Vertex]*lruEntry
+	head, tail *lruEntry
+}
+
+type lruEntry struct {
+	src        Vertex
+	row        Row
+	prev, next *lruEntry
+}
+
+// NewLazyAPSP wraps g in an on-demand PathSource with the given cache
+// configuration.
+func NewLazyAPSP(g *Graph, cfg LazyConfig) *LazyAPSP {
+	n := g.N()
+	budget := cfg.MemBudget
+	if budget <= 0 {
+		budget = DefaultLazyBudget
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = defaultLazyShards
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	l := &LazyAPSP{
+		g: g,
+		n: n,
+		// One cached row holds n float64 distances and n int32 first hops,
+		// plus map/list bookkeeping.
+		rowBytes: int64(n)*12 + 96,
+		budget:   budget,
+		shards:   make([]lazyShard, shards),
+	}
+	l.capPerShard = int(budget / l.rowBytes / int64(shards))
+	if l.capPerShard < 1 {
+		l.capPerShard = 1
+	}
+	for i := range l.shards {
+		l.shards[i].entries = make(map[Vertex]*lruEntry, l.capPerShard+1)
+	}
+	return l
+}
+
+// N returns the number of vertices covered.
+func (l *LazyAPSP) N() int { return l.n }
+
+// Dist returns d(u, v).
+func (l *LazyAPSP) Dist(u, v Vertex) float64 { return l.Row(u).Dist[v] }
+
+// First returns the vertex that follows u on the canonical shortest path
+// from u to v. First(u, u) == u; NoVertex if v is unreachable.
+func (l *LazyAPSP) First(u, v Vertex) Vertex { return l.Row(u).First[v] }
+
+// Path returns the canonical shortest path from u to v inclusive, or nil if
+// v is unreachable. Like the routing phase itself, the walk consults one row
+// per hop, so cold caches pay one search per distinct vertex on the path.
+func (l *LazyAPSP) Path(u, v Vertex) []Vertex { return pathVia(l, u, v) }
+
+// Row returns the row of src, computing it with a single-source search on a
+// miss and retaining it under the LRU budget.
+func (l *LazyAPSP) Row(src Vertex) Row {
+	sh := &l.shards[int(src)%len(l.shards)]
+	sh.mu.Lock()
+	if e, ok := sh.entries[src]; ok {
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		l.hits.Add(1)
+		return e.row
+	}
+	sh.mu.Unlock()
+	// Compute outside the lock so concurrent misses on one shard do not
+	// serialize behind each other's searches.
+	l.misses.Add(1)
+	s := l.g.ShortestPaths(src)
+	row := Row{Src: src, Dist: s.Dist, First: s.First}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[src]; ok {
+		// Another goroutine inserted the same row while we computed; results
+		// are identical, keep the resident one.
+		sh.moveToFront(e)
+		return e.row
+	}
+	// Evict before inserting so resident rows never exceed the budget.
+	for len(sh.entries) >= l.capPerShard {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.entries, victim.src)
+		l.rows.Add(-1)
+		l.evictions.Add(1)
+	}
+	e := &lruEntry{src: src, row: row}
+	sh.entries[src] = e
+	sh.pushFront(e)
+	cur := l.rows.Add(1)
+	for p := l.peakRows.Load(); cur > p && !l.peakRows.CompareAndSwap(p, cur); p = l.peakRows.Load() {
+	}
+	return row
+}
+
+// Stats returns a snapshot of the cache counters.
+func (l *LazyAPSP) Stats() LazyStats {
+	peak := l.peakRows.Load()
+	return LazyStats{
+		Hits:        l.hits.Load(),
+		Misses:      l.misses.Load(),
+		Evictions:   l.evictions.Load(),
+		CachedRows:  int(l.rows.Load()),
+		PeakRows:    int(peak),
+		RowBytes:    l.rowBytes,
+		PeakBytes:   peak * l.rowBytes,
+		BudgetBytes: l.budget,
+	}
+}
+
+// CapacityRows returns the maximum number of rows the cache retains at once
+// (capPerShard * shards).
+func (l *LazyAPSP) CapacityRows() int { return l.capPerShard * len(l.shards) }
+
+func (sh *lazyShard) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *lazyShard) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *lazyShard) moveToFront(e *lruEntry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

@@ -1,0 +1,156 @@
+package graph_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+)
+
+// buildWeighted constructs a graph from an explicit edge list.
+func buildWeighted(t *testing.T, n int, edges [][3]float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(graph.Vertex(e[0]), graph.Vertex(e[1]), e[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDeterminismCanonicalPathTieBreak pins the exact canonical shortest path
+// on graphs with multiple equal-weight shortest paths. The tie-break contract
+// of ShortestPaths - BFS finalizes equal-distance vertices in discovery
+// (port) order on unit graphs, Dijkstra pops by (dist, id), and among
+// equal-distance predecessors the one finalized first sets Parent/First - is
+// the invariant the LazyAPSP/DenseAPSP equivalence rests on: both PathSources
+// replay this same search, so pinning its output here turns "lazy equals
+// dense" from an accident of implementation into a tested contract.
+func TestDeterminismCanonicalPathTieBreak(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][3]float64 // u, v, w
+		src   graph.Vertex
+		dst   graph.Vertex
+		want  []graph.Vertex // canonical path src..dst inclusive
+	}{
+		{
+			// Unit diamond: 0-1-3 and 0-2-3 both have length 2. BFS dequeues
+			// vertex 1 before 2, so 1 claims 3 first.
+			name: "unit diamond",
+			n:    4,
+			edges: [][3]float64{
+				{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1},
+			},
+			src: 0, dst: 3,
+			want: []graph.Vertex{0, 1, 3},
+		},
+		{
+			// Double diamond: four equal-length paths 0-{1,2}-3-{4,5}-6; the
+			// smallest-id branch wins at every fork.
+			name: "unit double diamond",
+			n:    7,
+			edges: [][3]float64{
+				{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1},
+				{3, 4, 1}, {3, 5, 1}, {4, 6, 1}, {5, 6, 1},
+			},
+			src: 0, dst: 6,
+			want: []graph.Vertex{0, 1, 3, 4, 6},
+		},
+		{
+			// Weighted diamond, equal weights: Dijkstra pops (dist 2, id 1)
+			// before (dist 2, id 2), so 1 relaxes 3 first and keeps it (the
+			// later equal-distance relaxation via 2 does not overwrite).
+			name: "weighted diamond",
+			n:    4,
+			edges: [][3]float64{
+				{0, 1, 2}, {0, 2, 2}, {1, 3, 2}, {2, 3, 2},
+			},
+			src: 0, dst: 3,
+			want: []graph.Vertex{0, 1, 3},
+		},
+		{
+			// The higher-id neighbor is closer: vertex 2 (dist 1) finalizes
+			// before vertex 1 (dist 2), so the canonical path runs through 2
+			// even though 1 offers an equal-length route to 3.
+			name: "weighted closer-high-id",
+			n:    4,
+			edges: [][3]float64{
+				{0, 1, 2}, {0, 2, 1}, {1, 3, 1}, {2, 3, 2},
+			},
+			src: 0, dst: 3,
+			want: []graph.Vertex{0, 2, 3},
+		},
+		{
+			// Equal-weight parallel middle layer into one sink: among the
+			// three distance-1 vertices 1, 2, 3 the smallest id is finalized
+			// first and becomes the canonical relay to 4.
+			name: "unit fan",
+			n:    5,
+			edges: [][3]float64{
+				{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {1, 4, 1}, {2, 4, 1}, {3, 4, 1},
+			},
+			src: 0, dst: 4,
+			want: []graph.Vertex{0, 1, 4},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildWeighted(t, tt.n, tt.edges)
+			s := g.ShortestPaths(tt.src)
+			if got := s.Path(tt.dst); !equalPath(got, tt.want) {
+				t.Fatalf("SSSP path %v want %v", got, tt.want)
+			}
+			if first := s.First[tt.dst]; first != tt.want[1] {
+				t.Fatalf("SSSP first hop %d want %d", first, tt.want[1])
+			}
+			// Both PathSource implementations must replay the same canonical
+			// walk, hop by hop.
+			dense := graph.AllPairs(g)
+			lazy := graph.NewLazyAPSP(g, graph.LazyConfig{MemBudget: 1, Shards: 1}) // single-row cache
+			for _, ps := range []graph.PathSource{dense, lazy} {
+				if got := ps.Path(tt.src, tt.dst); !equalPath(got, tt.want) {
+					t.Fatalf("%T path %v want %v", ps, got, tt.want)
+				}
+				if f := ps.First(tt.src, tt.dst); f != tt.want[1] {
+					t.Fatalf("%T first hop %d want %d", ps, f, tt.want[1])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismCanonicalPathStable asserts the canonical path of every pair
+// is reproducible across repeated searches on a graph dense with ties (unit
+// weights, many equal-length routes).
+func TestDeterminismCanonicalPathStable(t *testing.T) {
+	g := testutil.MustGNM(t, 48, 144, 11, gen.Unit)
+	a1 := graph.AllPairs(g)
+	a2 := graph.AllPairs(g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			p1 := a1.Path(graph.Vertex(u), graph.Vertex(v))
+			p2 := a2.Path(graph.Vertex(u), graph.Vertex(v))
+			if !equalPath(p1, p2) {
+				t.Fatalf("path %d->%d not reproducible: %v vs %v", u, v, p1, p2)
+			}
+		}
+	}
+}
+
+func equalPath(a, b []graph.Vertex) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

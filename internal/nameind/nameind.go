@@ -63,7 +63,7 @@ func hash(v graph.Vertex, q int) int32 {
 }
 
 // New runs the preprocessing phase.
-func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
+func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
 	if params.VicinityFactor == 0 {
 		params.VicinityFactor = 1.5
 	}
@@ -74,7 +74,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		return nil, fmt.Errorf("nameind: %w", err)
 	}
 	intra, err := core.NewIntra(core.IntraConfig{
-		Graph: g, APSP: apsp, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
+		Graph: g, Paths: paths, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("nameind: %w", err)

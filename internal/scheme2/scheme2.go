@@ -80,7 +80,7 @@ type Scheme struct {
 var _ simnet.Scheme = (*Scheme)(nil)
 
 // New runs the preprocessing phase. The graph must be unweighted.
-func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
+func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
 	params.fill()
 	if !g.Unit() {
 		return nil, fmt.Errorf("scheme2: Theorem 10 applies to unweighted graphs")
@@ -146,7 +146,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		}
 	})
 	s.intra, err = core.NewIntra(core.IntraConfig{
-		Graph: g, APSP: apsp, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
+		Graph: g, Paths: paths, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scheme2: %w", err)

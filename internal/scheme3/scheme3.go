@@ -49,7 +49,7 @@ type Scheme struct {
 var _ simnet.Scheme = (*Scheme)(nil)
 
 // New runs the preprocessing phase.
-func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
+func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
 	params.fill()
 	n := g.N()
 	q := int(math.Ceil(math.Sqrt(float64(n))))
@@ -58,7 +58,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		return nil, fmt.Errorf("scheme3: %w", err)
 	}
 	intra, err := core.NewIntra(core.IntraConfig{
-		Graph: g, APSP: apsp, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
+		Graph: g, Paths: paths, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scheme3: %w", err)

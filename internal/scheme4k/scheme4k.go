@@ -60,7 +60,7 @@ type Scheme struct {
 var _ simnet.Scheme = (*Scheme)(nil)
 
 // New runs the preprocessing phase.
-func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
+func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
 	params.fill()
 	if params.K < 3 {
 		return nil, fmt.Errorf("scheme4k: need k >= 3, got %d", params.K)
@@ -86,7 +86,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		alphaOf[w] = int32(j)
 	}
 	inter, err := core.NewInter(core.InterConfig{
-		Graph: g, APSP: apsp, Vics: vc.Vics,
+		Graph: g, Paths: paths, Vics: vc.Vics,
 		UPartOf: vc.PartOf, WParts: wParts, Eps: params.Eps,
 	})
 	if err != nil {

@@ -69,7 +69,7 @@ type Scheme struct {
 var _ simnet.Scheme = (*Scheme)(nil)
 
 // New runs the preprocessing phase.
-func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
+func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
 	params.fill()
 	n := g.N()
 	q := int(math.Ceil(math.Cbrt(float64(n))))
@@ -96,7 +96,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		alphaOf[w] = int32(j)
 	}
 	inter, err := core.NewInter(core.InterConfig{
-		Graph: g, APSP: apsp, Vics: vc.Vics,
+		Graph: g, Paths: paths, Vics: vc.Vics,
 		UPartOf: vc.PartOf, WParts: wParts, Eps: params.Eps,
 	})
 	if err != nil {
@@ -108,7 +108,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		pa := lms.P[v]
 		lbl := label{pa: pa, alpha: alphaOf[pa], paPort: graph.NoPort}
 		if pa != graph.Vertex(v) {
-			z := apsp.First(pa, graph.Vertex(v))
+			z := paths.First(pa, graph.Vertex(v))
 			lbl.paPort = g.PortTo(pa, z)
 			if lbl.paPort == graph.NoPort {
 				return nil, fmt.Errorf("scheme5: first edge (%d,%d) missing", pa, z)

@@ -109,7 +109,7 @@ func (p Params) instanceLevels() (is []int, k func(int) int) {
 }
 
 // New runs the preprocessing phase. The graph must be unweighted.
-func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
+func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
 	params.fill()
 	if params.L < 2 {
 		return nil, fmt.Errorf("schemegl: need l > 1, got %d", params.L)
@@ -203,7 +203,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 		}
 		s.alphaOf[j] = alpha
 		inter, err := core.NewInter(core.InterConfig{
-			Graph: g, APSP: apsp, Vics: s.vcs[i].Vics,
+			Graph: g, Paths: paths, Vics: s.vcs[i].Vics,
 			UPartOf: s.vcs[i].PartOf, WParts: wParts, Eps: params.Eps,
 		})
 		if err != nil {
@@ -257,7 +257,7 @@ func New(g *graph.Graph, apsp *graph.APSP, params Params) (*Scheme, error) {
 			lbl.alpha[j] = s.alphaOf[j][pv]
 			lbl.dist[j] = s.lms[j].DistA[v]
 			if pv != graph.Vertex(v) {
-				z := apsp.First(pv, graph.Vertex(v))
+				z := paths.First(pv, graph.Vertex(v))
 				lbl.port[j] = g.PortTo(pv, z)
 				if lbl.port[j] == graph.NoPort {
 					return fmt.Errorf("schemegl: first edge (%d,%d) missing", pv, z)

@@ -23,7 +23,7 @@ func Pairs(n, strideSrc, strideDst int) [][2]graph.Vertex {
 // fails the test on any delivery failure or stretch-bound violation. It
 // returns the worst observed multiplicative stretch over pairs at distance
 // greater than zero.
-func VerifyScheme(t *testing.T, s simnet.Scheme, apsp *graph.APSP, pairs [][2]graph.Vertex) float64 {
+func VerifyScheme(t *testing.T, s simnet.Scheme, paths graph.PathSource, pairs [][2]graph.Vertex) float64 {
 	t.Helper()
 	nw := simnet.NewNetwork(s)
 	worst := 1.0
@@ -33,7 +33,7 @@ func VerifyScheme(t *testing.T, s simnet.Scheme, apsp *graph.APSP, pairs [][2]gr
 		if err != nil {
 			t.Fatalf("%s: route %d->%d: %v", s.Name(), src, dst, err)
 		}
-		d := apsp.Dist(src, dst)
+		d := paths.Dist(src, dst)
 		CheckStretch(t, s.Name(), src, dst, res.Weight, s.StretchBound(d))
 		if d > 0 && res.Weight/d > worst {
 			worst = res.Weight / d

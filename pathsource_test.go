@@ -1,0 +1,163 @@
+package compactroute_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"compactroute"
+)
+
+// eqRow names one public constructor for the dense/lazy equivalence sweep.
+type eqRow struct {
+	name     string
+	weighted bool
+	build    func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error)
+}
+
+func equivalenceRows() []eqRow {
+	opt := compactroute.Options{Eps: 0.5, Seed: benchSeed}
+	return []eqRow{
+		{"warmup3", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewWarmup3(g, ps, opt)
+		}},
+		{"thm10", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem10(g, ps, opt)
+		}},
+		{"thm11", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem11(g, ps, opt)
+		}},
+		{"thm13-l2", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem13(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed, L: 2})
+		}},
+		{"thm15-l2", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem15(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed, L: 2})
+		}},
+		{"thm16-k3", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed, K: 3})
+		}},
+		{"nameind", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewNameIndependent(g, ps, opt)
+		}},
+	}
+}
+
+// equivalenceGraphs builds the seeded graph families of the acceptance
+// criterion: G(n, m), grid, and preferential attachment.
+func equivalenceGraphs(t *testing.T, weighted bool) map[string]*compactroute.Graph {
+	t.Helper()
+	out := make(map[string]*compactroute.Graph)
+	gnm, err := compactroute.GNM(96, 4*96, benchSeed, weighted, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["gnm"] = gnm
+	if !testing.Short() {
+		grid, err := compactroute.Grid(9, 10, false, benchSeed, weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["grid"] = grid
+		pa, err := compactroute.PreferentialAttachment(90, 3, benchSeed, weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["pa"] = pa
+	}
+	return out
+}
+
+// TestDeterminismLazyDenseEquivalence is the acceptance criterion of the
+// pluggable-PathSource refactor: for every scheme constructor, building from
+// DenseAPSP and from LazyAPSP (with a cache budget small enough to force
+// evictions throughout construction) produces identical routing tables,
+// labels, routed paths and Evaluation results on seeded G(n, m), grid and
+// preferential-attachment graphs.
+func TestDeterminismLazyDenseEquivalence(t *testing.T) {
+	for _, row := range equivalenceRows() {
+		for gname, g := range equivalenceGraphs(t, row.weighted) {
+			t.Run(fmt.Sprintf("%s/%s", row.name, gname), func(t *testing.T) {
+				n := g.N()
+				dense := compactroute.AllPairs(g)
+				// A ~6-row budget clamps the 16-shard default to one row per
+				// shard (16 retained rows for ~96 sources): construction
+				// constantly recomputes and evicts rows.
+				lazy := compactroute.NewLazyAPSP(g, 6*(12*int64(n)+96))
+				sd, err := row.build(g, dense)
+				if err != nil {
+					t.Fatalf("dense build: %v", err)
+				}
+				sl, err := row.build(g, lazy)
+				if err != nil {
+					t.Fatalf("lazy build: %v", err)
+				}
+				for v := 0; v < n; v++ {
+					if dw, lw := sd.TableWords(compactroute.Vertex(v)), sl.TableWords(compactroute.Vertex(v)); dw != lw {
+						t.Fatalf("TableWords(%d): dense %d lazy %d", v, dw, lw)
+					}
+					if dl, ll := sd.LabelWords(compactroute.Vertex(v)), sl.LabelWords(compactroute.Vertex(v)); dl != ll {
+						t.Fatalf("LabelWords(%d): dense %d lazy %d", v, dl, ll)
+					}
+				}
+				pairs := compactroute.SamplePairs(n, 300, benchSeed+3)
+				evd, err := compactroute.EvaluateBatched(sd, dense, pairs, compactroute.EvalOptions{})
+				if err != nil {
+					t.Fatalf("dense evaluate: %v", err)
+				}
+				evl, err := compactroute.EvaluateBatched(sl, lazy, pairs, compactroute.EvalOptions{})
+				if err != nil {
+					t.Fatalf("lazy evaluate: %v", err)
+				}
+				if !reflect.DeepEqual(evd, evl) {
+					t.Fatalf("Evaluations diverge:\ndense: %+v\nlazy:  %+v", evd, evl)
+				}
+				// Hop-by-hop paths must match exactly, not just in weight.
+				nwd := compactroute.NewNetworkWithPath(sd)
+				nwl := compactroute.NewNetworkWithPath(sl)
+				for _, p := range pairs[:40] {
+					rd, err := nwd.Route(p[0], p[1])
+					if err != nil {
+						t.Fatalf("dense route %v: %v", p, err)
+					}
+					rl, err := nwl.Route(p[0], p[1])
+					if err != nil {
+						t.Fatalf("lazy route %v: %v", p, err)
+					}
+					if !reflect.DeepEqual(rd.Path, rl.Path) {
+						t.Fatalf("paths diverge for %v:\ndense %v\nlazy  %v", p, rd.Path, rl.Path)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSamplePairsDegenerate is the regression test for the SamplePairs
+// infinite loop: a graph with fewer than two vertices has no distinct ordered
+// pairs, so any requested count must yield an empty sample instead of
+// spinning forever.
+func TestSamplePairsDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		if got := compactroute.SamplePairs(n, 10, 1); len(got) != 0 {
+			t.Fatalf("SamplePairs(%d, 10) = %v, want empty", n, got)
+		}
+	}
+	if got := compactroute.SamplePairs(10, 0, 1); len(got) != 0 {
+		t.Fatalf("SamplePairs(10, 0) = %v, want empty", got)
+	}
+	if got := compactroute.SamplePairs(10, -3, 1); len(got) != 0 {
+		t.Fatalf("SamplePairs(10, -3) = %v, want empty", got)
+	}
+	pairs := compactroute.SamplePairs(10, 25, 7)
+	if len(pairs) != 25 {
+		t.Fatalf("SamplePairs(10, 25) returned %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("sampled identical pair %v", p)
+		}
+	}
+	if !reflect.DeepEqual(pairs, compactroute.SamplePairs(10, 25, 7)) {
+		t.Fatal("SamplePairs not deterministic under a fixed seed")
+	}
+}
