@@ -18,6 +18,9 @@ package compactroute_test
 //	                           wall-clock vs worker count
 //	BenchmarkLazyScaling     - E11: construction through LazyAPSP at sizes
 //	                           where the dense matrices are prohibitive
+//	BenchmarkThm11Construction - E12: end-to-end preprocessing wall-clock,
+//	                           the construction row of BENCH_pr3.json (the
+//	                           kernel rows live in internal/graph)
 //
 // Metrics are attached with b.ReportMetric; the timed loop measures per-hop
 // routing throughput of the preprocessed scheme.
@@ -525,6 +528,25 @@ func BenchmarkParallelPipeline(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkThm11Construction is the end-to-end construction row of E12: one
+// full Theorem 11 preprocessing pass (vicinities, coloring, center cover,
+// Lemma 7/8 cores) on a weighted graph, the workload the flat-CSR search
+// kernels are measured against in BENCH_pr3.json.
+func BenchmarkThm11Construction(b *testing.B) {
+	const n = 512
+	g, err := compactroute.GNM(n, 4*n, benchSeed, true, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	apsp := compactroute.AllPairs(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compactroute.NewTheorem11(g, apsp, compactroute.Options{Eps: benchEps, Seed: benchSeed}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

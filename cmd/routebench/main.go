@@ -8,12 +8,17 @@
 //
 //	routebench [-n 512] [-eps 0.25] [-seed 2015] [-pairs 2000] [-workers 0]
 //	           [-pathsource dense|lazy] [-mem-budget 256] [-scaling]
+//	           [-cpuprofile file] [-memprofile file]
 //
 // -workers caps the worker count of both the parallel preprocessing phase
 // and the batched evaluation engine (0 = all cores). -pathsource selects how
 // preprocessing reads shortest paths: "dense" materializes the full O(n^2)
 // matrices (fast, memory-hungry), "lazy" computes per-source rows on demand
 // behind an LRU cache of -mem-budget MiB. Both produce identical tables.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run
+// (construction + evaluation), the reproducible entry point for profiling
+// perf work: go tool pprof routebench cpu.out.
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"compactroute"
@@ -86,20 +93,49 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("routebench", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 512, "number of vertices")
-		eps     = fs.Float64("eps", 0.25, "epsilon of the (1+eps) techniques")
-		seed    = fs.Int64("seed", 2015, "random seed")
-		pairs   = fs.Int("pairs", 2000, "sampled source-destination pairs")
-		workers = fs.Int("workers", 0, "construction and evaluation workers (0 = all cores)")
-		source  = fs.String("pathsource", "dense", "shortest-path source for preprocessing: dense | lazy")
-		budget  = fs.Int("mem-budget", 256, "lazy path-source row-cache budget in MiB")
-		scaling = fs.Bool("scaling", false, "also run the E2 space-scaling experiment")
+		n          = fs.Int("n", 512, "number of vertices")
+		eps        = fs.Float64("eps", 0.25, "epsilon of the (1+eps) techniques")
+		seed       = fs.Int64("seed", 2015, "random seed")
+		pairs      = fs.Int("pairs", 2000, "sampled source-destination pairs")
+		workers    = fs.Int("workers", 0, "construction and evaluation workers (0 = all cores)")
+		source     = fs.String("pathsource", "dense", "shortest-path source for preprocessing: dense | lazy")
+		budget     = fs.Int("mem-budget", 256, "lazy path-source row-cache budget in MiB")
+		scaling    = fs.Bool("scaling", false, "also run the E2 space-scaling experiment")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The heap-profile defer is registered first so it runs last (LIFO):
+	// its forced GC and pprof encoding must happen after the CPU profile
+	// has stopped, or they would pollute the CPU profile's tail.
+	if *memprofile != "" {
+		defer func() {
+			if err != nil {
+				return
+			}
+			err = writeHeapProfile(*memprofile)
+		}()
+	}
+	if *cpuprofile != "" {
+		f, ferr := os.Create(*cpuprofile)
+		if ferr != nil {
+			return ferr
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			return perr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 	}
 	compactroute.SetParallelism(*workers)
 	defer compactroute.SetParallelism(0)
@@ -169,6 +205,21 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHeapProfile snapshots the live heap (after a GC, so retained routing
+// state rather than garbage dominates the profile) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runScaling(out io.Writer, eps float64, seed int64, pairs int, source string, budgetMB int, evalOpts compactroute.EvalOptions) error {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -34,6 +36,31 @@ func TestRunSmallGraph(t *testing.T) {
 			if fields[len(fields)-1] != "0" {
 				t.Errorf("row reports violations: %s", line)
 			}
+		}
+	}
+}
+
+// TestProfileFlagsProduceFiles smokes the -cpuprofile/-memprofile plumbing:
+// a small run must leave non-empty pprof files behind, so future perf PRs
+// can rely on the profiling entry point without re-checking it by hand.
+func TestProfileFlagsProduceFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every scheme; skipped in short mode")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out strings.Builder
+	if err := run([]string{"-n", "48", "-pairs", "60", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
 		}
 	}
 }

@@ -15,26 +15,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"compactroute/internal/graph"
 	"compactroute/internal/parallel"
 )
-
-// dijkstraScratch is the reusable per-search state of the pruned cluster
-// searches, pooled so each worker recycles one pair of maps across roots
-// (single-worker runs keep the seed's allocate-once behavior).
-type dijkstraScratch struct {
-	dist   map[graph.Vertex]float64
-	parent map[graph.Vertex]graph.Vertex
-}
-
-var scratchPool = sync.Pool{New: func() any {
-	return &dijkstraScratch{
-		dist:   make(map[graph.Vertex]float64, 64),
-		parent: make(map[graph.Vertex]graph.Vertex, 64),
-	}
-}}
 
 // Member is one vertex of a cluster together with its position in the
 // cluster's shortest-path tree.
@@ -205,32 +189,22 @@ func (l *Landmarks) buildClusters(g *graph.Graph) {
 	l.bunches = make([][]graph.Vertex, n)
 	parallel.For(n, func(wi int) {
 		w := graph.Vertex(wi)
-		scratch := scratchPool.Get().(*dijkstraScratch)
-		defer scratchPool.Put(scratch)
-		dist, parent := scratch.dist, scratch.parent
-		clear(dist)
-		clear(parent)
-		h := newClusterHeap()
-		dist[w] = 0
-		parent[w] = graph.NoVertex
-		h.push(0, w)
+		ws := g.AcquireWorkspace()
+		defer g.ReleaseWorkspace(ws)
+		ws.Start(w)
 		var members []Member
-		for h.len() > 0 {
-			d, u := h.pop()
-			if d != dist[u] {
-				continue
+		for {
+			u, d, ok := ws.Pop()
+			if !ok {
+				break
 			}
-			members = append(members, Member{V: u, Dist: d, Parent: parent[u]})
+			members = append(members, Member{V: u, Dist: d, Parent: ws.Parent(u)})
 			g.Neighbors(u, func(_ graph.Port, x graph.Vertex, ew float64) bool {
 				nd := d + ew
 				if nd >= l.DistA[x] { // cluster condition (strict)
 					return true
 				}
-				if old, ok := dist[x]; !ok || nd < old {
-					dist[x] = nd
-					parent[x] = u
-					h.push(nd, x)
-				}
+				ws.Relax(x, nd, u)
 				return true
 			})
 		}
@@ -264,61 +238,6 @@ func (l *Landmarks) MaxClusterSize() int {
 		}
 	}
 	return maxSz
-}
-
-type clusterHeap struct {
-	ds []float64
-	vs []graph.Vertex
-}
-
-func newClusterHeap() *clusterHeap { return &clusterHeap{} }
-
-func (h *clusterHeap) len() int { return len(h.ds) }
-
-func (h *clusterHeap) lessAt(i, j int) bool {
-	if h.ds[i] != h.ds[j] {
-		return h.ds[i] < h.ds[j]
-	}
-	return h.vs[i] < h.vs[j]
-}
-
-func (h *clusterHeap) push(d float64, v graph.Vertex) {
-	h.ds = append(h.ds, d)
-	h.vs = append(h.vs, v)
-	i := len(h.ds) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h.lessAt(i, p) {
-			break
-		}
-		h.ds[i], h.ds[p] = h.ds[p], h.ds[i]
-		h.vs[i], h.vs[p] = h.vs[p], h.vs[i]
-		i = p
-	}
-}
-
-func (h *clusterHeap) pop() (float64, graph.Vertex) {
-	d, v := h.ds[0], h.vs[0]
-	last := len(h.ds) - 1
-	h.ds[0], h.vs[0] = h.ds[last], h.vs[last]
-	h.ds, h.vs = h.ds[:last], h.vs[:last]
-	i := 0
-	for {
-		l, r, sm := 2*i+1, 2*i+2, i
-		if l < len(h.ds) && h.lessAt(l, sm) {
-			sm = l
-		}
-		if r < len(h.ds) && h.lessAt(r, sm) {
-			sm = r
-		}
-		if sm == i {
-			break
-		}
-		h.ds[i], h.ds[sm] = h.ds[sm], h.ds[i]
-		h.vs[i], h.vs[sm] = h.vs[sm], h.vs[i]
-		i = sm
-	}
-	return d, v
 }
 
 // CenterCover implements Lemma 4: it returns Landmarks whose cluster sizes

@@ -29,7 +29,9 @@ type APSP = DenseAPSP
 var _ PathSource = (*DenseAPSP)(nil)
 
 // AllPairs computes APSP by running a single-source search from every vertex,
-// parallelized across cores.
+// parallelized across cores. Each search writes its matrix row in place
+// through a pooled workspace, so beyond the two matrices the computation
+// allocates nothing per source.
 func AllPairs(g *Graph) *DenseAPSP {
 	n := g.N()
 	a := &DenseAPSP{
@@ -38,9 +40,9 @@ func AllPairs(g *Graph) *DenseAPSP {
 		first: make([]Vertex, n*n),
 	}
 	parallel.For(n, func(src int) {
-		s := g.ShortestPaths(Vertex(src))
-		copy(a.dist[src*n:(src+1)*n], s.Dist)
-		copy(a.first[src*n:(src+1)*n], s.First)
+		ws := g.AcquireWorkspace()
+		g.searchInto(ws, Vertex(src), a.dist[src*n:(src+1)*n], nil, a.first[src*n:(src+1)*n])
+		g.ReleaseWorkspace(ws)
 	})
 	return a
 }

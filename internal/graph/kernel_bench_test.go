@@ -1,0 +1,101 @@
+package graph_test
+
+// Kernel benchmarks for the three searches every preprocessing phase bottoms
+// out in (E12 of EXPERIMENTS.md): full single-source shortest paths, the
+// truncated Nearest search behind the vicinities B(u, l), and the on-demand
+// row fill of LazyAPSP. Run with -benchmem: the CSR + pooled-workspace core
+// is held to ~0 steady-state allocations beyond the slices each call returns.
+
+import (
+	"fmt"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+)
+
+func benchKernelGraph(b *testing.B, n int, weighted bool) *graph.Graph {
+	b.Helper()
+	wt := gen.Unit
+	maxW := 0
+	if weighted {
+		wt = gen.UniformInt
+		maxW = 32
+	}
+	g, err := gen.ConnectedGNM(gen.Config{N: n, Seed: 2015, Weighting: wt, MaxWeight: maxW}, 4*n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkShortestPaths measures one full single-source search (BFS on the
+// unit graph, Dijkstra on the weighted one), the kernel behind AllPairs,
+// LazyAPSP rows and every landmark tree.
+func BenchmarkShortestPaths(b *testing.B) {
+	for _, weighted := range []bool{false, true} {
+		name := "unit"
+		if weighted {
+			name = "weighted"
+		}
+		b.Run(fmt.Sprintf("%s/n=4096", name), func(b *testing.B) {
+			g := benchKernelGraph(b, 4096, weighted)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := g.ShortestPaths(graph.Vertex(i % g.N()))
+				if s.Dist[s.Source] != 0 {
+					b.Fatal("bad search")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNearest measures the truncated search that dominates vicinity
+// construction (B(u, l) for every u with l ~ q log n).
+func BenchmarkNearest(b *testing.B) {
+	for _, weighted := range []bool{false, true} {
+		name := "unit"
+		if weighted {
+			name = "weighted"
+		}
+		for _, k := range []int{64, 512} {
+			b.Run(fmt.Sprintf("%s/n=4096/k=%d", name, k), func(b *testing.B) {
+				g := benchKernelGraph(b, 4096, weighted)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := g.Nearest(graph.Vertex(i%g.N()), k)
+					if len(out) < k {
+						b.Fatal("short result")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLazyRowFill measures one uncached LazyAPSP row computation: the
+// cache holds a single row per shard, so every rotated source misses and the
+// benchmark times the row fill itself (search + result materialization).
+func BenchmarkLazyRowFill(b *testing.B) {
+	for _, weighted := range []bool{false, true} {
+		name := "unit"
+		if weighted {
+			name = "weighted"
+		}
+		b.Run(fmt.Sprintf("%s/n=4096", name), func(b *testing.B) {
+			g := benchKernelGraph(b, 4096, weighted)
+			lazy := graph.NewLazyAPSP(g, graph.LazyConfig{MemBudget: 1, Shards: 1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				row := lazy.Row(graph.Vertex(i % g.N()))
+				if row.Dist[row.Src] != 0 {
+					b.Fatal("bad row")
+				}
+			}
+		})
+	}
+}

@@ -143,10 +143,15 @@ func (l *LazyAPSP) Row(src Vertex) Row {
 	}
 	sh.mu.Unlock()
 	// Compute outside the lock so concurrent misses on one shard do not
-	// serialize behind each other's searches.
+	// serialize behind each other's searches. The only allocations of a row
+	// fill are the two retained result slices; search scratch is pooled.
 	l.misses.Add(1)
-	s := l.g.ShortestPaths(src)
-	row := Row{Src: src, Dist: s.Dist, First: s.First}
+	dist := make([]float64, l.n)
+	first := make([]Vertex, l.n)
+	ws := l.g.AcquireWorkspace()
+	l.g.searchInto(ws, src, dist, nil, first)
+	l.g.ReleaseWorkspace(ws)
+	row := Row{Src: src, Dist: dist, First: first}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if e, ok := sh.entries[src]; ok {

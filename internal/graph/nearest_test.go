@@ -1,0 +1,170 @@
+package graph_test
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+)
+
+// TestNearestTiePinning pins the exact (dist, id) lexicographic output of the
+// truncated search on graphs engineered so the k-th distance class is full of
+// ties, on both the BFS-order (unit) and Dijkstra (weighted) paths, including
+// the k >= n and k <= 0 edges. This is the contract the vicinities B(u, l)
+// of Section 2 are built on: the result must close out the whole distance
+// class containing the k-th vertex, in exact lexicographic order.
+func TestNearestTiePinning(t *testing.T) {
+	type want struct {
+		v graph.Vertex
+		d float64
+	}
+	tests := []struct {
+		name  string
+		n     int
+		edges [][3]float64 // u, v, w
+		src   graph.Vertex
+		k     int
+		want  []want // exact expected output, in order; nil means empty
+	}{
+		{
+			// Unit star: vertices 1..5 all at distance 1. k=3 lands inside
+			// the tie class, so the whole class must come back.
+			name: "unit star k inside tie class",
+			n:    6,
+			edges: [][3]float64{
+				{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}, {0, 5, 1},
+			},
+			src: 0, k: 3,
+			want: []want{{0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}},
+		},
+		{
+			// Weighted ties spanning the k-th class: 1 and 2 at distance 2,
+			// then 3, 4, 5 all at distance 5 via different routes. k=4 cuts
+			// into the {3,4,5} class and must pull all of it.
+			name: "weighted tie class at cutoff",
+			n:    6,
+			edges: [][3]float64{
+				{0, 1, 2}, {0, 2, 2}, {1, 3, 3}, {2, 4, 3}, {0, 5, 5},
+			},
+			src: 0, k: 4,
+			want: []want{{0, 0}, {1, 2}, {2, 2}, {3, 5}, {4, 5}, {5, 5}},
+		},
+		{
+			// k exactly closes a class: no extra vertices beyond it.
+			name: "weighted k on class boundary",
+			n:    6,
+			edges: [][3]float64{
+				{0, 1, 2}, {0, 2, 2}, {1, 3, 3}, {2, 4, 3}, {0, 5, 5},
+			},
+			src: 0, k: 3,
+			want: []want{{0, 0}, {1, 2}, {2, 2}},
+		},
+		{
+			// k >= n: every reachable vertex, sorted by (dist, id); the
+			// vertex in a separate component never appears.
+			name: "k exceeds n with unreachable vertex",
+			n:    7,
+			edges: [][3]float64{
+				{0, 1, 4}, {0, 2, 1}, {2, 3, 1}, {1, 4, 1}, {5, 6, 1},
+			},
+			src: 0, k: 100,
+			want: []want{{0, 0}, {2, 1}, {3, 2}, {1, 4}, {4, 5}},
+		},
+		{
+			// Late discovery inside the final class: 4 is discovered through
+			// 2 (dist 3) after 3 was discovered through 1 (dist 3); the
+			// output must still be id-sorted within the class.
+			name: "weighted late discovery resort",
+			n:    5,
+			edges: [][3]float64{
+				{0, 1, 1}, {0, 2, 2}, {1, 3, 2}, {2, 4, 1},
+			},
+			src: 0, k: 4,
+			want: []want{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 3}},
+		},
+		{
+			name:  "k zero",
+			n:     3,
+			edges: [][3]float64{{0, 1, 1}, {1, 2, 1}},
+			src:   0, k: 0,
+			want: nil,
+		},
+		{
+			name:  "k negative",
+			n:     3,
+			edges: [][3]float64{{0, 1, 1}, {1, 2, 1}},
+			src:   0, k: -4,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildWeighted(t, tt.n, tt.edges)
+			check := func(got []graph.NearestResult) {
+				t.Helper()
+				if len(got) != len(tt.want) {
+					t.Fatalf("Nearest(%d,%d) returned %d results, want %d: %v", tt.src, tt.k, len(got), len(tt.want), got)
+				}
+				for i, w := range tt.want {
+					if got[i].V != w.v || got[i].Dist != w.d {
+						t.Fatalf("Nearest(%d,%d)[%d] = (%d,%v), want (%d,%v)", tt.src, tt.k, i, got[i].V, got[i].Dist, w.v, w.d)
+					}
+				}
+			}
+			check(g.Nearest(tt.src, tt.k))
+			// Second run reuses the pooled workspace; epoch stamping must
+			// make it indistinguishable from the first.
+			check(g.Nearest(tt.src, tt.k))
+			// The appending form must behave identically after a prefix.
+			prefix := []graph.NearestResult{{V: 99, Dist: -1, Parent: graph.NoVertex}}
+			out := g.AppendNearest(prefix, tt.src, tt.k)
+			if out[0] != prefix[0] {
+				t.Fatalf("AppendNearest clobbered the existing prefix")
+			}
+			check(out[1:])
+		})
+	}
+}
+
+// TestSearchKernelAllocsSteadyState is the allocation regression guard of the
+// workspace refactor: with a warm pool, the searches must not allocate
+// anything beyond the result slices they hand back - in particular the BFS
+// frontier must not churn (the old queue = queue[1:] idiom shrank the
+// backing array and forced mid-search reallocations).
+func TestSearchKernelAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocs/op is only meaningful without -race")
+	}
+	for _, weighted := range []bool{false, true} {
+		name, wt := "unit", gen.Unit
+		if weighted {
+			name, wt = "weighted", gen.UniformInt
+		}
+		t.Run(name, func(t *testing.T) {
+			g := testutil.MustGNM(t, 512, 2048, 9, wt)
+			// Warm the pool and the Nearest result buffer.
+			g.ShortestPaths(0)
+			buf := g.AppendNearest(nil, 0, 64)
+
+			// ShortestPaths returns three fresh n-slices plus the SSSP
+			// struct; the search itself (heap, queue, visited state) must
+			// add nothing.
+			allocs := testing.AllocsPerRun(20, func() {
+				_ = g.ShortestPaths(1)
+			})
+			if allocs > 4 {
+				t.Errorf("ShortestPaths: %v allocs/op, want <= 4 (outputs only)", allocs)
+			}
+
+			// The appending truncated search with a recycled buffer is the
+			// steady-state vicinity kernel: zero allocations.
+			allocs = testing.AllocsPerRun(20, func() {
+				buf = g.AppendNearest(buf[:0], 2, 64)
+			})
+			if allocs != 0 {
+				t.Errorf("AppendNearest (warm buffer): %v allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -26,9 +26,10 @@ type Row struct {
 //     Theta(n^2) memory and scales to graphs where the dense matrix cannot be
 //     allocated.
 //
-// Both are backed by the same deterministic ShortestPaths search (BFS in
-// fixed port order on unit graphs, a (dist, id)-ordered heap otherwise), so
-// Dist, First, Path and Row return bit-identical values on both
+// Both are backed by the same deterministic single-source search (BFS in
+// fixed port order on unit graphs, a (dist, id)-ordered heap otherwise),
+// running over the graph's CSR arrays with scratch from its workspace pool,
+// so Dist, First, Path and Row return bit-identical values on both
 // implementations - and therefore every scheme constructed through this
 // interface is independent of the implementation choice. Any third
 // implementation must produce rows identical to ShortestPaths, not merely

@@ -1,0 +1,7 @@
+//go:build !race
+
+package graph
+
+// raceEnabledInternal reports whether this binary was built with the race
+// detector.
+const raceEnabledInternal = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package graph
+
+// raceEnabledInternal mirrors the graph_test sentinel for internal tests:
+// sync.Pool deliberately randomizes its behavior under the race detector,
+// so pool-identity assertions only hold without -race.
+const raceEnabledInternal = true

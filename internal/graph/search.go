@@ -19,81 +19,109 @@ type SSSP struct {
 }
 
 // ShortestPaths computes single-source shortest paths from src, using BFS on
-// unit-weight graphs and Dijkstra otherwise.
+// unit-weight graphs and Dijkstra otherwise. The returned slices are fresh;
+// all search scratch comes from the graph's workspace pool.
 func (g *Graph) ShortestPaths(src Vertex) *SSSP {
-	if g.unit {
-		return g.bfs(src)
-	}
-	return g.dijkstra(src)
-}
-
-func newSSSP(g *Graph, src Vertex) *SSSP {
+	n := g.N()
 	s := &SSSP{
 		Source: src,
-		Dist:   make([]float64, g.N()),
-		Parent: make([]Vertex, g.N()),
-		First:  make([]Vertex, g.N()),
+		Dist:   make([]float64, n),
+		Parent: make([]Vertex, n),
+		First:  make([]Vertex, n),
 	}
-	for i := range s.Dist {
-		s.Dist[i] = Infinity
-		s.Parent[i] = NoVertex
-		s.First[i] = NoVertex
-	}
-	s.Dist[src] = 0
-	s.First[src] = src
+	ws := g.AcquireWorkspace()
+	g.searchInto(ws, src, s.Dist, s.Parent, s.First)
+	g.ReleaseWorkspace(ws)
 	return s
 }
 
-func (g *Graph) bfs(src Vertex) *SSSP {
-	s := newSSSP(g, src)
-	queue := make([]Vertex, 0, g.N())
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, e := range g.adj[u] {
-			if s.Parent[e.to] == NoVertex && e.to != src {
-				s.Parent[e.to] = u
-				s.Dist[e.to] = s.Dist[u] + 1
-				if u == src {
-					s.First[e.to] = e.to
-				} else {
-					s.First[e.to] = s.First[u]
-				}
-				queue = append(queue, e.to)
-			}
+// searchInto runs the full single-source search from src, writing distances,
+// first hops and (when non-nil) tree parents into the caller's slices - the
+// allocation-free core shared by ShortestPaths, AllPairs and the LazyAPSP
+// row fill. All transient state (heap, BFS queue) lives in ws.
+func (g *Graph) searchInto(ws *Workspace, src Vertex, dist []float64, parent, first []Vertex) {
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	for i := range first {
+		first[i] = NoVertex
+	}
+	if parent != nil {
+		for i := range parent {
+			parent[i] = NoVertex
 		}
 	}
-	return s
+	dist[src] = 0
+	first[src] = src
+	if g.unit {
+		g.bfsInto(ws, src, dist, parent, first)
+	} else {
+		g.dijkstraInto(ws, src, dist, parent, first)
+	}
 }
 
-func (g *Graph) dijkstra(src Vertex) *SSSP {
-	s := newSSSP(g, src)
-	done := make([]bool, g.N())
-	h := newVertexHeap(g.N())
-	h.push(heapItem{dist: 0, v: src})
+// bfsInto is the unit-weight search. The frontier lives in the workspace's
+// preallocated queue, drained by a head index that never wraps (at most n
+// vertices are ever enqueued), so the whole search performs no queue
+// reallocation (the old queue = queue[1:] idiom shrank the backing array's
+// capacity with every dequeue and forced append to reallocate mid-search).
+func (g *Graph) bfsInto(ws *Workspace, src Vertex, dist []float64, parent, first []Vertex) {
+	q := append(ws.queue[:0], src)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u] + 1
+		fu := first[u]
+		for i := g.off[u]; i < g.off[u+1]; i++ {
+			v := g.to[i]
+			if first[v] != NoVertex { // discovered (first[src] == src)
+				continue
+			}
+			dist[v] = du
+			if parent != nil {
+				parent[v] = u
+			}
+			if u == src {
+				first[v] = v
+			} else {
+				first[v] = fu
+			}
+			q = append(q, v)
+		}
+	}
+}
+
+// dijkstraInto is the weighted search: a lazy-deletion Dijkstra over the
+// workspace's 4-ary heap. Stale heap entries are recognized by distance
+// mismatch (relaxations are strict improvements, so a popped entry matching
+// its label is the finalizing pop), preserving the exact (dist, id)
+// finalization order of the original done-set implementation.
+func (g *Graph) dijkstraInto(ws *Workspace, src Vertex, dist []float64, parent, first []Vertex) {
+	h := &ws.heap
+	h.reset()
+	h.push(0, src)
 	for h.len() > 0 {
-		it := h.pop()
-		u := it.v
-		if done[u] {
-			continue
+		d, u := h.pop()
+		if d != dist[u] {
+			continue // superseded by a shorter relaxation
 		}
-		done[u] = true
-		for _, e := range g.adj[u] {
-			nd := s.Dist[u] + e.w
-			if nd < s.Dist[e.to] {
-				s.Dist[e.to] = nd
-				s.Parent[e.to] = u
-				if u == src {
-					s.First[e.to] = e.to
-				} else {
-					s.First[e.to] = s.First[u]
+		fu := first[u]
+		for i := g.off[u]; i < g.off[u+1]; i++ {
+			v := g.to[i]
+			nd := d + g.w[i]
+			if nd < dist[v] {
+				dist[v] = nd
+				if parent != nil {
+					parent[v] = u
 				}
-				h.push(heapItem{dist: nd, v: e.to})
+				if u == src {
+					first[v] = v
+				} else {
+					first[v] = fu
+				}
+				h.push(nd, v)
 			}
 		}
 	}
-	return s
 }
 
 // Path reconstructs the tree path from the source to v, inclusive on both
@@ -110,70 +138,6 @@ func (s *SSSP) Path(v Vertex) []Vertex {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev
-}
-
-// heapItem is an entry of the vertex priority queue. Entries compare by
-// (dist, v) so pop order is deterministic.
-type heapItem struct {
-	dist float64
-	v    Vertex
-}
-
-func (a heapItem) less(b heapItem) bool {
-	if a.dist != b.dist {
-		return a.dist < b.dist
-	}
-	return a.v < b.v
-}
-
-// vertexHeap is a plain binary min-heap of heapItems. A hand-rolled heap
-// avoids the interface indirection of container/heap in the hot loops of the
-// preprocessing phases.
-type vertexHeap struct {
-	items []heapItem
-}
-
-func newVertexHeap(capacity int) *vertexHeap {
-	return &vertexHeap{items: make([]heapItem, 0, capacity)}
-}
-
-func (h *vertexHeap) len() int { return len(h.items) }
-
-func (h *vertexHeap) push(it heapItem) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.items[i].less(h.items[parent]) {
-			break
-		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
-	}
-}
-
-func (h *vertexHeap) pop() heapItem {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(h.items) && h.items[l].less(h.items[small]) {
-			small = l
-		}
-		if r < len(h.items) && h.items[r].less(h.items[small]) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h.items[i], h.items[small] = h.items[small], h.items[i]
-		i = small
-	}
-	return top
 }
 
 // NearestResult is one finalized vertex of a truncated search, in
@@ -193,49 +157,47 @@ func (g *Graph) Nearest(src Vertex, k int) []NearestResult {
 	if k <= 0 {
 		return nil
 	}
-	dist := make(map[Vertex]float64, 4*k)
-	parent := make(map[Vertex]Vertex, 4*k)
-	done := make(map[Vertex]bool, 4*k)
-	h := newVertexHeap(4 * k)
-	h.push(heapItem{dist: 0, v: src})
-	dist[src] = 0
-	parent[src] = NoVertex
-	var out []NearestResult
-	var cutoff float64 = Infinity
-	for h.len() > 0 {
-		it := h.pop()
-		if done[it.v] {
-			continue
+	return g.AppendNearest(nil, src, k)
+}
+
+// AppendNearest is Nearest appending into out, the steady-state form for
+// callers that recycle their result buffer: with a warm buffer and workspace
+// pool the truncated search performs no allocations. k <= 0 returns out
+// unchanged.
+func (g *Graph) AppendNearest(out []NearestResult, src Vertex, k int) []NearestResult {
+	if k <= 0 {
+		return out
+	}
+	base := len(out)
+	ws := g.AcquireWorkspace()
+	ws.Start(src)
+	cutoff := Infinity
+	count := 0
+	for {
+		v, d, ok := ws.Pop()
+		if !ok {
+			break
 		}
 		// Once k vertices are finalized, keep going only while the popped
 		// distance still equals the distance of the k-th vertex, so the
 		// final distance class is complete.
-		if len(out) >= k {
-			if it.dist > cutoff {
-				break
-			}
+		if count >= k && d > cutoff {
+			break
 		}
-		done[it.v] = true
-		out = append(out, NearestResult{V: it.v, Dist: it.dist, Parent: parent[it.v]})
-		if len(out) == k {
-			cutoff = it.dist
+		out = append(out, NearestResult{V: v, Dist: d, Parent: ws.Parent(v)})
+		count++
+		if count == k {
+			cutoff = d
 		}
-		for _, e := range g.adj[it.v] {
-			nd := it.dist + e.w
-			if d, ok := dist[e.to]; !ok || nd < d {
-				if done[e.to] {
-					continue
-				}
-				dist[e.to] = nd
-				parent[e.to] = it.v
-				h.push(heapItem{dist: nd, v: e.to})
-			}
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			ws.Relax(g.to[i], d+g.w[i], v)
 		}
 	}
+	g.ReleaseWorkspace(ws)
 	// The heap pops by (dist, id), but a vertex can be *discovered* late:
 	// within the final distance class the pop order may interleave ids, so
 	// re-sort to get the exact lexicographic order the paper requires.
-	sortNearest(out)
+	sortNearest(out[base:])
 	return out
 }
 

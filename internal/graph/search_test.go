@@ -109,6 +109,16 @@ func TestDeterminismCanonicalPathTieBreak(t *testing.T) {
 			if first := s.First[tt.dst]; first != tt.want[1] {
 				t.Fatalf("SSSP first hop %d want %d", first, tt.want[1])
 			}
+			// Dirty the pooled workspace with searches from every other
+			// source, then repeat: epoch-stamped scratch reuse must not be
+			// able to shift a single tie-break.
+			for u := 0; u < tt.n; u++ {
+				g.ShortestPaths(graph.Vertex(u))
+				g.Nearest(graph.Vertex(u), tt.n)
+			}
+			if got := g.ShortestPaths(tt.src).Path(tt.dst); !equalPath(got, tt.want) {
+				t.Fatalf("SSSP path after workspace reuse %v want %v", got, tt.want)
+			}
 			// Both PathSource implementations must replay the same canonical
 			// walk, hop by hop.
 			dense := graph.AllPairs(g)

@@ -19,7 +19,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"compactroute/internal/cluster"
 	"compactroute/internal/graph"
@@ -153,22 +152,16 @@ func (h *Hierarchy) buildClusters() error {
 		if lvl+1 < h.K {
 			thr = h.D[lvl+1]
 		}
-		scratch := scratchPool.Get().(*dijkstraScratch)
-		defer scratchPool.Put(scratch)
-		dist, parent := scratch.dist, scratch.parent
-		clear(dist)
-		clear(parent)
-		pq := &pairHeap{}
-		dist[w] = 0
-		parent[w] = graph.NoVertex
-		pq.push(0, w)
+		ws := g.AcquireWorkspace()
+		defer g.ReleaseWorkspace(ws)
+		ws.Start(w)
 		var edges []treeroute.Edge
-		for pq.len() > 0 {
-			d, u := pq.pop()
-			if d != dist[u] {
-				continue
+		for {
+			u, d, ok := ws.Pop()
+			if !ok {
+				break
 			}
-			edges = append(edges, treeroute.Edge{V: u, Parent: parent[u]})
+			edges = append(edges, treeroute.Edge{V: u, Parent: ws.Parent(u)})
 			members[wi].vs = append(members[wi].vs, u)
 			members[wi].ds = append(members[wi].ds, d)
 			g.Neighbors(u, func(_ graph.Port, x graph.Vertex, ew float64) bool {
@@ -176,11 +169,7 @@ func (h *Hierarchy) buildClusters() error {
 				if thr != nil && nd >= thr[x] {
 					return true
 				}
-				if old, ok := dist[x]; !ok || nd < old {
-					dist[x] = nd
-					parent[x] = u
-					pq.push(nd, x)
-				}
+				ws.Relax(x, nd, u)
 				return true
 			})
 		}
@@ -364,72 +353,3 @@ func (s *Scheme) LabelWords(graph.Vertex) int { return 2 * s.k }
 
 // StretchBound implements simnet.Scheme: 4k-5 (with the cluster refinement).
 func (s *Scheme) StretchBound(d float64) float64 { return float64(4*s.k-5) * d }
-
-// pairHeap is a minimal (dist, vertex) binary heap.
-type pairHeap struct {
-	ds []float64
-	vs []graph.Vertex
-}
-
-func (h *pairHeap) len() int { return len(h.ds) }
-
-func (h *pairHeap) lessAt(i, j int) bool {
-	if h.ds[i] != h.ds[j] {
-		return h.ds[i] < h.ds[j]
-	}
-	return h.vs[i] < h.vs[j]
-}
-
-func (h *pairHeap) push(d float64, v graph.Vertex) {
-	h.ds = append(h.ds, d)
-	h.vs = append(h.vs, v)
-	i := len(h.ds) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h.lessAt(i, p) {
-			break
-		}
-		h.ds[i], h.ds[p] = h.ds[p], h.ds[i]
-		h.vs[i], h.vs[p] = h.vs[p], h.vs[i]
-		i = p
-	}
-}
-
-func (h *pairHeap) pop() (float64, graph.Vertex) {
-	d, v := h.ds[0], h.vs[0]
-	last := len(h.ds) - 1
-	h.ds[0], h.vs[0] = h.ds[last], h.vs[last]
-	h.ds, h.vs = h.ds[:last], h.vs[:last]
-	i := 0
-	for {
-		l, r, sm := 2*i+1, 2*i+2, i
-		if l < len(h.ds) && h.lessAt(l, sm) {
-			sm = l
-		}
-		if r < len(h.ds) && h.lessAt(r, sm) {
-			sm = r
-		}
-		if sm == i {
-			break
-		}
-		h.ds[i], h.ds[sm] = h.ds[sm], h.ds[i]
-		h.vs[i], h.vs[sm] = h.vs[sm], h.vs[i]
-		i = sm
-	}
-	return d, v
-}
-
-// dijkstraScratch is the reusable per-search state of the pruned cluster
-// searches, pooled so each worker recycles one pair of maps across roots
-// (single-worker runs keep the seed's allocate-once behavior).
-type dijkstraScratch struct {
-	dist   map[graph.Vertex]float64
-	parent map[graph.Vertex]graph.Vertex
-}
-
-var scratchPool = sync.Pool{New: func() any {
-	return &dijkstraScratch{
-		dist:   make(map[graph.Vertex]float64, 64),
-		parent: make(map[graph.Vertex]graph.Vertex, 64),
-	}
-}}

@@ -7,10 +7,16 @@ package vicinity
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"compactroute/internal/graph"
 	"compactroute/internal/parallel"
 )
+
+// nearBufPool recycles the truncated-search result buffer across Build
+// calls: every entry is copied into the Set before the buffer is returned,
+// so with a warm pool the per-vertex search allocates nothing.
+var nearBufPool = sync.Pool{New: func() any { return new([]graph.NearestResult) }}
 
 // Member is one vertex of a vicinity together with the routing information
 // Lemma 2 stores for it: the first hop of a shortest path from the center.
@@ -34,7 +40,19 @@ func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
 	if l < 1 {
 		return nil, fmt.Errorf("vicinity: need l >= 1, got %d", l)
 	}
-	near := g.Nearest(u, l)
+	// A single truncated search for l+1 vertices serves both the members and
+	// the radius: Nearest results are prefixes of the global (dist, id)
+	// order, so the first l entries are exactly B(u, l) and the entry after
+	// them (if any) is the first excluded vertex computeRadius needs. This
+	// halves the searches of the old Build+computeRadius pair without
+	// changing a bit of the output.
+	bufp := nearBufPool.Get().(*[]graph.NearestResult)
+	defer func() {
+		nearBufPool.Put(bufp)
+	}()
+	all := g.AppendNearest((*bufp)[:0], u, l+1)
+	*bufp = all[:0] // keep the grown backing array for the next Build
+	near := all
 	if len(near) > l {
 		near = near[:l]
 	}
@@ -59,7 +77,7 @@ func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
 		s.members[i] = Member{V: nr.V, Dist: nr.Dist, First: first}
 		s.index[nr.V] = int32(i)
 	}
-	s.radius = s.computeRadius(g)
+	s.radius = s.computeRadius(all)
 	return s, nil
 }
 
@@ -67,19 +85,20 @@ func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
 // at distance exactly r from u belongs to the set. Distance classes below the
 // maximum member distance are complete by construction (Nearest closes
 // classes), so the radius is the maximum member distance unless the last
-// class was truncated by the size cutoff.
-func (s *Set) computeRadius(g *graph.Graph) float64 {
+// class was truncated by the size cutoff. all is the (l+1)-truncated search
+// the members were cut from; the entry after the members (when present) is
+// the closest excluded vertex.
+func (s *Set) computeRadius(all []graph.NearestResult) float64 {
 	if len(s.members) == 0 {
 		return 0
 	}
 	last := s.members[len(s.members)-1].Dist
 	// The last distance class is complete iff no excluded vertex sits at
-	// exactly distance `last`. Ask for one extra vertex to find out.
-	extra := g.Nearest(s.center, len(s.members)+1)
-	if len(extra) <= len(s.members) {
+	// exactly distance `last`.
+	if len(all) <= len(s.members) {
 		return last // vicinity covers every reachable vertex
 	}
-	if extra[len(s.members)].Dist == last {
+	if all[len(s.members)].Dist == last {
 		// Truncated class: radius is the largest complete class below it.
 		for i := len(s.members) - 1; i >= 0; i-- {
 			if s.members[i].Dist < last {
