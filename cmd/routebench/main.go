@@ -9,6 +9,14 @@
 //	routebench [-n 512] [-eps 0.25] [-seed 2015] [-pairs 2000] [-workers 0]
 //	           [-pathsource dense|lazy] [-mem-budget 256] [-scaling]
 //	           [-cpuprofile file] [-memprofile file]
+//	           [-save prefix | -load prefix] [-schemes thm11,tz-k2]
+//
+// -save writes a snapshot of every snapshot-capable row (exact, tz-k2,
+// tz-k3, thm11) to <prefix>-<row>.snap after construction and restricts the
+// evaluation to those rows; -load replays the same evaluation from the
+// snapshots without constructing anything. The two runs produce
+// byte-identical output - the round-trip fidelity check behind the snapshot
+// subsystem (cmd/routeserve serves the same files).
 //
 // -workers caps the worker count of both the parallel preprocessing phase
 // and the batched evaluation engine (0 = all cores). -pathsource selects how
@@ -29,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"text/tabwriter"
 
 	"compactroute"
@@ -83,6 +92,24 @@ func rows() []row {
 	}
 }
 
+// snapshotRowNames lists the Table 1 rows whose schemes have registered
+// snapshot support (see internal/wire); -save/-load operate on these.
+var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm11"}
+
+func isSnapshotRow(name string) bool {
+	for _, s := range snapshotRowNames {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshotPath names the snapshot file of one row under a -save/-load prefix.
+func snapshotPath(prefix, row string) string {
+	return prefix + "-" + row + ".snap"
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -106,9 +133,40 @@ func run(args []string, out io.Writer) (err error) {
 		scaling    = fs.Bool("scaling", false, "also run the E2 space-scaling experiment")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		save       = fs.String("save", "", "write snapshots of the snapshot-capable rows to <prefix>-<row>.snap after construction and evaluate only those rows")
+		load       = fs.String("load", "", "load the snapshot-capable rows from <prefix>-<row>.snap (written by -save) instead of constructing; the evaluation output is byte-identical to the -save run")
+		schemes    = fs.String("schemes", "", "comma-separated row filter (e.g. thm11,tz-k2); restricts construction and evaluation to the named rows")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *save != "" && *load != "" {
+		return errors.New("-save and -load are mutually exclusive")
+	}
+	snapMode := *save != "" || *load != ""
+	if snapMode && *scaling {
+		return errors.New("-scaling cannot be combined with -save/-load")
+	}
+	if *schemes != "" && *scaling {
+		return errors.New("-scaling cannot be combined with -schemes (the scaling sweep has its own fixed row set)")
+	}
+	rowFilter := map[string]bool{}
+	if *schemes != "" {
+		known := map[string]bool{}
+		for _, r := range rows() {
+			known[r.name] = true
+		}
+		for _, name := range strings.Split(*schemes, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				return fmt.Errorf("-schemes: unknown row %q", name)
+			}
+			if snapMode && !isSnapshotRow(name) {
+				return fmt.Errorf("-schemes: row %q has no snapshot support (snapshot rows: %s)",
+					name, strings.Join(snapshotRowNames, ", "))
+			}
+			rowFilter[name] = true
+		}
 	}
 	// The heap-profile defer is registered first so it runs last (LIFO):
 	// its forced GC and pprof encoding must happen after the CPU profile
@@ -143,29 +201,102 @@ func run(args []string, out io.Writer) (err error) {
 
 	fmt.Fprintf(out, "# Table 1 reproduction: G(n=%d, m=%d), eps=%v, %d sampled pairs, %d workers, %s paths\n\n",
 		*n, 4**n, *eps, *pairs, compactroute.Parallelism(), *source)
+	if snapMode {
+		active := snapshotRowNames
+		if len(rowFilter) > 0 {
+			active = nil
+			for _, name := range snapshotRowNames {
+				if rowFilter[name] {
+					active = append(active, name)
+				}
+			}
+		}
+		fmt.Fprintf(out, "# snapshot rows only: %s\n\n", strings.Join(active, ", "))
+	}
+	// Only the weight classes the surviving rows actually use are built: a
+	// filtered run (e.g. -schemes thm11) must not pay for the other class's
+	// graph and path source.
+	needWeight := map[bool]bool{}
+	for _, r := range rows() {
+		if snapMode && !isSnapshotRow(r.name) {
+			continue
+		}
+		if len(rowFilter) > 0 && !rowFilter[r.name] {
+			continue
+		}
+		needWeight[r.weighted] = true
+	}
 	graphs := make(map[bool]*compactroute.Graph)
 	apsps := make(map[bool]compactroute.PathSource)
-	for _, weighted := range []bool{false, true} {
-		g, err := compactroute.GNM(*n, 4**n, *seed, weighted, 32)
-		if err != nil {
-			return err
+	if *load == "" {
+		for _, weighted := range []bool{false, true} {
+			if !needWeight[weighted] {
+				continue
+			}
+			g, err := compactroute.GNM(*n, 4**n, *seed, weighted, 32)
+			if err != nil {
+				return err
+			}
+			graphs[weighted] = g
+			src, err := compactroute.NewPathSource(g, *source, *budget)
+			if err != nil {
+				return err
+			}
+			apsps[weighted] = src
 		}
-		graphs[weighted] = g
-		src, err := compactroute.NewPathSource(g, *source, *budget)
-		if err != nil {
-			return err
-		}
-		apsps[weighted] = src
 	}
 	ps := compactroute.SamplePairs(*n, *pairs, *seed)
+	// Loaded schemes with byte-identical graphs (same fingerprint) share one
+	// true-distance source, mirroring the per-weight-class sharing of the
+	// construction path.
+	loadedSources := map[uint64]compactroute.PathSource{}
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tgraph\tpaper stretch\tpaper space\tmax stretch\tmean stretch\tmax add\ttable max\ttable mean\tlabel\theader\tviol")
 	for _, r := range rows() {
-		g, a := graphs[r.weighted], apsps[r.weighted]
-		s, err := r.build(g, a, *eps, *seed)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.name, err)
+		if snapMode && !isSnapshotRow(r.name) {
+			continue
+		}
+		if len(rowFilter) > 0 && !rowFilter[r.name] {
+			continue
+		}
+		var s compactroute.Scheme
+		var a compactroute.PathSource
+		if *load != "" {
+			// Serve-side half of the round trip: the scheme and its graph
+			// come entirely from the snapshot written by -save; only the
+			// true-distance source for evaluation is rebuilt.
+			var err error
+			s, err = compactroute.LoadSchemeFile(snapshotPath(*load, r.name))
+			if err != nil {
+				return fmt.Errorf("%s: %w", r.name, err)
+			}
+			if got := s.Graph().N(); got != *n {
+				return fmt.Errorf("%s: snapshot graph has n=%d but -n is %d (pass the -n the snapshot was saved with)",
+					r.name, got, *n)
+			}
+			fp := s.Graph().Fingerprint()
+			a = loadedSources[fp]
+			if a == nil {
+				a, err = compactroute.NewPathSource(s.Graph(), *source, *budget)
+				if err != nil {
+					return err
+				}
+				loadedSources[fp] = a
+			}
+		} else {
+			g := graphs[r.weighted]
+			a = apsps[r.weighted]
+			var err error
+			s, err = r.build(g, a, *eps, *seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", r.name, err)
+			}
+			if *save != "" {
+				if err := compactroute.SaveSchemeFile(snapshotPath(*save, r.name), s); err != nil {
+					return fmt.Errorf("%s: %w", r.name, err)
+				}
+			}
 		}
 		ev, err := compactroute.EvaluateBatched(s, a, ps, evalOpts)
 		if err != nil {
@@ -182,6 +313,11 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+	if snapMode || len(rowFilter) > 0 {
+		// The selected rows are the whole comparison; the remaining sections
+		// would force construction work that -load/-schemes exist to avoid.
+		return nil
 	}
 	fmt.Fprintln(out, "\nliterature rows of Table 1 not re-implemented here (cited values):")
 	fmt.Fprintln(out, "  abraham-gavoille: (2,1) stretch, O~(n^3/4) space [DISC'11]")

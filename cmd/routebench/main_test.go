@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"compactroute"
 )
 
 // TestRunSmallGraph drives the full main path (graph generation, every
@@ -62,6 +64,122 @@ func TestProfileFlagsProduceFiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Errorf("profile %s is empty", path)
 		}
+	}
+}
+
+// TestSnapshotSaveLoadByteIdentical is the acceptance criterion of the
+// snapshot round trip at CLI level: a -save run (construct, snapshot,
+// evaluate) and a -load run (decode, evaluate) must print byte-identical
+// evaluation output, for both path sources and two seeds.
+func TestSnapshotSaveLoadByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and round-trips four schemes repeatedly; skipped in short mode")
+	}
+	for _, source := range []string{"dense", "lazy"} {
+		for _, seed := range []string{"2015", "2043"} {
+			t.Run(source+"/seed"+seed, func(t *testing.T) {
+				prefix := filepath.Join(t.TempDir(), "snap")
+				common := []string{"-n", "80", "-pairs", "150", "-seed", seed, "-pathsource", source, "-mem-budget", "1"}
+				var saved, loaded strings.Builder
+				if err := run(append([]string{"-save", prefix}, common...), &saved); err != nil {
+					t.Fatalf("save run: %v", err)
+				}
+				if err := run(append([]string{"-load", prefix}, common...), &loaded); err != nil {
+					t.Fatalf("load run: %v", err)
+				}
+				if saved.String() != loaded.String() {
+					t.Errorf("save and load runs diverge:\n--- save ---\n%s\n--- load ---\n%s",
+						saved.String(), loaded.String())
+				}
+				for _, row := range snapshotRowNames {
+					if _, err := os.Stat(snapshotPath(prefix, row)); err != nil {
+						t.Errorf("snapshot of %s not written: %v", row, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSchemesFilter pins the -schemes row filter: only the named rows are
+// constructed and printed, and unknown names are rejected.
+func TestSchemesFilter(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "48", "-pairs", "60", "-schemes", "exact,tz-k2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "exact") || !strings.Contains(text, "tz-k2") {
+		t.Errorf("filtered rows missing:\n%s", text)
+	}
+	for _, absent := range []string{"thm11", "warmup", "nameind"} {
+		if strings.Contains(text, absent) {
+			t.Errorf("row %q printed despite filter:\n%s", absent, text)
+		}
+	}
+	if err := run([]string{"-schemes", "thm99"}, &out); err == nil {
+		t.Fatal("unknown -schemes row accepted")
+	}
+}
+
+// TestSnapshotRowNamesMatchRegistry guards snapshotRowNames against drift:
+// a Table 1 row is listed exactly when its built scheme reports a
+// registered snapshot kind, so a scheme gaining wire support without a
+// routebench update fails here instead of being silently skipped.
+func TestSnapshotRowNamesMatchRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every scheme; skipped in short mode")
+	}
+	const n = 48
+	for _, r := range rows() {
+		g, err := compactroute.GNM(n, 4*n, 2015, r.weighted, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.build(g, compactroute.AllPairs(g), 0.5, 2015)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		capable := compactroute.SnapshotKind(s) != ""
+		if capable != isSnapshotRow(r.name) {
+			t.Errorf("row %s: SnapshotKind=%q but isSnapshotRow=%v - update snapshotRowNames",
+				r.name, compactroute.SnapshotKind(s), isSnapshotRow(r.name))
+		}
+	}
+}
+
+// TestLoadRejectsMismatchedN is the regression test for the -load crash: a
+// snapshot saved at one n replayed with a different -n must error cleanly
+// (sampled pairs would otherwise index outside the loaded scheme's graph).
+func TestLoadRejectsMismatchedN(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "snap")
+	var out strings.Builder
+	if err := run([]string{"-n", "64", "-pairs", "50", "-schemes", "exact", "-save", prefix}, &out); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-n", "96", "-pairs", "50", "-schemes", "exact", "-load", prefix}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-n") {
+		t.Fatalf("mismatched -n not rejected cleanly: %v", err)
+	}
+}
+
+func TestSnapshotFlagsExclusive(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-save", "a", "-load", "b"}, &out); err == nil {
+		t.Fatal("-save with -load accepted")
+	}
+	if err := run([]string{"-save", "a", "-scaling"}, &out); err == nil {
+		t.Fatal("-save with -scaling accepted")
+	}
+	// A snapshot-mode run filtered to a row without snapshot support would
+	// silently do nothing; it must be rejected up front.
+	if err := run([]string{"-save", "a", "-schemes", "warmup"}, &out); err == nil {
+		t.Fatal("-save with a non-snapshot -schemes row accepted")
+	}
+	// -scaling has its own fixed row set; silently skipping it under
+	// -schemes would drop the experiment the user asked for.
+	if err := run([]string{"-schemes", "exact", "-scaling"}, &out); err == nil {
+		t.Fatal("-schemes with -scaling accepted")
 	}
 }
 

@@ -1,6 +1,8 @@
 // Command routedemo builds one routing scheme on a generated graph and
 // routes a handful of messages, printing the full path each packet takes
-// next to the true shortest distance.
+// next to the true shortest distance. Every delivery is checked against the
+// scheme's proved stretch bound; a routing failure or a bound violation
+// exits non-zero.
 //
 // Usage:
 //
@@ -8,29 +10,37 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"compactroute"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "routedemo:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("routedemo", flag.ContinueOnError)
 	var (
-		scheme = flag.String("scheme", "thm11", "one of: warmup, thm10, thm11, thm13, thm15, thm16, tz, exact")
-		n      = flag.Int("n", 200, "number of vertices")
-		seed   = flag.Int64("seed", 1, "random seed")
-		routes = flag.Int("routes", 8, "number of demo routes")
-		eps    = flag.Float64("eps", 0.25, "epsilon")
+		scheme = fs.String("scheme", "thm11", "one of: warmup, thm10, thm11, thm13, thm15, thm16, tz, exact")
+		n      = fs.Int("n", 200, "number of vertices")
+		seed   = fs.Int64("seed", 1, "random seed")
+		routes = fs.Int("routes", 8, "number of demo routes")
+		eps    = fs.Float64("eps", 0.25, "epsilon")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	weighted := map[string]bool{"warmup": true, "thm11": true, "thm16": true, "tz": true}[*scheme]
 	g, err := compactroute.GNM(*n, 4**n, *seed, weighted, 16)
@@ -65,17 +75,25 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("scheme %s on G(%d, %d); guaranteed stretch of d=10: <= %.2f\n\n",
+	fmt.Fprintf(out, "scheme %s on G(%d, %d); guaranteed stretch of d=10: <= %.2f\n\n",
 		s.Name(), g.N(), g.M(), s.StretchBound(10))
 	nw := compactroute.NewNetworkWithPath(s)
 	for _, p := range compactroute.SamplePairs(*n, *routes, *seed+7) {
 		res, err := nw.Route(p[0], p[1])
 		if err != nil {
-			return err
+			return fmt.Errorf("route %d->%d: %w", p[0], p[1], err)
 		}
 		d := apsp.Dist(p[0], p[1])
-		fmt.Printf("%4d -> %-4d d=%-5.0f routed=%-6.0f stretch=%.2f hops=%d\n        path %v\n",
-			p[0], p[1], d, res.Weight, res.Weight/d, res.Hops, res.Path)
+		if res.Weight > s.StretchBound(d)+1e-9 {
+			return fmt.Errorf("route %d->%d violates the proved stretch bound: routed %v, bound %v (d=%v)",
+				p[0], p[1], res.Weight, s.StretchBound(d), d)
+		}
+		stretch := 1.0
+		if d > 0 {
+			stretch = res.Weight / d
+		}
+		fmt.Fprintf(out, "%4d -> %-4d d=%-5.0f routed=%-6.0f stretch=%.2f hops=%d\n        path %v\n",
+			p[0], p[1], d, res.Weight, stretch, res.Hops, res.Path)
 	}
 	return nil
 }

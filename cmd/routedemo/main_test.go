@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSchemes smokes the demo for a weighted and an unweighted scheme:
+// construction, routing, bound verification and rendering all succeed on a
+// small graph.
+func TestRunSchemes(t *testing.T) {
+	for _, scheme := range []string{"thm11", "exact"} {
+		t.Run(scheme, func(t *testing.T) {
+			var out strings.Builder
+			if err := run([]string{"-scheme", scheme, "-n", "64", "-routes", "5"}, &out); err != nil {
+				t.Fatal(err)
+			}
+			text := out.String()
+			if !strings.Contains(text, "guaranteed stretch") {
+				t.Errorf("missing banner:\n%s", text)
+			}
+			if got := strings.Count(text, "path ["); got != 5 {
+				t.Errorf("want 5 routed paths, got %d:\n%s", got, text)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownScheme(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scheme", "carrier-pigeon", "-n", "16"}, &out); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

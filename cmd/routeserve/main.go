@@ -1,0 +1,363 @@
+// Command routeserve loads a scheme snapshot (written by routebench -save
+// or compactroute.SaveScheme) and serves route and distance queries from it
+// - the online half of the build-once / serve-forever split the snapshot
+// subsystem exists for.
+//
+// Usage:
+//
+//	routeserve -snapshot thm11.snap [-workers 0] [-verify] [-json]
+//	           [-mem-budget 256] [-listen addr]
+//	routeserve -snapshot thm11.snap -loadgen [-queries 100000] [-batch 4096]
+//	           [-seed 2015] [-workers 0] [-verify] [-json]
+//
+// In server mode, commands are read line by line from stdin (or from each
+// TCP connection when -listen is given):
+//
+//	route U V    route a packet from U to V
+//	dist U V     true shortest-path distance (computed on demand, cached)
+//	stats        live serving statistics (QPS, hop quantiles, stretch)
+//	quit         close the session
+//
+// Responses are single lines, JSON objects under -json. With -verify every
+// route response also carries the true distance and observed stretch, and
+// deliveries are checked against the scheme's proved stretch bound.
+//
+// In -loadgen mode, routeserve is its own closed-loop benchmark client: it
+// samples -queries random pairs, serves them in batches of -batch across
+// -workers shards, and prints a throughput/quality summary - the harness
+// behind experiment E13 (see EXPERIMENTS.md).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"compactroute"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "routeserve:", err)
+		os.Exit(1)
+	}
+}
+
+// server bundles the loaded scheme, the query engine and the lazy distance
+// source one serving process holds.
+type server struct {
+	scheme   compactroute.Scheme
+	eng      *compactroute.ServeEngine
+	paths    compactroute.PathSource
+	verify   bool
+	jsonMode bool
+	snapSize int64
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("routeserve", flag.ContinueOnError)
+	var (
+		snapshot = fs.String("snapshot", "", "scheme snapshot file to serve (required)")
+		workers  = fs.Int("workers", 0, "serving shards (0 = all cores)")
+		verify   = fs.Bool("verify", false, "verify every delivery against the proved stretch bound")
+		jsonMode = fs.Bool("json", false, "emit JSON responses and summaries")
+		budget   = fs.Int("mem-budget", 256, "distance row-cache budget in MiB (dist command, -verify)")
+		listen   = fs.String("listen", "", "serve the line protocol on this TCP address instead of stdin")
+		loadgen  = fs.Bool("loadgen", false, "run the closed-loop load generator instead of serving")
+		queries  = fs.Int("queries", 100000, "loadgen: total queries to serve")
+		batch    = fs.Int("batch", 4096, "loadgen: queries per batch")
+		seed     = fs.Int64("seed", 2015, "loadgen: pair-sampling seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapshot == "" {
+		return errors.New("-snapshot is required")
+	}
+	st, err := os.Stat(*snapshot)
+	if err != nil {
+		return err
+	}
+	scheme, err := compactroute.LoadSchemeFile(*snapshot)
+	if err != nil {
+		return err
+	}
+	paths := compactroute.NewLazyAPSP(scheme.Graph(), int64(*budget)<<20)
+	opts := compactroute.ServeOptions{Workers: *workers, Verify: *verify}
+	if *verify {
+		opts.Paths = paths
+	}
+	eng, err := compactroute.NewServeEngine(scheme, opts)
+	if err != nil {
+		return err
+	}
+	srv := &server{scheme: scheme, eng: eng, paths: paths, verify: *verify,
+		jsonMode: *jsonMode, snapSize: st.Size()}
+	if *loadgen {
+		return srv.runLoadgen(out, *queries, *batch, *seed)
+	}
+	if *listen != "" {
+		return srv.listenAndServe(*listen, out)
+	}
+	srv.banner(out)
+	return srv.serveConn(in, out)
+}
+
+func (s *server) banner(out io.Writer) {
+	g := s.scheme.Graph()
+	fmt.Fprintf(out, "# serving %s (kind %s) on G(n=%d, m=%d): %d workers, %d snapshot bytes, verify=%v\n",
+		s.scheme.Name(), compactroute.SnapshotKind(s.scheme), g.N(), g.M(),
+		s.eng.Workers(), s.snapSize, s.verify)
+}
+
+// listenAndServe accepts TCP connections and speaks the line protocol on
+// each; it runs until the listener fails (e.g. the process is killed).
+func (s *server) listenAndServe(addr string, out io.Writer) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(out, "# listening on %s\n", l.Addr())
+	s.banner(out)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.serveConn(conn, conn)
+		}()
+	}
+}
+
+// routeReply is the JSON shape of a route response. The numeric result
+// fields are never omitted: 0 hops / weight 0 (routing to oneself) and
+// distance 0 are legitimate answers a client must be able to read.
+type routeReply struct {
+	Op      string  `json:"op"`
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Hops    int     `json:"hops"`
+	Weight  float64 `json:"weight"`
+	Header  int     `json:"header"`
+	Dist    float64 `json:"dist"`
+	Stretch float64 `json:"stretch"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// serveConn runs the line protocol until EOF or "quit". Malformed commands
+// produce an error line and the session continues.
+func (s *server) serveConn(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	n := s.scheme.Graph().N()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "quit", "exit":
+			return w.Flush()
+		case "stats":
+			st := s.eng.Stats()
+			if s.jsonMode {
+				_ = enc.Encode(statsSummary(st))
+			} else {
+				fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f)\n",
+					st.Queries, st.QPS, st.Errors, st.BoundViolations,
+					st.P50Hops, st.P99Hops, st.MeanHops, st.MaxStretch)
+			}
+		case "route", "dist":
+			u, v, err := parsePair(fields, n)
+			if err != nil {
+				s.errLine(w, enc, cmd, err)
+				break
+			}
+			if cmd == "dist" {
+				d := s.paths.Dist(u, v)
+				if s.jsonMode {
+					// JSON has no +Inf; an unreachable pair is reported as
+					// dist -1 with an explicit marker (encoding Inf would
+					// make Encode fail and the client would get no reply).
+					rep := routeReply{Op: "dist", Src: int(u), Dst: int(v), Dist: d}
+					if math.IsInf(d, 1) {
+						rep.Dist = -1
+						rep.Err = "unreachable"
+					}
+					_ = enc.Encode(rep)
+				} else {
+					fmt.Fprintf(w, "dist %d %d %g\n", u, v, d)
+				}
+				break
+			}
+			res := s.eng.Route(u, v)
+			if res.Err != nil {
+				s.errLine(w, enc, cmd, res.Err)
+				break
+			}
+			if s.jsonMode {
+				rep := routeReply{Op: "route", Src: int(u), Dst: int(v), Hops: res.Hops,
+					Weight: res.Weight, Header: res.HeaderWords}
+				if s.verify {
+					rep.Dist = res.Dist
+					if res.Dist > 0 {
+						rep.Stretch = res.Weight / res.Dist
+					}
+				}
+				_ = enc.Encode(rep)
+			} else {
+				fmt.Fprintf(w, "route %d %d hops=%d weight=%g header=%d", u, v, res.Hops, res.Weight, res.HeaderWords)
+				if s.verify {
+					fmt.Fprintf(w, " dist=%g", res.Dist)
+					if res.Dist > 0 {
+						fmt.Fprintf(w, " stretch=%.3f", res.Weight/res.Dist)
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		default:
+			s.errLine(w, enc, cmd, fmt.Errorf("unknown command (want route | dist | stats | quit)"))
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func (s *server) errLine(w io.Writer, enc *json.Encoder, op string, err error) {
+	if s.jsonMode {
+		_ = enc.Encode(routeReply{Op: op, Err: err.Error()})
+	} else {
+		fmt.Fprintf(w, "err %s: %v\n", op, err)
+	}
+}
+
+func parsePair(fields []string, n int) (u, v compactroute.Vertex, err error) {
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("want: %s U V", fields[0])
+	}
+	ui, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad vertex %q", fields[1])
+	}
+	vi, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad vertex %q", fields[2])
+	}
+	if ui < 0 || ui >= n || vi < 0 || vi >= n {
+		return 0, 0, fmt.Errorf("vertex out of range [0,%d)", n)
+	}
+	return compactroute.Vertex(ui), compactroute.Vertex(vi), nil
+}
+
+// loadgenSummary is the JSON shape of a load-generator run, the record
+// format of BENCH_pr4.json.
+type loadgenSummary struct {
+	Scheme        string  `json:"scheme"`
+	Kind          string  `json:"kind"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	Workers       int     `json:"workers"`
+	Verify        bool    `json:"verify"`
+	Queries       uint64  `json:"queries"`
+	Errors        uint64  `json:"errors"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	QPS           float64 `json:"qps"`
+	MeanHops      float64 `json:"mean_hops"`
+	P50Hops       int     `json:"p50_hops"`
+	P99Hops       int     `json:"p99_hops"`
+	MaxStretch    float64 `json:"max_stretch"`
+	Violations    uint64  `json:"violations"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	TableWords    int64   `json:"table_words"`
+}
+
+type statsReply struct {
+	Queries    uint64  `json:"queries"`
+	QPS        float64 `json:"qps"`
+	Errors     uint64  `json:"errors"`
+	Violations uint64  `json:"violations"`
+	P50Hops    int     `json:"p50_hops"`
+	P99Hops    int     `json:"p99_hops"`
+	MeanHops   float64 `json:"mean_hops"`
+	MaxStretch float64 `json:"max_stretch"`
+}
+
+func statsSummary(st compactroute.ServeStats) statsReply {
+	return statsReply{Queries: st.Queries, QPS: st.QPS, Errors: st.Errors,
+		Violations: st.BoundViolations, P50Hops: st.P50Hops, P99Hops: st.P99Hops,
+		MeanHops: st.MeanHops, MaxStretch: st.MaxStretch}
+}
+
+// runLoadgen is the closed-loop benchmark: it serves `queries` sampled
+// pairs in batches and reports throughput and quality. It fails (non-zero
+// exit) on any routing error or stretch-bound violation, so CI runs double
+// as a correctness check.
+func (s *server) runLoadgen(out io.Writer, queries, batch int, seed int64) error {
+	g := s.scheme.Graph()
+	if batch < 1 {
+		batch = 1
+	}
+	pairs := compactroute.SamplePairs(g.N(), queries, seed)
+	if len(pairs) == 0 {
+		return fmt.Errorf("graph too small to sample pairs")
+	}
+	buf := make([]compactroute.ServeResult, min(batch, len(pairs)))
+	s.eng.ResetStats()
+	start := time.Now()
+	for lo := 0; lo < len(pairs); lo += batch {
+		hi := min(lo+batch, len(pairs))
+		for _, res := range s.eng.Query(pairs[lo:hi], buf) {
+			if res.Err != nil {
+				return fmt.Errorf("loadgen: %w", res.Err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	st := s.eng.Stats()
+	var tableWords int64
+	for v := 0; v < g.N(); v++ {
+		tableWords += int64(s.scheme.TableWords(compactroute.Vertex(v)))
+	}
+	sum := loadgenSummary{
+		Scheme: s.scheme.Name(), Kind: compactroute.SnapshotKind(s.scheme),
+		N: g.N(), M: g.M(), Workers: s.eng.Workers(), Verify: s.verify,
+		Queries: st.Queries, Errors: st.Errors,
+		ElapsedSec: elapsed.Seconds(), QPS: float64(st.Queries) / elapsed.Seconds(),
+		MeanHops: st.MeanHops, P50Hops: st.P50Hops, P99Hops: st.P99Hops,
+		MaxStretch: st.MaxStretch, Violations: st.BoundViolations,
+		SnapshotBytes: s.snapSize, TableWords: tableWords,
+	}
+	if st.BoundViolations != 0 {
+		return fmt.Errorf("loadgen: %d stretch-bound violations over %d queries", st.BoundViolations, st.Queries)
+	}
+	if s.jsonMode {
+		return json.NewEncoder(out).Encode(sum)
+	}
+	fmt.Fprintf(out, "# loadgen %s on G(n=%d, m=%d): %d workers, verify=%v\n",
+		sum.Scheme, sum.N, sum.M, sum.Workers, sum.Verify)
+	fmt.Fprintf(out, "queries=%d elapsed=%.3fs qps=%.0f\n", sum.Queries, sum.ElapsedSec, sum.QPS)
+	fmt.Fprintf(out, "hops p50=%d p99=%d mean=%.2f\n", sum.P50Hops, sum.P99Hops, sum.MeanHops)
+	fmt.Fprintf(out, "stretch max=%.3f violations=%d\n", sum.MaxStretch, sum.Violations)
+	fmt.Fprintf(out, "snapshot bytes=%d table words=%d\n", sum.SnapshotBytes, sum.TableWords)
+	return nil
+}

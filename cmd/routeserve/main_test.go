@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compactroute"
+)
+
+// writeSnapshot builds a small Theorem 11 scheme and saves it to a temp
+// file, returning the path and the scheme's graph size.
+func writeSnapshot(t *testing.T) (path string, n int) {
+	t.Helper()
+	n = 72
+	g, err := compactroute.GNM(n, 4*n, 2015, true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := compactroute.AllPairs(g)
+	s, err := compactroute.NewTheorem11(g, ps, compactroute.Options{Eps: 0.5, Seed: 2015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(t.TempDir(), "thm11.snap")
+	if err := compactroute.SaveSchemeFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path, n
+}
+
+// TestServeLineProtocol drives a full session over the stdin transport:
+// route, dist, stats, malformed input, quit.
+func TestServeLineProtocol(t *testing.T) {
+	snap, _ := writeSnapshot(t)
+	in := strings.NewReader(strings.Join([]string{
+		"route 3 41",
+		"dist 3 41",
+		"route 3",        // malformed: missing vertex
+		"route 3 999999", // out of range
+		"teleport 1 2",   // unknown command
+		"stats",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	if err := run([]string{"-snapshot", snap, "-verify", "-workers", "2"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# serving thm11-5+eps",
+		"route 3 41 hops=",
+		"stretch=",
+		"dist 3 41 ",
+		"err route: want: route U V",
+		"err route: vertex out of range",
+		"err teleport: unknown command",
+		"stats queries=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeJSONProtocol checks the -json transport parses back cleanly and
+// a verified route reply carries a consistent stretch.
+func TestServeJSONProtocol(t *testing.T) {
+	snap, _ := writeSnapshot(t)
+	in := strings.NewReader("route 5 60\nquit\n")
+	var out strings.Builder
+	if err := run([]string{"-snapshot", snap, "-verify", "-json"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	last := lines[len(lines)-1]
+	var rep struct {
+		Op      string  `json:"op"`
+		Hops    int     `json:"hops"`
+		Weight  float64 `json:"weight"`
+		Dist    float64 `json:"dist"`
+		Stretch float64 `json:"stretch"`
+	}
+	if err := json.Unmarshal([]byte(last), &rep); err != nil {
+		t.Fatalf("bad JSON %q: %v", last, err)
+	}
+	if rep.Op != "route" || rep.Hops < 1 || rep.Dist <= 0 {
+		t.Fatalf("unexpected reply %+v", rep)
+	}
+	if got := rep.Weight / rep.Dist; rep.Stretch < 1 || got-rep.Stretch > 1e-9 || rep.Stretch-got > 1e-9 {
+		t.Fatalf("stretch %v inconsistent with weight/dist %v", rep.Stretch, got)
+	}
+}
+
+// TestLoadgen runs the closed-loop generator with verification on: every
+// query must deliver within the proved stretch bound, and the JSON summary
+// must report the run.
+func TestLoadgen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serves thousands of queries; skipped in short mode")
+	}
+	snap, _ := writeSnapshot(t)
+	var out strings.Builder
+	err := run([]string{"-snapshot", snap, "-loadgen", "-queries", "5000",
+		"-batch", "512", "-workers", "4", "-verify", "-json"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Scheme     string  `json:"scheme"`
+		Queries    uint64  `json:"queries"`
+		QPS        float64 `json:"qps"`
+		Violations uint64  `json:"violations"`
+		MaxStretch float64 `json:"max_stretch"`
+		SnapBytes  int64   `json:"snapshot_bytes"`
+		TableWords int64   `json:"table_words"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("bad summary %q: %v", out.String(), err)
+	}
+	if sum.Scheme != "thm11-5+eps" || sum.Queries != 5000 || sum.Violations != 0 {
+		t.Fatalf("unexpected summary %+v", sum)
+	}
+	if sum.QPS <= 0 || sum.SnapBytes <= 0 || sum.TableWords <= 0 {
+		t.Fatalf("degenerate summary %+v", sum)
+	}
+}
+
+func TestRunRejectsMissingSnapshot(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Fatal("expected error without -snapshot")
+	}
+	if err := run([]string{"-snapshot", "/definitely/not/a/file"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("expected error for missing snapshot file")
+	}
+}

@@ -18,7 +18,7 @@
 //     and header sizes in words - the measurements behind the reproduction
 //     of the paper's Table 1 (see EXPERIMENTS.md).
 //
-// Quick start:
+// Quick start (build and route):
 //
 //	g, _ := compactroute.GNM(1000, 6000, 1, false, 0)
 //	apsp := compactroute.AllPairs(g)
@@ -26,6 +26,24 @@
 //	nw := compactroute.NewNetwork(scheme)
 //	res, _ := nw.Route(3, 977)
 //	fmt.Println(res.Hops, res.Weight)
+//
+// Save, load and serve: a preprocessed scheme can be persisted as a
+// versioned binary snapshot (graph + every table, sequence and label) and
+// served in another process without rebuilding - the loaded scheme makes
+// bit-identical routing decisions. The serving engine shards queries across
+// workers and keeps live statistics (QPS, hop quantiles, stretch histogram,
+// bound violations):
+//
+//	_ = compactroute.SaveSchemeFile("thm11.snap", scheme)     // build process
+//
+//	scheme, _ = compactroute.LoadSchemeFile("thm11.snap")     // serving process
+//	eng, _ := compactroute.NewServeEngine(scheme, compactroute.ServeOptions{Workers: 8})
+//	out := eng.Query(compactroute.SamplePairs(1000, 4096, 7), nil)
+//	fmt.Println(out[0].Hops, eng.Stats().QPS)
+//
+// cmd/routebench -save/-load writes and replays snapshots for the Table 1
+// rows; cmd/routeserve serves a snapshot over a line/JSON protocol and
+// contains the closed-loop load generator behind experiment E13.
 package compactroute
 
 import (

@@ -1,11 +1,12 @@
 package compactroute
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"compactroute/internal/parallel"
-	"compactroute/internal/simnet"
+	"compactroute/internal/serve"
 	"compactroute/internal/space"
 )
 
@@ -71,19 +72,6 @@ type EvalOptions struct {
 	Workers int
 }
 
-// pairOutcome is the per-pair routing record a worker fills in. Every pair
-// owns one slot, so workers never contend and the merge below can run over
-// pair indices in order - the aggregation is bit-identical for every worker
-// count. The true distance is looked up in the parallel phase too: against a
-// LazyAPSP it may cost a shortest-path search, which must not serialize
-// inside the merge loop.
-type pairOutcome struct {
-	weight float64
-	hops   int
-	header int
-	dist   float64
-}
-
 // Evaluate routes every pair through the scheme and aggregates stretch,
 // hops, header and storage statistics. A routing failure is returned as an
 // error; stretch-bound violations are counted, not fatal. It is the
@@ -92,37 +80,45 @@ func Evaluate(s Scheme, paths PathSource, pairs [][2]Vertex) (Evaluation, error)
 	return EvaluateBatched(s, paths, pairs, EvalOptions{Workers: 1})
 }
 
-// EvaluateBatched is the batched evaluation engine: it shards pairs across
-// opts.Workers routing workers, each routing its share through the scheme
-// concurrently, and merges the per-pair outcomes deterministically (in pair
-// order, the order the sequential path uses), so the returned Evaluation is
-// identical to Evaluate for every worker count. A routing failure aborts the
-// evaluation with the error of the lowest failing pair index.
-//
-// Prepare and Next of a preprocessed Scheme are read-only local computations
-// (see simnet.Scheme), so a single Network is safely shared by all workers.
+// EvaluateBatched is the batched evaluation engine, built as a client of
+// the serving engine (internal/serve): pairs are served as one verified
+// batch across opts.Workers shards - each shard owning its slots of the
+// result slice - and the per-pair outcomes are merged deterministically in
+// pair order, the order the sequential path uses, so the returned
+// Evaluation is identical to Evaluate for every worker count. A routing
+// failure aborts the evaluation with the error of the lowest failing pair
+// index. The true distance of every pair is looked up in the parallel
+// phase: against a LazyAPSP it may cost a shortest-path search, which must
+// not serialize inside the merge loop.
 func EvaluateBatched(s Scheme, paths PathSource, pairs [][2]Vertex, opts EvalOptions) (Evaluation, error) {
 	ev := Evaluation{Scheme: s.Name(), Pairs: len(pairs)}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = parallel.Workers()
 	}
-	nw := simnet.NewNetwork(s)
-	outcomes := make([]pairOutcome, len(pairs))
-	if err := parallel.ForNErr(workers, len(pairs), func(i int) error {
-		res, err := nw.Route(pairs[i][0], pairs[i][1])
-		if err != nil {
-			return fmt.Errorf("evaluate %s: %w", s.Name(), err)
+	eng, err := serve.New(s, serve.Options{Workers: workers, Verify: true, Paths: paths, FailFast: true})
+	if err != nil {
+		return ev, fmt.Errorf("evaluate %s: %w", s.Name(), err)
+	}
+	outcomes := eng.Query(pairs, nil)
+	// Report the lowest-index real failure; ErrAborted marks pairs the
+	// fail-fast batch skipped after that failure.
+	var aborted error
+	for i := range outcomes {
+		if err := outcomes[i].Err; err != nil {
+			if errors.Is(err, serve.ErrAborted) {
+				if aborted == nil {
+					aborted = err
+				}
+				continue
+			}
+			return ev, fmt.Errorf("evaluate %s: %w", s.Name(), err)
 		}
-		outcomes[i] = pairOutcome{
-			weight: res.Weight,
-			hops:   res.Hops,
-			header: res.HeaderWords,
-			dist:   paths.Dist(pairs[i][0], pairs[i][1]),
-		}
-		return nil
-	}); err != nil {
-		return ev, err
+	}
+	if aborted != nil {
+		// Unreachable unless Query aborts without a recorded cause; fail
+		// rather than aggregate a partial batch.
+		return ev, fmt.Errorf("evaluate %s: %w", s.Name(), aborted)
 	}
 	// Deterministic merge in pair order.
 	var stretchSum float64
@@ -130,24 +126,24 @@ func EvaluateBatched(s Scheme, paths PathSource, pairs [][2]Vertex, opts EvalOpt
 	var hopsSum int
 	for i := range pairs {
 		o := outcomes[i]
-		d := o.dist
-		if o.weight > s.StretchBound(d)+1e-9 {
+		d := o.Dist
+		if o.Weight > s.StretchBound(d)+1e-9 {
 			ev.BoundViolations++
 		}
 		if d > 0 {
-			str := o.weight / d
+			str := o.Weight / d
 			stretchSum += str
 			stretchCnt++
 			if str > ev.MaxStretch {
 				ev.MaxStretch = str
 			}
-			if add := o.weight - d; add > ev.MaxAdditive {
+			if add := o.Weight - d; add > ev.MaxAdditive {
 				ev.MaxAdditive = add
 			}
 		}
-		hopsSum += o.hops
-		if o.header > ev.MaxHeader {
-			ev.MaxHeader = o.header
+		hopsSum += o.Hops
+		if o.HeaderWords > ev.MaxHeader {
+			ev.MaxHeader = o.HeaderWords
 		}
 	}
 	if stretchCnt > 0 {

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/wire"
+)
+
+// EncodeWire writes the landmark structure: the set A, the nearest-landmark
+// tables p_A / d(.,A), and every cluster's members (V, Dist, Parent) in
+// search order. The bunches are the transpose of the clusters and are
+// rebuilt on decode.
+func (l *Landmarks) EncodeWire(e *wire.Encoder) {
+	e.Vertices(l.A)
+	e.Vertices(l.P)
+	e.Float64s(l.DistA)
+	for _, ms := range l.clusters {
+		e.Uint32(uint32(len(ms)))
+		for _, m := range ms {
+			e.Vertex(m.V)
+			e.Float64(m.Dist)
+			e.Vertex(m.Parent)
+		}
+	}
+}
+
+// Restore rebuilds a Landmarks from its serialized parts, re-deriving the
+// membership flags and the bunch transpose exactly as New does.
+func Restore(n int, a, p []graph.Vertex, distA []float64, clusters [][]Member) (*Landmarks, error) {
+	if len(a) == 0 {
+		return nil, fmt.Errorf("cluster: restore: empty landmark set")
+	}
+	if len(p) != n || len(distA) != n || len(clusters) != n {
+		return nil, fmt.Errorf("cluster: restore: table lengths %d/%d/%d, want n=%d",
+			len(p), len(distA), len(clusters), n)
+	}
+	l := &Landmarks{
+		A:        a,
+		inA:      make([]bool, n),
+		P:        p,
+		DistA:    distA,
+		clusters: clusters,
+		bunches:  make([][]graph.Vertex, n),
+	}
+	for i, v := range a {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("cluster: restore: landmark %d out of range", v)
+		}
+		if i > 0 && a[i-1] >= v {
+			return nil, fmt.Errorf("cluster: restore: landmark set not sorted and unique at %d", v)
+		}
+		l.inA[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if p[v] < 0 || int(p[v]) >= n || !l.inA[p[v]] {
+			return nil, fmt.Errorf("cluster: restore: p_A(%d)=%d is not a landmark", v, p[v])
+		}
+		if math.IsNaN(distA[v]) || distA[v] < 0 {
+			return nil, fmt.Errorf("cluster: restore: d(%d, A)=%v invalid", v, distA[v])
+		}
+	}
+	for w, ms := range clusters {
+		for _, m := range ms {
+			if m.V < 0 || int(m.V) >= n {
+				return nil, fmt.Errorf("cluster: restore: member %d of C_A(%d) out of range", m.V, w)
+			}
+			if m.Parent != graph.NoVertex && (m.Parent < 0 || int(m.Parent) >= n) {
+				return nil, fmt.Errorf("cluster: restore: parent %d in C_A(%d) out of range", m.Parent, w)
+			}
+			l.bunches[m.V] = append(l.bunches[m.V], graph.Vertex(w))
+		}
+	}
+	for v := range l.bunches {
+		sort.Slice(l.bunches[v], func(i, j int) bool { return l.bunches[v][i] < l.bunches[v][j] })
+	}
+	return l, nil
+}
+
+// DecodeWire reads a landmark structure written by EncodeWire.
+func DecodeWire(d *wire.Decoder, n int) (*Landmarks, error) {
+	a := d.Vertices()
+	p := d.Vertices()
+	distA := d.Float64s()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if !d.Alloc(int64(n) * 48) { // per-vertex tables, cluster and bunch headers
+		return nil, d.Err()
+	}
+	clusters := make([][]Member, n)
+	for w := 0; w < n; w++ {
+		c := d.Count(16) // V + Dist + Parent
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		ms := make([]Member, c)
+		for i := range ms {
+			ms[i] = Member{V: d.Vertex(), Dist: d.Float64(), Parent: d.Vertex()}
+		}
+		clusters[w] = ms
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	l, err := Restore(n, a, p, distA, clusters)
+	if err != nil {
+		d.Failf("%v", err)
+		return nil, d.Err()
+	}
+	return l, nil
+}

@@ -1,0 +1,61 @@
+package coloring
+
+import (
+	"fmt"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/wire"
+)
+
+// Restore rebuilds a Coloring from its per-vertex color array. The classes
+// are re-derived; property (1) is not re-verified here - a snapshot stores
+// the colors of an already-verified coloring, and the scheme decoders that
+// consume the result (representative derivation in schemeutil) fail cleanly
+// if a color is missing from a vicinity.
+func Restore(n, q int, colors []Color) (*Coloring, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("coloring: restore: need q >= 1, got %d", q)
+	}
+	if len(colors) != n {
+		return nil, fmt.Errorf("coloring: restore: %d colors for %d vertices", len(colors), n)
+	}
+	c := &Coloring{q: q, colors: colors, classes: make([][]graph.Vertex, q)}
+	for v, cv := range colors {
+		if cv < 0 || int(cv) >= q {
+			return nil, fmt.Errorf("coloring: restore: vertex %d has color %d outside [0,%d)", v, cv, q)
+		}
+		c.classes[cv] = append(c.classes[cv], graph.Vertex(v))
+	}
+	return c, nil
+}
+
+// EncodeWire writes the coloring: q and the per-vertex colors.
+func (c *Coloring) EncodeWire(e *wire.Encoder) {
+	e.Uint32(uint32(c.q))
+	e.Uint32(uint32(len(c.colors)))
+	for _, cv := range c.colors {
+		e.Int32(int32(cv))
+	}
+}
+
+// DecodeWire reads a coloring written by EncodeWire for n vertices.
+func DecodeWire(d *wire.Decoder, n int) (*Coloring, error) {
+	q := int(d.Uint32())
+	c := d.Count(4)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	colors := make([]Color, c)
+	for i := range colors {
+		colors[i] = Color(d.Int32())
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	col, err := Restore(n, q, colors)
+	if err != nil {
+		d.Failf("%v", err)
+		return nil, d.Err()
+	}
+	return col, nil
+}

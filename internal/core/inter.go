@@ -56,7 +56,44 @@ type InterConfig struct {
 
 // NewInter runs the Lemma 8 preprocessing.
 func NewInter(cfg InterConfig) (*Inter, error) {
-	g, paths := cfg.Graph, cfg.Paths
+	in, err := newInterBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	paths := cfg.Paths
+	in.maxDist = maxDistBound(paths)
+	q := len(cfg.WParts)
+	// Sequences: every u stores one per target in W_{part(u)}.
+	if err := parallel.ForErr(in.g.N(), func(u int) error {
+		j := cfg.UPartOf[u]
+		if int(j) >= q {
+			return nil // parts beyond W receive no targets
+		}
+		in.seqs[u] = make(map[graph.Vertex]interSeq, len(cfg.WParts[j]))
+		for _, w := range cfg.WParts[j] {
+			if graph.Vertex(u) == w {
+				continue
+			}
+			sq, err := in.buildSequence(paths, graph.Vertex(u), w, j)
+			if err != nil {
+				return fmt.Errorf("core: inter sequence %d->%d: %w", u, w, err)
+			}
+			in.seqs[u][w] = sq
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// newInterBase validates the Lemma 8 inputs and derives everything except
+// the sequences and maxDist: the target partition map and the relay
+// representatives are pure functions of the vicinities and partitions, so
+// both the construction path (NewInter) and the snapshot restore path
+// (RestoreInter) share this.
+func newInterBase(cfg InterConfig) (*Inter, error) {
+	g := cfg.Graph
 	n := g.N()
 	if len(cfg.Vics) != n || len(cfg.UPartOf) != n {
 		return nil, fmt.Errorf("core: inter config arrays must have length n=%d", n)
@@ -75,7 +112,6 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 		b:        b,
 		eps:      cfg.Eps,
 		scale:    minEdgeWeight(g),
-		maxDist:  maxDistBound(paths),
 		relayRep: make([][]graph.Vertex, n),
 		seqs:     make([]map[graph.Vertex]interSeq, n),
 	}
@@ -98,7 +134,7 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 		found := 0
 		for _, m := range cfg.Vics[u].Members() { // (dist, id) order
 			j := cfg.UPartOf[m.V]
-			if int(j) < q && reps[j] == graph.NoVertex {
+			if int(j) >= 0 && int(j) < q && reps[j] == graph.NoVertex {
 				reps[j] = m.V
 				if found++; found == q {
 					break
@@ -111,27 +147,6 @@ func NewInter(cfg InterConfig) (*Inter, error) {
 			}
 		}
 		in.relayRep[u] = reps
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	// Sequences: every u stores one per target in W_{part(u)}.
-	if err := parallel.ForErr(n, func(u int) error {
-		j := cfg.UPartOf[u]
-		if int(j) >= q {
-			return nil // parts beyond W receive no targets
-		}
-		in.seqs[u] = make(map[graph.Vertex]interSeq, len(cfg.WParts[j]))
-		for _, w := range cfg.WParts[j] {
-			if graph.Vertex(u) == w {
-				continue
-			}
-			sq, err := in.buildSequence(paths, graph.Vertex(u), w, j)
-			if err != nil {
-				return fmt.Errorf("core: inter sequence %d->%d: %w", u, w, err)
-			}
-			in.seqs[u][w] = sq
-		}
 		return nil
 	}); err != nil {
 		return nil, err

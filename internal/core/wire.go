@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sort"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/wire"
+)
+
+// EncodeWire writes the Lemma 8 state that cannot be re-derived without a
+// PathSource: the distance upper bound and the per-source target sequences
+// (targets in increasing id order, so the stream is deterministic).
+// Everything else - the target partition map, the relay representatives,
+// the doubling scale - is a pure function of the restore inputs.
+func (in *Inter) EncodeWire(e *wire.Encoder) {
+	e.Float64(in.maxDist)
+	for u := range in.seqs {
+		targets := make([]graph.Vertex, 0, len(in.seqs[u]))
+		for w := range in.seqs[u] {
+			targets = append(targets, w)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		e.Uint32(uint32(len(targets)))
+		for _, w := range targets {
+			sq := in.seqs[u][w]
+			e.Vertex(w)
+			e.Bool(sq.relay)
+			e.Vertices(sq.waypoints)
+		}
+	}
+}
+
+// RestoreInter rebuilds a Lemma 8 structure from a decoded sequence stream:
+// the derivable state comes from cfg (cfg.Paths is not consulted), the
+// sequences and maxDist from d. Decoded vertex ids are range-checked so a
+// corrupt snapshot fails instead of panicking.
+func RestoreInter(cfg InterConfig, d *wire.Decoder) (*Inter, error) {
+	in, err := newInterBase(cfg)
+	if err != nil {
+		d.Failf("%v", err)
+		return nil, d.Err()
+	}
+	in.maxDist = d.Float64()
+	n := in.g.N()
+	if !d.Alloc(int64(n) * 16) { // per-source map headers
+		return nil, d.Err()
+	}
+	for u := 0; u < n; u++ {
+		c := d.Count(9) // per target at least: id + relay flag + count
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if c == 0 {
+			continue
+		}
+		in.seqs[u] = make(map[graph.Vertex]interSeq, c)
+		for i := 0; i < c; i++ {
+			w := d.Vertex()
+			relay := d.Bool()
+			wps := d.Vertices()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if w < 0 || int(w) >= n {
+				d.Failf("sequence target %d out of range", w)
+				return nil, d.Err()
+			}
+			for _, wp := range wps {
+				if wp < 0 || int(wp) >= n {
+					d.Failf("waypoint %d out of range in sequence %d->%d", wp, u, w)
+					return nil, d.Err()
+				}
+			}
+			if _, dup := in.seqs[u][w]; dup {
+				d.Failf("duplicate sequence %d->%d", u, w)
+				return nil, d.Err()
+			}
+			in.seqs[u][w] = interSeq{waypoints: wps, relay: relay}
+		}
+	}
+	return in, nil
+}

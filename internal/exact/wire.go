@@ -1,0 +1,58 @@
+package exact
+
+import (
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+	"compactroute/internal/wire"
+)
+
+// WireKindName is the registered snapshot kind of the exact baseline.
+const WireKindName = "exact/v1"
+
+func init() { wire.Register(WireKindName, decodeSnapshot) }
+
+const secPorts = "exact/ports"
+
+// WireKind implements wire.Encodable.
+func (s *Scheme) WireKind() string { return WireKindName }
+
+// EncodeSnapshot implements wire.Encodable: the full n x n first-hop port
+// matrix, row by row.
+func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
+	e := snap.Section(secPorts)
+	for _, row := range s.ports {
+		for _, p := range row {
+			e.Port(p)
+		}
+	}
+	return nil
+}
+
+func decodeSnapshot(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error) {
+	d, err := snap.Decoder(secPorts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if !d.Alloc(4 * int64(n) * int64(n)) {
+		return nil, d.Err()
+	}
+	s := &Scheme{g: g, ports: make([][]graph.Port, n)}
+	for u := 0; u < n; u++ {
+		row := make([]graph.Port, n)
+		deg := graph.Port(g.Degree(graph.Vertex(u)))
+		for v := 0; v < n; v++ {
+			p := d.Port()
+			if p != graph.NoPort && (p < 0 || p >= deg) {
+				d.Failf("port[%d][%d]=%d outside degree %d", u, v, p, deg)
+				return nil, d.Err()
+			}
+			row[v] = p
+		}
+		s.ports[u] = row
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

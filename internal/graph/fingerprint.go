@@ -1,0 +1,37 @@
+package graph
+
+import "math"
+
+// FNV-1a 64-bit constants.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x1099511628211
+)
+
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's exact structure:
+// the vertex count and, in CSR order, every half-edge's head and weight
+// bits. Two graphs have equal fingerprints exactly when their port-numbered
+// adjacency is identical (up to hash collisions), so a snapshot's scheme
+// sections can be tied to the graph they were preprocessed for.
+func (g *Graph) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(g.N()))
+	for u := 0; u < g.N(); u++ {
+		lo, hi := g.off[u], g.off[u+1]
+		h = fnvMix(h, uint64(hi-lo))
+		for i := lo; i < hi; i++ {
+			h = fnvMix(h, uint64(uint32(g.to[i])))
+			h = fnvMix(h, math.Float64bits(g.w[i]))
+		}
+	}
+	return h
+}

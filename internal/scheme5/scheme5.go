@@ -86,15 +86,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	if err != nil {
 		return nil, fmt.Errorf("scheme5: %w", err)
 	}
-	// W: an arbitrary partition of A into q parts of at most ceil(|A|/q).
-	wParts := make([][]graph.Vertex, q)
-	chunk := (len(lms.A) + q - 1) / q
-	alphaOf := make(map[graph.Vertex]int32, len(lms.A))
-	for i, w := range lms.A {
-		j := i / chunk
-		wParts[j] = append(wParts[j], w)
-		alphaOf[w] = int32(j)
-	}
+	wParts, alphaOf := landmarkParts(lms.A, q)
 	inter, err := core.NewInter(core.InterConfig{
 		Graph: g, Paths: paths, Vics: vc.Vics,
 		UPartOf: vc.PartOf, WParts: wParts, Eps: params.Eps,
@@ -121,6 +113,25 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	fores.AddWords(s.tally, "cluster-trees")
 	inter.AddTableWords(s.tally)
 	return s, nil
+}
+
+// landmarkParts is the W partition of Theorem 11: an arbitrary (but fixed)
+// split of A into q parts of at most ceil(|A|/q) landmarks, with the part
+// index alpha(w) of every landmark. It is a pure function of (A, q), so the
+// snapshot restore path re-derives it instead of storing it.
+func landmarkParts(a []graph.Vertex, q int) ([][]graph.Vertex, map[graph.Vertex]int32) {
+	wParts := make([][]graph.Vertex, q)
+	chunk := (len(a) + q - 1) / q
+	if chunk < 1 {
+		chunk = 1
+	}
+	alphaOf := make(map[graph.Vertex]int32, len(a))
+	for i, w := range a {
+		j := i / chunk
+		wParts[j] = append(wParts[j], w)
+		alphaOf[w] = int32(j)
+	}
+	return wParts, alphaOf
 }
 
 type phase int8

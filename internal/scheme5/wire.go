@@ -1,0 +1,163 @@
+package scheme5
+
+import (
+	"fmt"
+
+	"compactroute/internal/cluster"
+	"compactroute/internal/coloring"
+	"compactroute/internal/core"
+	"compactroute/internal/graph"
+	"compactroute/internal/schemeutil"
+	"compactroute/internal/simnet"
+	"compactroute/internal/space"
+	"compactroute/internal/vicinity"
+	"compactroute/internal/wire"
+)
+
+// WireKindName is the registered snapshot kind of the Theorem 11 scheme.
+const WireKindName = "thm11/v1"
+
+func init() { wire.Register(WireKindName, decodeSnapshot) }
+
+// Section names of the Theorem 11 snapshot.
+const (
+	secParams     = "thm11/params"
+	secVicinities = "thm11/vicinities"
+	secColoring   = "thm11/coloring"
+	secLandmarks  = "thm11/landmarks"
+	secInter      = "thm11/inter"
+	secLabels     = "thm11/labels"
+)
+
+// WireKind implements wire.Encodable.
+func (s *Scheme) WireKind() string { return WireKindName }
+
+// EncodeSnapshot implements wire.Encodable. Only state that cannot be
+// re-derived deterministically is written: the vicinities, the coloring,
+// the landmark structure, the Lemma 8 sequences and the per-label first-edge
+// ports. The representative tables, cluster trees, W partition and storage
+// tally are pure functions of those and are rebuilt on decode.
+func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
+	p := snap.Section(secParams)
+	p.Float64(s.eps)
+	p.Uint32(uint32(s.vc.Q))
+	p.Uint32(uint32(s.vc.L))
+	vicinity.EncodeSets(snap.Section(secVicinities), s.vc.Vics)
+	s.vc.Col.EncodeWire(snap.Section(secColoring))
+	s.lms.EncodeWire(snap.Section(secLandmarks))
+	s.inter.EncodeWire(snap.Section(secInter))
+	lb := snap.Section(secLabels)
+	for _, l := range s.labels {
+		lb.Port(l.paPort)
+	}
+	return nil
+}
+
+// decodeSnapshot rebuilds a Theorem 11 scheme over the decoded graph. The
+// result is behaviorally identical to the encoded scheme: identical routing
+// decisions, labels, headers and table words.
+func decodeSnapshot(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error) {
+	n := g.N()
+	pd, err := snap.Decoder(secParams)
+	if err != nil {
+		return nil, err
+	}
+	eps := pd.Float64()
+	q := int(pd.Uint32())
+	l := int(pd.Uint32())
+	if err := pd.Finish(); err != nil {
+		return nil, err
+	}
+	if q < 1 || q > n {
+		return nil, fmt.Errorf("scheme5: snapshot q=%d outside [1,%d]", q, n)
+	}
+
+	vd, err := snap.Decoder(secVicinities)
+	if err != nil {
+		return nil, err
+	}
+	vics, err := vicinity.DecodeSets(vd, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := vd.Finish(); err != nil {
+		return nil, err
+	}
+
+	cd, err := snap.Decoder(secColoring)
+	if err != nil {
+		return nil, err
+	}
+	col, err := coloring.DecodeWire(cd, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := cd.Finish(); err != nil {
+		return nil, err
+	}
+	vc, err := schemeutil.RestoreVicinityColoring(q, l, vics, col)
+	if err != nil {
+		return nil, err
+	}
+
+	ld, err := snap.Decoder(secLandmarks)
+	if err != nil {
+		return nil, err
+	}
+	lms, err := cluster.DecodeWire(ld, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := ld.Finish(); err != nil {
+		return nil, err
+	}
+	fores, err := schemeutil.BuildClusterForest(g, lms)
+	if err != nil {
+		return nil, err
+	}
+
+	wParts, alphaOf := landmarkParts(lms.A, q)
+	id, err := snap.Decoder(secInter)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := core.RestoreInter(core.InterConfig{
+		Graph: g, Vics: vc.Vics, UPartOf: vc.PartOf, WParts: wParts, Eps: eps,
+	}, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := id.Finish(); err != nil {
+		return nil, err
+	}
+
+	lbd, err := snap.Decoder(secLabels)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheme{g: g, eps: eps, vc: vc, lms: lms, fores: fores, inter: inter,
+		labels: make([]label, n)}
+	for v := 0; v < n; v++ {
+		pa := lms.P[v]
+		port := lbd.Port()
+		if lbd.Err() != nil {
+			return nil, lbd.Err()
+		}
+		if pa == graph.Vertex(v) {
+			if port != graph.NoPort {
+				return nil, fmt.Errorf("scheme5: snapshot label of %d has a first edge at its own landmark", v)
+			}
+		} else if port < 0 || int(port) >= g.Degree(pa) {
+			return nil, fmt.Errorf("scheme5: snapshot label of %d has invalid port %d at landmark %d", v, port, pa)
+		}
+		s.labels[v] = label{pa: pa, alpha: alphaOf[pa], paPort: port}
+	}
+	if err := lbd.Finish(); err != nil {
+		return nil, err
+	}
+	s.tally = space.NewTally(n)
+	vc.AddWords(s.tally)
+	fores.AddWords(s.tally, "cluster-trees")
+	inter.AddTableWords(s.tally)
+	return s, nil
+}

@@ -57,6 +57,26 @@ func BuildVicinityColoring(g *graph.Graph, q int, factor float64, seed int64) (*
 	if err != nil {
 		return nil, fmt.Errorf("schemeutil: coloring: %w", err)
 	}
+	return assembleVicinityColoring(q, l, vics, col)
+}
+
+// RestoreVicinityColoring rebuilds the bundle from decoded vicinities and a
+// decoded coloring: the part indices and per-color representative tables are
+// derived (they are pure functions of the inputs), so a snapshot only needs
+// to store the vicinities and the colors. It fails if some vicinity is
+// missing a color - the Lemma 6 property an honest snapshot always has.
+func RestoreVicinityColoring(q, l int, vics []*vicinity.Set, col *coloring.Coloring) (*VicinityColoring, error) {
+	if q < 1 || col.Q() != q {
+		return nil, fmt.Errorf("schemeutil: restore: coloring has %d colors, want q=%d >= 1", col.Q(), q)
+	}
+	return assembleVicinityColoring(q, l, vics, col)
+}
+
+// assembleVicinityColoring derives the part indices and representative
+// tables from verified vicinities and coloring - the shared tail of the
+// build and restore paths, deterministic for every worker count.
+func assembleVicinityColoring(q, l int, vics []*vicinity.Set, col *coloring.Coloring) (*VicinityColoring, error) {
+	n := len(vics)
 	vc := &VicinityColoring{
 		Q:       q,
 		L:       l,
@@ -78,7 +98,7 @@ func BuildVicinityColoring(g *graph.Graph, q int, factor float64, seed int64) (*
 		found := 0
 		for _, m := range vics[u].Members() { // (dist, id) order: first is closest
 			c := col.Of(m.V)
-			if reps[c] == graph.NoVertex {
+			if int(c) < q && reps[c] == graph.NoVertex {
 				reps[c] = m.V
 				dists[c] = m.Dist
 				if found++; found == q {

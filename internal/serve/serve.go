@@ -1,0 +1,354 @@
+// Package serve is the concurrent route-serving engine: it answers
+// route(u, v) queries against one preprocessed (typically snapshot-loaded)
+// scheme from many workers at once, and keeps live serving statistics.
+//
+// A preprocessed Scheme is read-only at query time (simnet.Scheme requires
+// Prepare/Next to be purely local computations over immutable tables), so
+// the engine shards nothing but scratch: each worker owns a shard with its
+// own simnet.Network handle and its own statistics block - the same
+// own-your-slot idiom the construction pipeline (internal/parallel) and the
+// search kernels (graph.Workspace pooling) use - and queries never contend
+// on shared mutable state. Statistics are merged on demand by Stats.
+//
+// The evaluation harness (compactroute.EvaluateBatched) is a client of this
+// engine, so offline evaluation and online serving exercise the same code
+// path; cmd/routeserve drives it from a snapshot over a line/JSON protocol
+// and a built-in closed-loop load generator.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
+	"compactroute/internal/simnet"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of shards (concurrent routing lanes); <= 0
+	// selects the package-wide parallelism default.
+	Workers int
+	// Verify looks up the true shortest distance of every delivered query
+	// in Paths and checks the routed weight against the scheme's proved
+	// StretchBound, feeding the stretch histogram and violation counter.
+	Verify bool
+	// Paths supplies true distances when Verify is set (dense or lazy; a
+	// LazyAPSP is concurrency-safe and is the natural choice in a serving
+	// process, which has no dense matrices).
+	Paths graph.PathSource
+	// MaxHops overrides the simulator's loop-protection hop limit
+	// (0 keeps the simnet default of 8n+64).
+	MaxHops int
+	// FailFast makes Query abandon a batch after the first routing
+	// failure: remaining pairs are not routed and carry ErrAborted.
+	// The batched evaluation harness uses this so a broken scheme fails
+	// in one route instead of burning the hop limit on every pair.
+	FailFast bool
+}
+
+// ErrAborted marks pairs skipped after a FailFast batch hit its first
+// routing failure.
+var ErrAborted = errors.New("serve: batch aborted after an earlier routing failure")
+
+// Result is the outcome of one served query.
+type Result struct {
+	Src, Dst    graph.Vertex
+	Hops        int
+	HeaderWords int
+	Weight      float64
+	// Dist is the true shortest distance, looked up only under
+	// Options.Verify; -1 otherwise.
+	Dist float64
+	Err  error
+}
+
+// Histogram geometry of the serving statistics.
+const (
+	// hopBuckets caps the hop histogram; routes longer than this land in
+	// the overflow bucket (quantiles then report hopBuckets).
+	hopBuckets = 1024
+	// StretchBuckets histogram bins of width StretchBucketWidth starting
+	// at stretch 1.0; the final bucket collects everything above.
+	StretchBuckets     = 64
+	StretchBucketWidth = 0.25
+)
+
+// Stats is a merged snapshot of an engine's counters.
+type Stats struct {
+	Queries    uint64 // total queries served (including failures)
+	Errors     uint64 // routing failures
+	Unverified uint64 // deliveries served without distance verification
+	// BoundViolations counts deliveries whose routed weight exceeded the
+	// scheme's proved StretchBound - must stay zero.
+	BoundViolations uint64
+	Elapsed         time.Duration // since New or ResetStats
+	QPS             float64       // Queries / Elapsed
+	MeanHops        float64       // over deliveries
+	P50Hops         int
+	P99Hops         int
+	MaxStretch      float64
+	// StretchHist[i] counts verified deliveries at positive distance with
+	// stretch in [1+i*W, 1+(i+1)*W), W = StretchBucketWidth; the last
+	// bucket collects everything above.
+	StretchHist [StretchBuckets + 1]uint64
+}
+
+// counters is one shard's statistics block.
+type counters struct {
+	queries     uint64
+	errors      uint64
+	unverified  uint64
+	violations  uint64
+	hopsSum     uint64
+	delivered   uint64
+	maxStretch  float64
+	hopHist     [hopBuckets + 1]uint64
+	stretchHist [StretchBuckets + 1]uint64
+}
+
+// shard is one worker lane: a Network handle plus privately-owned counters.
+// Shards are allocated separately so two lanes never share a cache line.
+type shard struct {
+	nw *simnet.Network
+	mu sync.Mutex
+	st counters
+}
+
+// Engine serves route queries for one scheme.
+type Engine struct {
+	scheme simnet.Scheme
+	opts   Options
+	shards []*shard
+	// start is the QPS clock origin in unix nanoseconds; atomic because
+	// ResetStats may race with Stats on the concurrent engine API.
+	start atomic.Int64
+	rr    atomic.Uint64
+}
+
+// New builds an engine over a preprocessed scheme.
+func New(s simnet.Scheme, o Options) (*Engine, error) {
+	if o.Workers <= 0 {
+		o.Workers = parallel.Workers()
+	}
+	if o.Verify && o.Paths == nil {
+		return nil, fmt.Errorf("serve: Verify requires a PathSource")
+	}
+	var nwOpts []simnet.Option
+	if o.MaxHops > 0 {
+		nwOpts = append(nwOpts, simnet.WithMaxHops(o.MaxHops))
+	}
+	e := &Engine{scheme: s, opts: o, shards: make([]*shard, o.Workers)}
+	e.start.Store(time.Now().UnixNano())
+	for i := range e.shards {
+		e.shards[i] = &shard{nw: simnet.NewNetwork(s, nwOpts...)}
+	}
+	return e, nil
+}
+
+// Scheme returns the scheme being served.
+func (e *Engine) Scheme() simnet.Scheme { return e.scheme }
+
+// Workers returns the number of shards.
+func (e *Engine) Workers() int { return len(e.shards) }
+
+// routeOn serves one query on the given shard. Vertex ids are validated
+// here - the engine fronts untrusted protocol input, and schemes index
+// their tables with the destination, so an out-of-range id must become a
+// Result error, not a panic.
+func (e *Engine) routeOn(sh *shard, src, dst graph.Vertex) Result {
+	res := Result{Src: src, Dst: dst, Dist: -1}
+	if n := graph.Vertex(e.scheme.Graph().N()); src < 0 || src >= n || dst < 0 || dst >= n {
+		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, n)
+		sh.mu.Lock()
+		sh.st.record(e.scheme, &res, e.opts.Verify)
+		sh.mu.Unlock()
+		return res
+	}
+	r, err := sh.nw.Route(src, dst)
+	res.Hops, res.Weight, res.HeaderWords = r.Hops, r.Weight, r.HeaderWords
+	res.Err = err
+	if err == nil && e.opts.Verify {
+		res.Dist = e.opts.Paths.Dist(src, dst)
+	}
+	sh.mu.Lock()
+	sh.st.record(e.scheme, &res, e.opts.Verify)
+	sh.mu.Unlock()
+	return res
+}
+
+func (c *counters) record(s simnet.Scheme, r *Result, verified bool) {
+	c.queries++
+	if r.Err != nil {
+		c.errors++
+		return
+	}
+	c.delivered++
+	c.hopsSum += uint64(r.Hops)
+	h := r.Hops
+	if h > hopBuckets {
+		h = hopBuckets
+	}
+	c.hopHist[h]++
+	if !verified {
+		c.unverified++
+		return
+	}
+	if r.Weight > s.StretchBound(r.Dist)+1e-9 {
+		c.violations++
+	}
+	if r.Dist > 0 {
+		str := r.Weight / r.Dist
+		if str > c.maxStretch {
+			c.maxStretch = str
+		}
+		b := int((str - 1) / StretchBucketWidth)
+		if b < 0 {
+			b = 0
+		}
+		if b > StretchBuckets {
+			b = StretchBuckets
+		}
+		c.stretchHist[b]++
+	}
+}
+
+// Route serves a single query on the next shard (round robin).
+func (e *Engine) Route(src, dst graph.Vertex) Result {
+	sh := e.shards[e.rr.Add(1)%uint64(len(e.shards))]
+	return e.routeOn(sh, src, dst)
+}
+
+// Query serves a batch: every pair is routed, out[i] receives the outcome
+// of pairs[i]. out is allocated when nil or too short; the filled prefix is
+// returned. Pairs are split into contiguous blocks, one per shard, so every
+// worker streams its own slice of the batch - the same slot-ownership
+// discipline as the batched evaluation engine, which makes the per-pair
+// results independent of the worker count.
+func (e *Engine) Query(pairs [][2]graph.Vertex, out []Result) []Result {
+	if len(out) < len(pairs) {
+		out = make([]Result, len(pairs))
+	}
+	out = out[:len(pairs)]
+	w := len(e.shards)
+	if w > len(pairs) {
+		w = len(pairs)
+	}
+	var failed atomic.Bool
+	serveOne := func(sh *shard, j int) {
+		if e.opts.FailFast && failed.Load() {
+			out[j] = Result{Src: pairs[j][0], Dst: pairs[j][1], Dist: -1, Err: ErrAborted}
+			return
+		}
+		out[j] = e.routeOn(sh, pairs[j][0], pairs[j][1])
+		if e.opts.FailFast && out[j].Err != nil {
+			failed.Store(true)
+		}
+	}
+	if w <= 1 {
+		if len(e.shards) > 0 {
+			sh := e.shards[0]
+			for i := range pairs {
+				serveOne(sh, i)
+			}
+		}
+		return out
+	}
+	chunk := (len(pairs) + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(sh *shard, lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				serveOne(sh, j)
+			}
+		}(e.shards[i], lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats merges the shard counters into one snapshot.
+func (e *Engine) Stats() Stats {
+	var m counters
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		m.queries += sh.st.queries
+		m.errors += sh.st.errors
+		m.unverified += sh.st.unverified
+		m.violations += sh.st.violations
+		m.hopsSum += sh.st.hopsSum
+		m.delivered += sh.st.delivered
+		if sh.st.maxStretch > m.maxStretch {
+			m.maxStretch = sh.st.maxStretch
+		}
+		for i := range sh.st.hopHist {
+			m.hopHist[i] += sh.st.hopHist[i]
+		}
+		for i := range sh.st.stretchHist {
+			m.stretchHist[i] += sh.st.stretchHist[i]
+		}
+		sh.mu.Unlock()
+	}
+	st := Stats{
+		Queries:         m.queries,
+		Errors:          m.errors,
+		Unverified:      m.unverified,
+		BoundViolations: m.violations,
+		Elapsed:         time.Duration(time.Now().UnixNano() - e.start.Load()),
+		MaxStretch:      m.maxStretch,
+		StretchHist:     m.stretchHist,
+	}
+	if st.Elapsed > 0 {
+		st.QPS = float64(m.queries) / st.Elapsed.Seconds()
+	}
+	if m.delivered > 0 {
+		st.MeanHops = float64(m.hopsSum) / float64(m.delivered)
+		st.P50Hops = quantile(m.hopHist[:], m.delivered, 0.50)
+		st.P99Hops = quantile(m.hopHist[:], m.delivered, 0.99)
+	}
+	return st
+}
+
+// ResetStats zeroes every shard's counters and restarts the QPS clock.
+func (e *Engine) ResetStats() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.st = counters{}
+		sh.mu.Unlock()
+	}
+	e.start.Store(time.Now().UnixNano())
+}
+
+// quantile returns the nearest-rank q-quantile of a histogram: the smallest
+// bucket index h such that at least ceil(q*total) observations fall in
+// buckets [0, h]. The ceiling matters - with floor, p99 of 10 samples would
+// target rank 9 and miss the maximum.
+func quantile(hist []uint64, total uint64, q float64) int {
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for h, c := range hist {
+		cum += c
+		if cum >= target {
+			return h
+		}
+	}
+	return len(hist) - 1
+}

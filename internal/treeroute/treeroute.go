@@ -198,6 +198,23 @@ func (t *Tree) WordsAt(v graph.Vertex) int {
 	return 3 + 2*len(nd.childEnter)
 }
 
+// Edges returns the tree's parent links (the root carries Parent ==
+// NoVertex), sorted by vertex id - a canonical description New accepts back,
+// used by the snapshot encoders. Parent vertices are resolved through g's
+// port map.
+func (t *Tree) Edges(g *graph.Graph) []Edge {
+	edges := make([]Edge, 0, len(t.nodes))
+	for v, nd := range t.nodes {
+		e := Edge{V: v, Parent: graph.NoVertex}
+		if nd.parentPort != graph.NoPort {
+			e.Parent, _, _ = g.Endpoint(v, nd.parentPort)
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].V < edges[j].V })
+	return edges
+}
+
 // Depth returns the number of tree edges between v and the root, or -1 if v
 // is not in the tree. O(depth); used by tests only.
 func (t *Tree) Depth(g *graph.Graph, v graph.Vertex) int {

@@ -1,0 +1,541 @@
+// Package wire defines the versioned binary snapshot format that persists
+// preprocessed routing schemes: build once with cmd/routebench -save (or
+// compactroute.SaveScheme), then serve forever from cmd/routeserve without
+// paying the construction cost again.
+//
+// # Format
+//
+// A snapshot is a single self-describing byte stream:
+//
+//	magic "CRSNAP01" | version u32 | kind string | graph fingerprint u64 |
+//	section count u32 | sections... | crc32c u32
+//
+// where every integer is little-endian, a string is a u32 length followed by
+// its bytes, and a section is a name string, a u64 payload length and the
+// payload bytes. The trailing checksum (CRC-32 Castagnoli) covers everything
+// before it. The kind string names the scheme's registered decoder; the
+// fingerprint ties the scheme sections to the exact graph stored in the
+// snapshot's "graph" section (see graph.Fingerprint).
+//
+// # Kind registry
+//
+// Scheme packages register a decoder for their kind in an init function
+// (wire.Register); encoding is the wire.Encodable interface implemented by
+// the scheme type. The registry is how the remaining schemes gain snapshot
+// support incrementally: a new scheme adds one wire.go file and appears in
+// SaveScheme/LoadScheme without any change here.
+//
+// # Robustness
+//
+// Decoding arbitrary bytes must fail cleanly, never panic and never
+// over-allocate (FuzzDecodeSnapshot enforces this): every count is validated
+// against the bytes that remain before a slice is made, and allocations that
+// are not proportional to consumed input (graph arrays, n-sized tables) are
+// charged against a budget of allocFactor bytes per input byte via
+// Decoder.Alloc.
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+)
+
+// Magic identifies a compactroute snapshot stream.
+const Magic = "CRSNAP01"
+
+// Version is the current format version. Decoders reject other versions.
+const Version = 1
+
+// allocFactor bounds decode-time allocation: a snapshot of k bytes may
+// allocate at most allocFactor*k + allocFloor bytes through Decoder.Alloc.
+// Honest snapshots store at least 4 bytes per word of reconstructed state,
+// so the factor leaves an order of magnitude of headroom; crafted inputs
+// (a huge vertex count in a tiny stream) are rejected before the make.
+const (
+	allocFactor = 64
+	allocFloor  = 1 << 16
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encoder appends little-endian primitives to an in-memory section buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded bytes accumulated so far.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes accumulated so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Byte appends one byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Uint32 appends a little-endian uint32.
+func (e *Encoder) Uint32(x uint32) {
+	e.buf = append(e.buf, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+}
+
+// Uint64 appends a little-endian uint64.
+func (e *Encoder) Uint64(x uint64) {
+	e.buf = append(e.buf,
+		byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+		byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+}
+
+// Int32 appends a little-endian int32 (two's complement).
+func (e *Encoder) Int32(x int32) { e.Uint32(uint32(x)) }
+
+// Float64 appends the IEEE-754 bits of x, little-endian.
+func (e *Encoder) Float64(x float64) { e.Uint64(math.Float64bits(x)) }
+
+// String appends a u32 length followed by the string bytes.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Vertex appends a vertex id as an int32 (NoVertex is -1).
+func (e *Encoder) Vertex(v graph.Vertex) { e.Int32(int32(v)) }
+
+// Port appends a port number as an int32 (NoPort is -1).
+func (e *Encoder) Port(p graph.Port) { e.Int32(int32(p)) }
+
+// Vertices appends a u32 count followed by the vertex ids.
+func (e *Encoder) Vertices(vs []graph.Vertex) {
+	e.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		e.Vertex(v)
+	}
+}
+
+// Float64s appends a u32 count followed by the values.
+func (e *Encoder) Float64s(xs []float64) {
+	e.Uint32(uint32(len(xs)))
+	for _, x := range xs {
+		e.Float64(x)
+	}
+}
+
+// Int32s appends a u32 count followed by the values.
+func (e *Encoder) Int32s(xs []int32) {
+	e.Uint32(uint32(len(xs)))
+	for _, x := range xs {
+		e.Int32(x)
+	}
+}
+
+// Decoder reads little-endian primitives from one section's payload with a
+// sticky error: after the first failure every read returns a zero value and
+// Err reports the cause. Counts are validated against the remaining bytes
+// before any slice is allocated.
+type Decoder struct {
+	section string
+	buf     []byte
+	off     int
+	err     error
+	// budget, when non-nil, is the shared remaining-allocation budget of the
+	// snapshot this decoder was opened from (see Alloc).
+	budget *int64
+}
+
+// NewDecoder wraps raw bytes for decoding, with no allocation budget. It is
+// the entry point for unit tests of individual structures; snapshot decoding
+// uses Snapshot.Decoder, which shares the snapshot's budget.
+func NewDecoder(name string, data []byte) *Decoder {
+	return &Decoder{section: name, buf: data}
+}
+
+// Failf records a decoding error (the first one wins). Scheme decoders use
+// it to report validation failures with the section context attached.
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: section %q: %s", d.section, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the first error encountered, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish returns the sticky error, or an error if unread bytes remain: a
+// well-formed section is consumed exactly.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("wire: section %q: %d trailing bytes", d.section, d.Remaining())
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.Failf("truncated: need %d bytes, have %d", n, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte and requires it to be 0 or 1.
+func (d *Decoder) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Failf("invalid bool byte")
+		return false
+	}
+}
+
+// Uint32 reads a little-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Uint64 reads a little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Int32 reads a little-endian int32.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Float64 reads IEEE-754 bits, little-endian.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Vertex reads a vertex id.
+func (d *Decoder) Vertex() graph.Vertex { return graph.Vertex(d.Int32()) }
+
+// Port reads a port number.
+func (d *Decoder) Port() graph.Port { return graph.Port(d.Int32()) }
+
+// Count reads a u32 element count and validates that elemBytes*count does
+// not exceed the remaining payload, so a corrupted count cannot drive an
+// oversized allocation.
+func (d *Decoder) Count(elemBytes int) int {
+	c := d.Uint32()
+	if d.err != nil {
+		return 0
+	}
+	if elemBytes > 0 && int64(c)*int64(elemBytes) > int64(d.Remaining()) {
+		d.Failf("count %d (x%d bytes) exceeds remaining %d bytes", c, elemBytes, d.Remaining())
+		return 0
+	}
+	return int(c)
+}
+
+// String reads a u32 length followed by the string bytes.
+func (d *Decoder) String() string {
+	n := d.Count(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Vertices reads a count-prefixed vertex slice.
+func (d *Decoder) Vertices() []graph.Vertex {
+	c := d.Count(4)
+	if d.err != nil || c == 0 {
+		return nil
+	}
+	out := make([]graph.Vertex, c)
+	for i := range out {
+		out[i] = d.Vertex()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Float64s reads a count-prefixed float64 slice.
+func (d *Decoder) Float64s() []float64 {
+	c := d.Count(8)
+	if d.err != nil || c == 0 {
+		return nil
+	}
+	out := make([]float64, c)
+	for i := range out {
+		out[i] = d.Float64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Int32s reads a count-prefixed int32 slice.
+func (d *Decoder) Int32s() []int32 {
+	c := d.Count(4)
+	if d.err != nil || c == 0 {
+		return nil
+	}
+	out := make([]int32, c)
+	for i := range out {
+		out[i] = d.Int32()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Alloc charges an allocation of the given size against the snapshot's
+// decode budget and reports whether it is allowed. Callers must check the
+// result (or Err) before allocating state whose size is not already bounded
+// by the bytes consumed - n-sized arrays, adjacency structures, tables.
+func (d *Decoder) Alloc(bytes int64) bool {
+	if d.err != nil {
+		return false
+	}
+	if bytes < 0 {
+		d.Failf("negative allocation")
+		return false
+	}
+	if d.budget != nil {
+		if *d.budget < bytes {
+			d.Failf("allocation of %d bytes exceeds the decode budget", bytes)
+			return false
+		}
+		*d.budget -= bytes
+	}
+	return true
+}
+
+// section is one named, length-prefixed payload of a snapshot.
+type section struct {
+	name string
+	enc  Encoder // encode side
+	data []byte  // decode side
+}
+
+// Snapshot is an in-memory snapshot being encoded or decoded: a scheme kind,
+// the fingerprint of the graph it was preprocessed for, and an ordered list
+// of named sections.
+type Snapshot struct {
+	Kind        string
+	Fingerprint uint64
+	sections    []*section
+	budget      int64
+}
+
+// New starts an empty snapshot for encoding.
+func New(kind string, fingerprint uint64) *Snapshot {
+	return &Snapshot{Kind: kind, Fingerprint: fingerprint}
+}
+
+// Section returns the encoder of the named section, creating it (in call
+// order) on first use.
+func (s *Snapshot) Section(name string) *Encoder {
+	for _, sec := range s.sections {
+		if sec.name == name {
+			return &sec.enc
+		}
+	}
+	sec := &section{name: name}
+	s.sections = append(s.sections, sec)
+	return &sec.enc
+}
+
+// Sections returns the section names in stream order.
+func (s *Snapshot) Sections() []string {
+	names := make([]string, len(s.sections))
+	for i, sec := range s.sections {
+		names[i] = sec.name
+	}
+	return names
+}
+
+// WriteTo serializes the snapshot: header, sections, trailing checksum.
+// Section payloads are streamed from their encoder buffers (the checksum is
+// maintained incrementally), so writing never copies the snapshot into a
+// second contiguous buffer.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	var crc uint32
+	emit := func(b []byte) error {
+		crc = crc32.Update(crc, castagnoli, b)
+		n, err := w.Write(b)
+		written += int64(n)
+		return err
+	}
+	var hdr Encoder
+	hdr.buf = append(hdr.buf, Magic...)
+	hdr.Uint32(Version)
+	hdr.String(s.Kind)
+	hdr.Uint64(s.Fingerprint)
+	hdr.Uint32(uint32(len(s.sections)))
+	if err := emit(hdr.buf); err != nil {
+		return written, err
+	}
+	for _, sec := range s.sections {
+		var sh Encoder
+		sh.String(sec.name)
+		sh.Uint64(uint64(len(sec.enc.buf)))
+		if err := emit(sh.buf); err != nil {
+			return written, err
+		}
+		if err := emit(sec.enc.buf); err != nil {
+			return written, err
+		}
+	}
+	var tail Encoder
+	tail.Uint32(crc) // covers everything before it; not fed back into emit
+	n, err := w.Write(tail.buf)
+	written += int64(n)
+	return written, err
+}
+
+// Read parses and verifies a snapshot stream: magic, version, checksum and
+// section framing. Section payloads are not interpreted here; scheme
+// decoders pull them via Decoder.
+func Read(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: read snapshot: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse is Read over bytes already in memory.
+func Parse(data []byte) (*Snapshot, error) {
+	if len(data) < len(Magic)+4+4 {
+		return nil, fmt.Errorf("wire: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("wire: bad magic %q", data[:len(Magic)])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("wire: checksum mismatch: stream says %08x, content is %08x", want, got)
+	}
+	d := NewDecoder("header", body[len(Magic):])
+	version := d.Uint32()
+	if d.err == nil && version != Version {
+		return nil, fmt.Errorf("wire: unsupported snapshot version %d (this build reads %d)", version, Version)
+	}
+	snap := &Snapshot{
+		Kind:        d.String(),
+		Fingerprint: d.Uint64(),
+		budget:      allocFactor*int64(len(data)) + allocFloor,
+	}
+	nsec := d.Count(12) // a section costs at least name len + payload len
+	for i := 0; i < nsec && d.err == nil; i++ {
+		name := d.String()
+		plen := d.Uint64()
+		if d.err != nil {
+			break
+		}
+		if plen > uint64(d.Remaining()) {
+			d.Failf("section %q claims %d bytes, only %d remain", name, plen, d.Remaining())
+			break
+		}
+		payload := d.take(int(plen))
+		snap.sections = append(snap.sections, &section{name: name, data: payload})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Decoder opens the named section for decoding. The returned decoder shares
+// the snapshot's allocation budget.
+func (s *Snapshot) Decoder(name string) (*Decoder, error) {
+	for _, sec := range s.sections {
+		if sec.name == name {
+			return &Decoder{section: name, buf: sec.data, budget: &s.budget}, nil
+		}
+	}
+	return nil, fmt.Errorf("wire: snapshot has no %q section", name)
+}
+
+// Encodable is implemented by scheme types that can be persisted. WireKind
+// names the registered decoder; EncodeSnapshot writes the scheme's sections
+// (the graph section is written by the caller).
+type Encodable interface {
+	WireKind() string
+	EncodeSnapshot(s *Snapshot) error
+}
+
+// DecodeFunc reconstructs a scheme from its snapshot sections over the
+// already-decoded graph. The result must be behaviorally identical to the
+// scheme that was encoded: same routing decisions, labels, headers and
+// table words.
+type DecodeFunc func(g *graph.Graph, s *Snapshot) (simnet.Scheme, error)
+
+// registry maps scheme kinds to decoders. Registration happens in package
+// init functions, before any concurrent access, so a plain map suffices.
+var registry = map[string]DecodeFunc{}
+
+// Register installs the decoder for a scheme kind. It panics on duplicate
+// registration, which is always a programming error.
+func Register(kind string, fn DecodeFunc) {
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("wire: duplicate registration of kind %q", kind))
+	}
+	registry[kind] = fn
+}
+
+// DecoderFor returns the registered decoder for a kind.
+func DecoderFor(kind string) (DecodeFunc, bool) {
+	fn, ok := registry[kind]
+	return fn, ok
+}
+
+// Kinds returns the registered scheme kinds (order unspecified).
+func Kinds() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	return out
+}

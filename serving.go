@@ -1,0 +1,28 @@
+package compactroute
+
+import (
+	"compactroute/internal/serve"
+)
+
+// Serving re-exports: the concurrent query engine of internal/serve, the
+// subsystem behind cmd/routeserve and the batched evaluation harness.
+type (
+	// ServeEngine answers route queries for one preprocessed scheme from
+	// many workers at once and keeps live serving statistics.
+	ServeEngine = serve.Engine
+	// ServeOptions configures a ServeEngine (workers, verification).
+	ServeOptions = serve.Options
+	// ServeResult is the outcome of one served query.
+	ServeResult = serve.Result
+	// ServeStats is a merged snapshot of an engine's live counters: QPS,
+	// hop quantiles, stretch histogram and bound violations.
+	ServeStats = serve.Stats
+)
+
+// NewServeEngine builds a query engine over a preprocessed (typically
+// snapshot-loaded) scheme. With ServeOptions.Verify set and a PathSource
+// supplied, every delivery is checked against the scheme's proved stretch
+// bound and feeds the stretch histogram.
+func NewServeEngine(s Scheme, o ServeOptions) (*ServeEngine, error) {
+	return serve.New(s, o)
+}

@@ -1,0 +1,102 @@
+package compactroute
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"compactroute/internal/wire"
+)
+
+// SnapshotKind returns the registered wire kind of a scheme, or "" if the
+// scheme does not support snapshots yet. Snapshot support is added per
+// scheme (see internal/wire); currently the Theorem 11 scheme, the
+// Thorup-Zwick baseline and the exact baseline are snapshottable.
+func SnapshotKind(s Scheme) string {
+	if es, ok := s.(wire.Encodable); ok {
+		return es.WireKind()
+	}
+	return ""
+}
+
+// SaveScheme writes a versioned binary snapshot of a preprocessed scheme -
+// the graph it was built for plus every routing table, sequence and label -
+// so a serving process (cmd/routeserve) can LoadScheme it without paying the
+// construction cost. The loaded scheme is behaviorally identical to s: same
+// routing decisions, labels, headers and table words.
+//
+// It returns an error if the scheme's type has no snapshot support.
+func SaveScheme(w io.Writer, s Scheme) error {
+	es, ok := s.(wire.Encodable)
+	if !ok {
+		return fmt.Errorf("compactroute: scheme %s (%T) has no snapshot support", s.Name(), s)
+	}
+	g := s.Graph()
+	snap := wire.New(es.WireKind(), g.Fingerprint())
+	wire.EncodeGraph(snap, g)
+	if err := es.EncodeSnapshot(snap); err != nil {
+		return fmt.Errorf("compactroute: encode %s snapshot: %w", s.Name(), err)
+	}
+	if _, err := snap.WriteTo(w); err != nil {
+		return fmt.Errorf("compactroute: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadScheme reads a snapshot written by SaveScheme: it verifies the magic,
+// version and checksum, rebuilds the graph, checks the graph fingerprint
+// recorded at save time, and dispatches to the decoder registered for the
+// snapshot's scheme kind.
+func LoadScheme(r io.Reader) (Scheme, error) {
+	snap, err := wire.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(snap)
+}
+
+func decodeSnapshot(snap *wire.Snapshot) (Scheme, error) {
+	g, err := wire.DecodeGraph(snap)
+	if err != nil {
+		return nil, err
+	}
+	if fp := g.Fingerprint(); fp != snap.Fingerprint {
+		return nil, fmt.Errorf("compactroute: snapshot graph fingerprint %016x does not match header %016x", fp, snap.Fingerprint)
+	}
+	dec, ok := wire.DecoderFor(snap.Kind)
+	if !ok {
+		return nil, fmt.Errorf("compactroute: no decoder registered for scheme kind %q (known: %v)", snap.Kind, wire.Kinds())
+	}
+	s, err := dec(g, snap)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SaveSchemeFile is SaveScheme into a file created (truncated) at path.
+func SaveSchemeFile(path string, s Scheme) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveScheme(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSchemeFile is LoadScheme from the file at path.
+func LoadSchemeFile(path string) (Scheme, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := LoadScheme(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
