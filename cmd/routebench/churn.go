@@ -1,0 +1,197 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"compactroute"
+)
+
+// churnConfig parameterizes the -churn replay (experiment E14).
+type churnConfig struct {
+	n         int
+	eps       float64
+	seed      int64
+	churnSeed int64
+	frac      float64
+	pairs     int
+	workers   int
+	budgetMiB int
+}
+
+// histLine renders the non-empty buckets of a stretch histogram.
+func histLine(hist [compactroute.StretchBuckets + 1]uint64) string {
+	var b strings.Builder
+	for i, c := range hist {
+		if c == 0 {
+			continue
+		}
+		lo := 1 + float64(i)*compactroute.StretchBucketWidth
+		fmt.Fprintf(&b, " [%.2f,%.2f)=%d", lo, lo+compactroute.StretchBucketWidth, c)
+	}
+	if b.Len() == 0 {
+		return " (empty)"
+	}
+	return b.String()
+}
+
+// runChurn is the deterministic churn replay behind experiment E14 and the
+// CI soak: build a Theorem 11 scheme, serve through the live engine while a
+// seeded deletion trace degrades the graph, rebuild and hot-swap under
+// load, and verify that the recovered serving state is bit-identical (same
+// stretch histogram) to a from-scratch build on the churned graph. Any
+// dropped query, bound violation in a clean phase, or histogram mismatch is
+// a hard error (non-zero exit).
+func runChurn(out io.Writer, cfg churnConfig) error {
+	g, err := compactroute.GNM(cfg.n, 4*cfg.n, cfg.seed, true, 32)
+	if err != nil {
+		return err
+	}
+	opts := compactroute.Options{Eps: cfg.eps, Seed: cfg.seed}
+	build, err := compactroute.RebuildFuncFor("thm11/v1", opts, cfg.budgetMiB)
+	if err != nil {
+		return err
+	}
+	buildStart := time.Now()
+	scheme, err := build(g)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(buildStart)
+	eng, err := compactroute.ServeLive(scheme, compactroute.LiveServeOptions{
+		Workers: cfg.workers, Verify: true, Build: build,
+	})
+	if err != nil {
+		return err
+	}
+	pairs := compactroute.SamplePairs(cfg.n, cfg.pairs, cfg.seed)
+	fmt.Fprintf(out, "# E14 churn replay: %s on G(n=%d, m=%d), %d workers, %d pairs/phase, build %s\n",
+		scheme.Name(), g.N(), g.M(), eng.Workers(), len(pairs), buildTime.Round(time.Millisecond))
+
+	serve := func(phase string, ps [][2]compactroute.Vertex) error {
+		for _, r := range eng.Query(ps, nil) {
+			if r.Err != nil {
+				return fmt.Errorf("churn: %s phase dropped query %d->%d: %w", phase, r.Src, r.Dst, r.Err)
+			}
+		}
+		return nil
+	}
+
+	// Phase 1 - fresh: the proved bound must hold.
+	if err := serve("fresh", pairs); err != nil {
+		return err
+	}
+	fresh := eng.Stats()
+	if fresh.BoundViolations != 0 {
+		return fmt.Errorf("churn: %d bound violations on the fresh scheme", fresh.BoundViolations)
+	}
+	fmt.Fprintf(out, "fresh:     queries=%d max-stretch=%.3f viol=0 hist%s\n",
+		fresh.Queries, fresh.MaxStretch, histLine(fresh.StretchHist))
+
+	// Phase 2 - degraded: replay the deletion trace in chunks, serving
+	// between chunks. Every query must still get a finite route; quality is
+	// reported as measured staleness stretch, never as a violation.
+	trace := compactroute.DeletionTrace(g, cfg.frac, cfg.churnSeed)
+	if len(trace) == 0 {
+		return fmt.Errorf("churn: empty trace (frac %v of m=%d)", cfg.frac, g.M())
+	}
+	eng.ResetStats()
+	chunks := 8
+	step := (len(trace) + chunks - 1) / chunks
+	for lo := 0; lo < len(trace); lo += step {
+		hi := min(lo+step, len(trace))
+		if err := eng.ApplyUpdates(trace[lo:hi]); err != nil {
+			return err
+		}
+		if err := serve("degraded", pairs); err != nil {
+			return err
+		}
+	}
+	degraded := eng.Stats()
+	if degraded.BoundViolations != 0 {
+		return fmt.Errorf("churn: degraded phase charged %d violations (must be staleness)", degraded.BoundViolations)
+	}
+	fmt.Fprintf(out, "degraded:  queries=%d deleted=%d stale-served=%d dead-hits=%d detours=%d fallbacks=%d max-stale=%.3f\n",
+		degraded.Queries, degraded.Overlay.Deleted, degraded.StaleServed,
+		degraded.DeadEdgeHits, degraded.Detours, degraded.Fallbacks, degraded.MaxStaleStretch)
+	fmt.Fprintf(out, "stale-hist:%s\n", histLine(degraded.StaleHist))
+
+	// Phase 3 - rebuild under load: serving continues (and must stay
+	// error-free) while the background goroutine rebuilds; the swap is one
+	// atomic pointer flip.
+	rebuildStart := time.Now()
+	done := eng.RebuildAsync()
+	servedDuring := 0
+	for {
+		if err := serve("rebuild", pairs); err != nil {
+			return err
+		}
+		servedDuring += len(pairs)
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("churn: rebuild: %w", err)
+			}
+		default:
+			continue
+		}
+		break
+	}
+	rebuildTime := time.Since(rebuildStart)
+	if gen := eng.Generation(); gen != 1 {
+		return fmt.Errorf("churn: generation %d after rebuild, want 1", gen)
+	}
+	if !eng.Overlay().Empty() {
+		return fmt.Errorf("churn: overlay still has %d entries after the swap", eng.Overlay().Len())
+	}
+	fmt.Fprintf(out, "rebuild:   took=%s queries-served-during=%d (zero blocked, zero dropped)\n",
+		rebuildTime.Round(time.Millisecond), servedDuring)
+
+	// Phase 4 - recovered: the proved bound holds again on generation 1.
+	eng.ResetStats()
+	if err := serve("recovered", pairs); err != nil {
+		return err
+	}
+	recovered := eng.Stats()
+	if recovered.BoundViolations != 0 {
+		return fmt.Errorf("churn: %d post-swap bound violations", recovered.BoundViolations)
+	}
+	if recovered.StaleServed != 0 {
+		return fmt.Errorf("churn: %d post-swap stale-served queries", recovered.StaleServed)
+	}
+	fmt.Fprintf(out, "recovered: queries=%d max-stretch=%.3f viol=0 hist%s\n",
+		recovered.Queries, recovered.MaxStretch, histLine(recovered.StretchHist))
+
+	// Cross-check: a from-scratch build on the churned graph must produce a
+	// bit-identical stretch histogram over the same pairs.
+	churned := eng.Scheme().Graph()
+	ref, err := build(churned)
+	if err != nil {
+		return err
+	}
+	refEng, err := compactroute.NewServeEngine(ref, compactroute.ServeOptions{
+		Workers: cfg.workers, Verify: true,
+		Paths: compactroute.NewLazyAPSP(churned, int64(cfg.budgetMiB)<<20),
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range refEng.Query(pairs, nil) {
+		if r.Err != nil {
+			return fmt.Errorf("churn: from-scratch reference: %w", r.Err)
+		}
+	}
+	refSt := refEng.Stats()
+	if refSt.BoundViolations != 0 {
+		return fmt.Errorf("churn: from-scratch reference violated its bound %d times", refSt.BoundViolations)
+	}
+	if recovered.StretchHist != refSt.StretchHist || recovered.MaxStretch != refSt.MaxStretch {
+		return fmt.Errorf("churn: post-swap stretch histogram differs from the from-scratch build:\nswap:    max=%.6f%s\nscratch: max=%.6f%s",
+			recovered.MaxStretch, histLine(recovered.StretchHist),
+			refSt.MaxStretch, histLine(refSt.StretchHist))
+	}
+	fmt.Fprintf(out, "cross-check: post-swap histogram bit-identical to a from-scratch build on the churned graph\n")
+	return nil
+}

@@ -10,13 +10,22 @@
 //	           [-pathsource dense|lazy] [-mem-budget 256] [-scaling]
 //	           [-cpuprofile file] [-memprofile file]
 //	           [-save prefix | -load prefix] [-schemes thm11,tz-k2]
+//	           [-churn [-churn-frac 0.10] [-churn-seed 1]]
 //
 // -save writes a snapshot of every snapshot-capable row (exact, tz-k2,
-// tz-k3, thm11) to <prefix>-<row>.snap after construction and restricts the
-// evaluation to those rows; -load replays the same evaluation from the
-// snapshots without constructing anything. The two runs produce
+// tz-k3, thm10, thm11) to <prefix>-<row>.snap after construction and
+// restricts the evaluation to those rows; -load replays the same evaluation
+// from the snapshots without constructing anything. The two runs produce
 // byte-identical output - the round-trip fidelity check behind the snapshot
 // subsystem (cmd/routeserve serves the same files).
+//
+// -churn runs the E14 live-churn replay instead of the table: a Theorem 11
+// scheme is served through the live engine while a deterministic deletion
+// trace (seeded by -churn-seed, -churn-frac of the edges) degrades the
+// graph, then rebuilt and hot-swapped under load. The run fails (non-zero
+// exit) on any dropped query, any bound violation in a clean phase, or a
+// post-swap stretch histogram that is not bit-identical to a from-scratch
+// build on the churned graph - the CI soak step runs exactly this.
 //
 // -workers caps the worker count of both the parallel preprocessing phase
 // and the batched evaluation engine (0 = all cores). -pathsource selects how
@@ -94,7 +103,7 @@ func rows() []row {
 
 // snapshotRowNames lists the Table 1 rows whose schemes have registered
 // snapshot support (see internal/wire); -save/-load operate on these.
-var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm11"}
+var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm10", "thm11"}
 
 func isSnapshotRow(name string) bool {
 	for _, s := range snapshotRowNames {
@@ -133,6 +142,9 @@ func run(args []string, out io.Writer) (err error) {
 		scaling    = fs.Bool("scaling", false, "also run the E2 space-scaling experiment")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		churn      = fs.Bool("churn", false, "run the E14 churn replay instead of the table: deterministic deletion trace, staleness-bounded serving, rebuild + hot-swap under load, bit-identity cross-check")
+		churnFrac  = fs.Float64("churn-frac", 0.10, "churn: fraction of edges the deletion trace removes")
+		churnSeed  = fs.Int64("churn-seed", 1, "churn: trace seed")
 		save       = fs.String("save", "", "write snapshots of the snapshot-capable rows to <prefix>-<row>.snap after construction and evaluate only those rows")
 		load       = fs.String("load", "", "load the snapshot-capable rows from <prefix>-<row>.snap (written by -save) instead of constructing; the evaluation output is byte-identical to the -save run")
 		schemes    = fs.String("schemes", "", "comma-separated row filter (e.g. thm11,tz-k2); restricts construction and evaluation to the named rows")
@@ -142,6 +154,17 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	if *save != "" && *load != "" {
 		return errors.New("-save and -load are mutually exclusive")
+	}
+	if *churn {
+		if *save != "" || *load != "" || *scaling || *schemes != "" {
+			return errors.New("-churn cannot be combined with -save/-load/-scaling/-schemes")
+		}
+		compactroute.SetParallelism(*workers)
+		defer compactroute.SetParallelism(0)
+		return runChurn(out, churnConfig{
+			n: *n, eps: *eps, seed: *seed, churnSeed: *churnSeed, frac: *churnFrac,
+			pairs: *pairs, workers: *workers, budgetMiB: *budget,
+		})
 	}
 	snapMode := *save != "" || *load != ""
 	if snapMode && *scaling {

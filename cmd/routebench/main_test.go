@@ -122,6 +122,43 @@ func TestSchemesFilter(t *testing.T) {
 	}
 }
 
+// TestChurnReplay runs the E14 churn replay end to end on a small graph:
+// its internal assertions (no dropped queries, no clean-phase violations,
+// post-swap histogram bit-identical to a from-scratch build) are the test.
+func TestChurnReplay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-churn", "-n", "200", "-pairs", "300", "-churn-seed", "3"}, &out); err != nil {
+		t.Fatalf("churn replay failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# E14 churn replay",
+		"fresh:",
+		"degraded:",
+		"rebuild:",
+		"recovered:",
+		"cross-check: post-swap histogram bit-identical",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestChurnFlagsExclusive(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-churn", "-save", "x"},
+		{"-churn", "-load", "x"},
+		{"-churn", "-scaling"},
+		{"-churn", "-schemes", "thm11"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 // TestSnapshotRowNamesMatchRegistry guards snapshotRowNames against drift:
 // a Table 1 row is listed exactly when its built scheme reports a
 // registered snapshot kind, so a scheme gaining wire support without a

@@ -7,6 +7,7 @@
 //
 //	routeserve -snapshot thm11.snap [-workers 0] [-verify] [-json]
 //	           [-mem-budget 256] [-listen addr]
+//	routeserve -snapshot thm11.snap -live [-eps 0.5] [-tz-k 2] ...
 //	routeserve -snapshot thm11.snap -loadgen [-queries 100000] [-batch 4096]
 //	           [-seed 2015] [-workers 0] [-verify] [-json]
 //
@@ -17,6 +18,24 @@
 //	dist U V     true shortest-path distance (computed on demand, cached)
 //	stats        live serving statistics (QPS, hop quantiles, stretch)
 //	quit         close the session
+//
+// With -live the snapshot is served through the churn-tolerant live engine
+// (a snapshot carrying an overlay journal, written by SaveLiveState,
+// restores its churned state), and the protocol gains admin commands:
+//
+//	addedge U V W   insert the edge {U, V} with weight W
+//	deledge U V     delete the edge {U, V}
+//	setw U V W      change the weight of {U, V} to W
+//	rebuild         rebuild the scheme for the churned graph and hot-swap
+//
+// Queries keep flowing during churn (dead edges are detoured around,
+// reported as measured staleness stretch in stats) and during a rebuild
+// (the swap is one atomic pointer flip). -eps/-seed/-tz-k parameterize the
+// rebuild constructor; dist reports distances in the *effective* (churned)
+// graph.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
+// drains in-flight queries, flushes a final stats line and exits 0.
 //
 // Responses are single lines, JSON objects under -json. With -verify every
 // route response also carries the true distance and observed stretch, and
@@ -38,8 +57,11 @@ import (
 	"math"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"compactroute"
@@ -56,14 +78,27 @@ func main() {
 }
 
 // server bundles the loaded scheme, the query engine and the lazy distance
-// source one serving process holds.
+// source one serving process holds. In -live mode the plain engine is
+// replaced by the churn-tolerant live engine.
 type server struct {
-	scheme   compactroute.Scheme
+	scheme   compactroute.Scheme // static mode; live mode reads currentScheme
 	eng      *compactroute.ServeEngine
+	live     *compactroute.LiveEngine
 	paths    compactroute.PathSource
 	verify   bool
 	jsonMode bool
 	snapSize int64
+}
+
+// currentScheme returns the scheme being served. In live mode it is read
+// through the engine's generation pointer on every call: a rebuild on one
+// connection hot-swaps it while other connections keep serving, so the
+// server must never cache it in a plain field.
+func (s *server) currentScheme() compactroute.Scheme {
+	if s.live != nil {
+		return s.live.Scheme()
+	}
+	return s.scheme
 }
 
 func run(args []string, in io.Reader, out io.Writer) error {
@@ -73,12 +108,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		workers  = fs.Int("workers", 0, "serving shards (0 = all cores)")
 		verify   = fs.Bool("verify", false, "verify every delivery against the proved stretch bound")
 		jsonMode = fs.Bool("json", false, "emit JSON responses and summaries")
-		budget   = fs.Int("mem-budget", 256, "distance row-cache budget in MiB (dist command, -verify)")
+		budget   = fs.Int("mem-budget", 256, "distance row-cache budget in MiB (dist command, -verify, rebuilds)")
 		listen   = fs.String("listen", "", "serve the line protocol on this TCP address instead of stdin")
+		liveMode = fs.Bool("live", false, "serve through the live engine: admin commands (addedge/deledge/setw/rebuild), staleness-aware stats")
+		eps      = fs.Float64("eps", 0.5, "live: epsilon of the rebuild constructor")
+		tzK      = fs.Int("tz-k", 2, "live: k of the rebuild constructor for Thorup-Zwick snapshots")
 		loadgen  = fs.Bool("loadgen", false, "run the closed-loop load generator instead of serving")
 		queries  = fs.Int("queries", 100000, "loadgen: total queries to serve")
 		batch    = fs.Int("batch", 4096, "loadgen: queries per batch")
-		seed     = fs.Int64("seed", 2015, "loadgen: pair-sampling seed")
+		seed     = fs.Int64("seed", 2015, "loadgen pair-sampling seed; live rebuild seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,61 +124,160 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if *snapshot == "" {
 		return errors.New("-snapshot is required")
 	}
+	if *liveMode && *loadgen {
+		return errors.New("-live and -loadgen are mutually exclusive")
+	}
 	st, err := os.Stat(*snapshot)
 	if err != nil {
 		return err
 	}
-	scheme, err := compactroute.LoadSchemeFile(*snapshot)
-	if err != nil {
-		return err
+	srv := &server{verify: *verify, jsonMode: *jsonMode, snapSize: st.Size()}
+	if *liveMode {
+		opts := compactroute.LiveServeOptions{Workers: *workers, Verify: *verify}
+		// The rebuild recipe is derived from the snapshot kind; a kind
+		// without one only disables the rebuild command.
+		kind, err := compactroute.PeekSnapshotKind(*snapshot)
+		if err != nil {
+			return err
+		}
+		if build, err := compactroute.RebuildFuncFor(kind,
+			compactroute.Options{Eps: *eps, Seed: *seed, K: *tzK}, *budget); err == nil {
+			opts.Build = build
+		}
+		l, err := compactroute.LoadLiveStateFile(*snapshot, opts)
+		if err != nil {
+			return err
+		}
+		srv.live = l
+		srv.paths = l.Distances()
+	} else {
+		scheme, err := compactroute.LoadSchemeFile(*snapshot)
+		if err != nil {
+			return err
+		}
+		paths := compactroute.NewLazyAPSP(scheme.Graph(), int64(*budget)<<20)
+		opts := compactroute.ServeOptions{Workers: *workers, Verify: *verify}
+		if *verify {
+			opts.Paths = paths
+		}
+		eng, err := compactroute.NewServeEngine(scheme, opts)
+		if err != nil {
+			return err
+		}
+		srv.scheme, srv.eng, srv.paths = scheme, eng, paths
 	}
-	paths := compactroute.NewLazyAPSP(scheme.Graph(), int64(*budget)<<20)
-	opts := compactroute.ServeOptions{Workers: *workers, Verify: *verify}
-	if *verify {
-		opts.Paths = paths
-	}
-	eng, err := compactroute.NewServeEngine(scheme, opts)
-	if err != nil {
-		return err
-	}
-	srv := &server{scheme: scheme, eng: eng, paths: paths, verify: *verify,
-		jsonMode: *jsonMode, snapSize: st.Size()}
 	if *loadgen {
 		return srv.runLoadgen(out, *queries, *batch, *seed)
 	}
+	// Server modes shut down gracefully on SIGINT/SIGTERM: stop accepting,
+	// drain in-flight queries, flush a final stats line, exit 0.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	if *listen != "" {
-		return srv.listenAndServe(*listen, out)
+		return srv.listenAndServe(*listen, out, sig)
 	}
 	srv.banner(out)
-	return srv.serveConn(in, out)
+	done := make(chan error, 1)
+	go func() { done <- srv.serveConn(in, out) }()
+	select {
+	case err := <-done:
+		return err
+	case <-sig:
+		srv.finalStats(out)
+		return nil
+	}
+}
+
+func (s *server) workers() int {
+	if s.live != nil {
+		return s.live.Workers()
+	}
+	return s.eng.Workers()
 }
 
 func (s *server) banner(out io.Writer) {
-	g := s.scheme.Graph()
-	fmt.Fprintf(out, "# serving %s (kind %s) on G(n=%d, m=%d): %d workers, %d snapshot bytes, verify=%v\n",
-		s.scheme.Name(), compactroute.SnapshotKind(s.scheme), g.N(), g.M(),
-		s.eng.Workers(), s.snapSize, s.verify)
+	scheme := s.currentScheme()
+	g := scheme.Graph()
+	mode := "static"
+	if s.live != nil {
+		mode = "live"
+	}
+	fmt.Fprintf(out, "# serving %s (kind %s, %s) on G(n=%d, m=%d): %d workers, %d snapshot bytes, verify=%v\n",
+		scheme.Name(), compactroute.SnapshotKind(scheme), mode, g.N(), g.M(),
+		s.workers(), s.snapSize, s.verify)
+}
+
+// finalStats flushes the shutdown stats line.
+func (s *server) finalStats(out io.Writer) {
+	w := bufio.NewWriter(out)
+	fmt.Fprintf(w, "# shutdown: ")
+	s.writeStats(w, json.NewEncoder(w))
+	w.Flush()
 }
 
 // listenAndServe accepts TCP connections and speaks the line protocol on
-// each; it runs until the listener fails (e.g. the process is killed).
-func (s *server) listenAndServe(addr string, out io.Writer) error {
+// each until the listener fails or a shutdown signal arrives; on signal it
+// stops accepting, unblocks and drains the open sessions, prints the final
+// stats line and returns nil.
+func (s *server) listenAndServe(addr string, out io.Writer, sig <-chan os.Signal) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	defer l.Close()
 	fmt.Fprintf(out, "# listening on %s\n", l.Addr())
 	s.banner(out)
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
+	var (
+		mu       sync.Mutex
+		open     = map[net.Conn]struct{}{}
+		draining bool
+		wg       sync.WaitGroup
+	)
+	acceptDone := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				acceptDone <- err
+				return
+			}
+			mu.Lock()
+			if draining {
+				mu.Unlock()
+				conn.Close()
+				continue
+			}
+			open[conn] = struct{}{}
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					mu.Lock()
+					delete(open, conn)
+					mu.Unlock()
+					conn.Close()
+				}()
+				_ = s.serveConn(conn, conn)
+			}()
 		}
-		go func() {
-			defer conn.Close()
-			_ = s.serveConn(conn, conn)
-		}()
+	}()
+	select {
+	case err := <-acceptDone:
+		return err
+	case <-sig:
+		l.Close()
+		// Unblock sessions parked in Read; in-flight commands finish first
+		// because each command is served and written before the next Read.
+		mu.Lock()
+		draining = true
+		for conn := range open {
+			_ = conn.SetReadDeadline(time.Now())
+		}
+		mu.Unlock()
+		wg.Wait()
+		s.finalStats(out)
+		return nil
 	}
 }
 
@@ -156,7 +293,21 @@ type routeReply struct {
 	Header  int     `json:"header"`
 	Dist    float64 `json:"dist"`
 	Stretch float64 `json:"stretch"`
-	Err     string  `json:"err,omitempty"`
+	// Live-mode extras: a route that crossed a detour or fell back to the
+	// exact search is flagged stale.
+	Stale    bool   `json:"stale,omitempty"`
+	Detours  int    `json:"detours,omitempty"`
+	Fallback bool   `json:"fallback,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// adminReply is the JSON shape of addedge/deledge/setw/rebuild responses.
+type adminReply struct {
+	Op         string  `json:"op"`
+	Version    uint64  `json:"version,omitempty"`
+	Generation uint64  `json:"generation,omitempty"`
+	TookSec    float64 `json:"took_sec,omitempty"`
+	Err        string  `json:"err,omitempty"`
 }
 
 // serveConn runs the line protocol until EOF or "quit". Malformed commands
@@ -167,80 +318,189 @@ func (s *server) serveConn(in io.Reader, out io.Writer) error {
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	enc := json.NewEncoder(w)
-	n := s.scheme.Graph().N()
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
 		}
-		switch cmd := fields[0]; cmd {
-		case "quit", "exit":
+		if quit := s.serveCommand(w, enc, fields); quit {
 			return w.Flush()
-		case "stats":
-			st := s.eng.Stats()
-			if s.jsonMode {
-				_ = enc.Encode(statsSummary(st))
-			} else {
-				fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f)\n",
-					st.Queries, st.QPS, st.Errors, st.BoundViolations,
-					st.P50Hops, st.P99Hops, st.MeanHops, st.MaxStretch)
-			}
-		case "route", "dist":
-			u, v, err := parsePair(fields, n)
-			if err != nil {
-				s.errLine(w, enc, cmd, err)
-				break
-			}
-			if cmd == "dist" {
-				d := s.paths.Dist(u, v)
-				if s.jsonMode {
-					// JSON has no +Inf; an unreachable pair is reported as
-					// dist -1 with an explicit marker (encoding Inf would
-					// make Encode fail and the client would get no reply).
-					rep := routeReply{Op: "dist", Src: int(u), Dst: int(v), Dist: d}
-					if math.IsInf(d, 1) {
-						rep.Dist = -1
-						rep.Err = "unreachable"
-					}
-					_ = enc.Encode(rep)
-				} else {
-					fmt.Fprintf(w, "dist %d %d %g\n", u, v, d)
-				}
-				break
-			}
-			res := s.eng.Route(u, v)
-			if res.Err != nil {
-				s.errLine(w, enc, cmd, res.Err)
-				break
-			}
-			if s.jsonMode {
-				rep := routeReply{Op: "route", Src: int(u), Dst: int(v), Hops: res.Hops,
-					Weight: res.Weight, Header: res.HeaderWords}
-				if s.verify {
-					rep.Dist = res.Dist
-					if res.Dist > 0 {
-						rep.Stretch = res.Weight / res.Dist
-					}
-				}
-				_ = enc.Encode(rep)
-			} else {
-				fmt.Fprintf(w, "route %d %d hops=%d weight=%g header=%d", u, v, res.Hops, res.Weight, res.HeaderWords)
-				if s.verify {
-					fmt.Fprintf(w, " dist=%g", res.Dist)
-					if res.Dist > 0 {
-						fmt.Fprintf(w, " stretch=%.3f", res.Weight/res.Dist)
-					}
-				}
-				fmt.Fprintln(w)
-			}
-		default:
-			s.errLine(w, enc, cmd, fmt.Errorf("unknown command (want route | dist | stats | quit)"))
 		}
 		if err := w.Flush(); err != nil {
 			return err
 		}
 	}
 	return sc.Err()
+}
+
+// serveCommand executes one protocol command; it reports whether the
+// session asked to close.
+func (s *server) serveCommand(w *bufio.Writer, enc *json.Encoder, fields []string) (quit bool) {
+	n := s.currentScheme().Graph().N()
+	switch cmd := fields[0]; cmd {
+	case "quit", "exit":
+		return true
+	case "stats":
+		s.writeStats(w, enc)
+	case "route":
+		u, v, err := parsePair(fields, n)
+		if err != nil {
+			s.errLine(w, enc, cmd, err)
+			break
+		}
+		s.serveRoute(w, enc, u, v)
+	case "dist":
+		u, v, err := parsePair(fields, n)
+		if err != nil {
+			s.errLine(w, enc, cmd, err)
+			break
+		}
+		d := s.paths.Dist(u, v)
+		if s.jsonMode {
+			// JSON has no +Inf; an unreachable pair is reported as
+			// dist -1 with an explicit marker (encoding Inf would
+			// make Encode fail and the client would get no reply).
+			rep := routeReply{Op: "dist", Src: int(u), Dst: int(v), Dist: d}
+			if math.IsInf(d, 1) {
+				rep.Dist = -1
+				rep.Err = "unreachable"
+			}
+			_ = enc.Encode(rep)
+		} else {
+			fmt.Fprintf(w, "dist %d %d %g\n", u, v, d)
+		}
+	case "addedge", "deledge", "setw", "rebuild":
+		if s.live == nil {
+			s.errLine(w, enc, cmd, errors.New("admin commands need -live"))
+			break
+		}
+		s.serveAdmin(w, enc, cmd, fields)
+	default:
+		s.errLine(w, enc, cmd, fmt.Errorf("unknown command (want route | dist | stats | addedge | deledge | setw | rebuild | quit)"))
+	}
+	return false
+}
+
+func (s *server) serveRoute(w *bufio.Writer, enc *json.Encoder, u, v compactroute.Vertex) {
+	var rep routeReply
+	if s.live != nil {
+		res := s.live.Route(u, v)
+		if res.Err != nil {
+			s.errLine(w, enc, "route", res.Err)
+			return
+		}
+		rep = routeReply{Op: "route", Src: int(u), Dst: int(v), Hops: res.Hops,
+			Weight: res.Weight, Header: res.HeaderWords,
+			Stale: res.Stale(), Detours: res.Detours, Fallback: res.Fallback}
+		if s.verify {
+			rep.Dist = s.paths.Dist(u, v)
+		}
+	} else {
+		res := s.eng.Route(u, v)
+		if res.Err != nil {
+			s.errLine(w, enc, "route", res.Err)
+			return
+		}
+		rep = routeReply{Op: "route", Src: int(u), Dst: int(v), Hops: res.Hops,
+			Weight: res.Weight, Header: res.HeaderWords}
+		if s.verify {
+			rep.Dist = res.Dist
+		}
+	}
+	if s.verify && rep.Dist > 0 {
+		rep.Stretch = rep.Weight / rep.Dist
+	}
+	if s.jsonMode {
+		_ = enc.Encode(rep)
+		return
+	}
+	fmt.Fprintf(w, "route %d %d hops=%d weight=%g header=%d", u, v, rep.Hops, rep.Weight, rep.Header)
+	if s.verify {
+		fmt.Fprintf(w, " dist=%g", rep.Dist)
+		if rep.Dist > 0 {
+			fmt.Fprintf(w, " stretch=%.3f", rep.Stretch)
+		}
+	}
+	if rep.Stale {
+		fmt.Fprintf(w, " stale=1 detours=%d fallback=%v", rep.Detours, rep.Fallback)
+	}
+	fmt.Fprintln(w)
+}
+
+// serveAdmin executes one live-engine admin command.
+func (s *server) serveAdmin(w *bufio.Writer, enc *json.Encoder, cmd string, fields []string) {
+	n := s.currentScheme().Graph().N()
+	switch cmd {
+	case "rebuild":
+		start := time.Now()
+		if err := s.live.Rebuild(); err != nil {
+			s.errLine(w, enc, cmd, err)
+			return
+		}
+		took := time.Since(start)
+		if s.jsonMode {
+			_ = enc.Encode(adminReply{Op: cmd, Generation: s.live.Generation(), TookSec: took.Seconds()})
+		} else {
+			fmt.Fprintf(w, "ok rebuild gen=%d took=%s\n", s.live.Generation(), took.Round(time.Millisecond))
+		}
+	case "addedge", "setw":
+		u, v, wt, err := parseEdgeWeight(fields, n)
+		if err != nil {
+			s.errLine(w, enc, cmd, err)
+			return
+		}
+		up := compactroute.SetEdgeWeight(u, v, wt)
+		if cmd == "addedge" {
+			up = compactroute.InsertEdge(u, v, wt)
+		}
+		s.applyAdmin(w, enc, cmd, up)
+	case "deledge":
+		u, v, err := parsePair(fields, n)
+		if err != nil {
+			s.errLine(w, enc, cmd, err)
+			return
+		}
+		s.applyAdmin(w, enc, cmd, compactroute.RemoveEdge(u, v))
+	}
+}
+
+func (s *server) applyAdmin(w *bufio.Writer, enc *json.Encoder, cmd string, up compactroute.EdgeUpdate) {
+	if err := s.live.ApplyUpdates([]compactroute.EdgeUpdate{up}); err != nil {
+		s.errLine(w, enc, cmd, err)
+		return
+	}
+	version := s.live.Overlay().Version()
+	if s.jsonMode {
+		_ = enc.Encode(adminReply{Op: cmd, Version: version})
+	} else {
+		fmt.Fprintf(w, "ok %s version=%d\n", cmd, version)
+	}
+}
+
+func (s *server) writeStats(w *bufio.Writer, enc *json.Encoder) {
+	if s.live != nil {
+		st := s.live.Stats()
+		if s.jsonMode {
+			_ = enc.Encode(liveStatsSummary(st))
+		} else {
+			ov := st.Overlay
+			fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f) gen=%d overlay(del=%d add=%d setw=%d v=%d) stale(served=%d max=%.3f) detours=%d fallbacks=%d rebuilds=%d swaps=%d\n",
+				st.Queries, st.QPS, st.Errors, st.BoundViolations,
+				st.P50Hops, st.P99Hops, st.MeanHops, st.MaxStretch,
+				st.Generation, ov.Deleted, ov.Inserted, ov.Reweighted, st.OverlayVersion,
+				st.StaleServed, st.MaxStaleStretch, st.Detours, st.Fallbacks,
+				st.Rebuilds, st.Swaps)
+		}
+		return
+	}
+	st := s.eng.Stats()
+	if s.jsonMode {
+		_ = enc.Encode(statsSummary(st))
+	} else {
+		fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f)\n",
+			st.Queries, st.QPS, st.Errors, st.BoundViolations,
+			st.P50Hops, st.P99Hops, st.MeanHops, st.MaxStretch)
+	}
 }
 
 func (s *server) errLine(w io.Writer, enc *json.Encoder, op string, err error) {
@@ -255,18 +515,37 @@ func parsePair(fields []string, n int) (u, v compactroute.Vertex, err error) {
 	if len(fields) != 3 {
 		return 0, 0, fmt.Errorf("want: %s U V", fields[0])
 	}
-	ui, err := strconv.Atoi(fields[1])
+	return parseUV(fields[0], fields[1], fields[2], n)
+}
+
+func parseUV(op, us, vs string, n int) (u, v compactroute.Vertex, err error) {
+	ui, err := strconv.Atoi(us)
 	if err != nil {
-		return 0, 0, fmt.Errorf("bad vertex %q", fields[1])
+		return 0, 0, fmt.Errorf("bad vertex %q", us)
 	}
-	vi, err := strconv.Atoi(fields[2])
+	vi, err := strconv.Atoi(vs)
 	if err != nil {
-		return 0, 0, fmt.Errorf("bad vertex %q", fields[2])
+		return 0, 0, fmt.Errorf("bad vertex %q", vs)
 	}
 	if ui < 0 || ui >= n || vi < 0 || vi >= n {
 		return 0, 0, fmt.Errorf("vertex out of range [0,%d)", n)
 	}
 	return compactroute.Vertex(ui), compactroute.Vertex(vi), nil
+}
+
+func parseEdgeWeight(fields []string, n int) (u, v compactroute.Vertex, w float64, err error) {
+	if len(fields) != 4 {
+		return 0, 0, 0, fmt.Errorf("want: %s U V W", fields[0])
+	}
+	u, v, err = parseUV(fields[0], fields[1], fields[2], n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	w, err = strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad weight %q", fields[3])
+	}
+	return u, v, w, nil
 }
 
 // loadgenSummary is the JSON shape of a load-generator run, the record
@@ -302,10 +581,44 @@ type statsReply struct {
 	MaxStretch float64 `json:"max_stretch"`
 }
 
+type liveStatsReply struct {
+	statsReply
+	Generation     uint64  `json:"generation"`
+	OverlayVersion uint64  `json:"overlay_version"`
+	OverlayDel     int     `json:"overlay_deleted"`
+	OverlayAdd     int     `json:"overlay_inserted"`
+	OverlaySetw    int     `json:"overlay_reweighted"`
+	StaleServed    uint64  `json:"stale_served"`
+	MaxStale       float64 `json:"max_stale_stretch"`
+	DeadEdgeHits   uint64  `json:"dead_edge_hits"`
+	Detours        uint64  `json:"detours"`
+	Fallbacks      uint64  `json:"fallbacks"`
+	Rebuilds       uint64  `json:"rebuilds"`
+	Swaps          uint64  `json:"swaps"`
+}
+
 func statsSummary(st compactroute.ServeStats) statsReply {
 	return statsReply{Queries: st.Queries, QPS: st.QPS, Errors: st.Errors,
 		Violations: st.BoundViolations, P50Hops: st.P50Hops, P99Hops: st.P99Hops,
 		MeanHops: st.MeanHops, MaxStretch: st.MaxStretch}
+}
+
+func liveStatsSummary(st compactroute.LiveStats) liveStatsReply {
+	return liveStatsReply{
+		statsReply:     statsSummary(st.Stats),
+		Generation:     st.Generation,
+		OverlayVersion: st.OverlayVersion,
+		OverlayDel:     st.Overlay.Deleted,
+		OverlayAdd:     st.Overlay.Inserted,
+		OverlaySetw:    st.Overlay.Reweighted,
+		StaleServed:    st.StaleServed,
+		MaxStale:       st.MaxStaleStretch,
+		DeadEdgeHits:   st.DeadEdgeHits,
+		Detours:        st.Detours,
+		Fallbacks:      st.Fallbacks,
+		Rebuilds:       st.Rebuilds,
+		Swaps:          st.Swaps,
+	}
 }
 
 // runLoadgen is the closed-loop benchmark: it serves `queries` sampled

@@ -1,10 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"compactroute"
 )
@@ -124,6 +131,148 @@ func TestLoadgen(t *testing.T) {
 	}
 	if sum.QPS <= 0 || sum.SnapBytes <= 0 || sum.TableWords <= 0 {
 		t.Fatalf("degenerate summary %+v", sum)
+	}
+}
+
+// TestServeLiveAdminSession drives the -live admin protocol over stdin:
+// churn, degraded routing, rebuild+hot-swap, recovered stats.
+func TestServeLiveAdminSession(t *testing.T) {
+	snap, _ := writeSnapshot(t)
+	in := strings.NewReader(strings.Join([]string{
+		"route 3 41",
+		"deledge 3 41",    // may or may not be an edge; either answer is fine
+		"deledge 0 0",     // invalid: self loop
+		"addedge 0 0 2",   // invalid: self loop
+		"setw 1 2 0",      // invalid: non-positive weight (or missing edge)
+		"stats",
+		"rebuild",
+		"stats",
+		"route 3 41",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	if err := run([]string{"-snapshot", snap, "-live", "-verify", "-workers", "2"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"live) on G(",
+		"err deledge:",
+		"err addedge:",
+		"err setw:",
+		"ok rebuild gen=1",
+		"gen=1",
+		"rebuilds=1 swaps=1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeLiveChurnOverTCP runs a full degraded/recovered cycle over the
+// TCP transport and then exercises the graceful-shutdown satellite: SIGINT
+// must drain the session, flush a final stats line and return nil (exit 0).
+func TestServeLiveChurnOverTCP(t *testing.T) {
+	snap, _ := writeSnapshot(t)
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-snapshot", snap, "-live", "-verify", "-listen", "127.0.0.1:0"},
+			strings.NewReader(""), outW)
+	}()
+	// Drain the server's output continuously (it writes into a pipe, so an
+	// unread line would block it) and hand every line to the test.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(outR)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	var addr string
+	for line := range lines {
+		if s, ok := strings.CutPrefix(line, "# listening on "); ok {
+			addr = s
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("no listening banner")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	send := func(cmd string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, cmd); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("no reply to %q: %v", cmd, sc.Err())
+		}
+		return sc.Text()
+	}
+	if rep := send("route 3 41"); !strings.HasPrefix(rep, "route 3 41 hops=") {
+		t.Fatalf("route reply %q", rep)
+	}
+	// Delete an edge incident to vertex 3 (probe neighbors until one
+	// deletion is accepted) and route again: still served.
+	dst := -1
+	for v := 0; v < 72 && dst < 0; v++ {
+		if v == 3 {
+			continue
+		}
+		if rep := send(fmt.Sprintf("deledge 3 %d", v)); strings.HasPrefix(rep, "ok deledge") {
+			dst = v
+		}
+	}
+	if dst < 0 {
+		t.Fatal("vertex 3 has no deletable edge")
+	}
+	if rep := send("route 3 41"); !strings.HasPrefix(rep, "route 3 41 hops=") {
+		t.Fatalf("degraded route reply %q", rep)
+	}
+	if rep := send("rebuild"); !strings.HasPrefix(rep, "ok rebuild gen=1") {
+		t.Fatalf("rebuild reply %q", rep)
+	}
+	if rep := send("stats"); !strings.Contains(rep, "gen=1") {
+		t.Fatalf("stats reply %q", rep)
+	}
+	// Graceful shutdown: SIGINT to our own process; run() must drain and
+	// return nil, emitting the final stats line on its way out.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
+	}
+	outW.Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("no final stats line")
+			}
+			if strings.HasPrefix(line, "# shutdown: stats ") {
+				if !strings.Contains(line, "queries=") {
+					t.Fatalf("final stats line malformed: %q", line)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no final stats line")
+		}
 	}
 }
 

@@ -44,6 +44,24 @@
 // cmd/routebench -save/-load writes and replays snapshots for the Table 1
 // rows; cmd/routeserve serves a snapshot over a line/JSON protocol and
 // contains the closed-loop load generator behind experiment E13.
+//
+// Live serving under churn: ServeLive wraps a scheme in an engine that
+// keeps answering while the graph changes underneath it. Edge updates
+// (ApplyUpdates) accumulate in a delta overlay; routes detour around dead
+// edges with bounded local search (falling back to one exact search) and
+// report measured staleness stretch; Rebuild preprocesses a fresh scheme
+// for the churned graph in the background and hot-swaps it without
+// blocking a query:
+//
+//	lv, _ := compactroute.ServeLive(scheme, compactroute.LiveServeOptions{
+//		Verify: true, Build: build})
+//	_ = lv.ApplyUpdates([]compactroute.EdgeUpdate{compactroute.RemoveEdge(3, 41)})
+//	res := lv.Route(3, 977)            // detours around the dead edge
+//	_ = lv.Rebuild()                   // background rebuild + atomic hot-swap
+//
+// cmd/routeserve -live exposes the same over the line protocol (addedge /
+// deledge / setw / rebuild); cmd/routebench -churn replays a deterministic
+// churn trace end to end (experiment E14).
 package compactroute
 
 import (

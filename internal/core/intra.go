@@ -50,7 +50,45 @@ type IntraConfig struct {
 // vicinities, builds a spanning shortest-path tree per landmark and the
 // per-pair waypoint sequences.
 func NewIntra(cfg IntraConfig) (*Intra, error) {
-	g, paths := cfg.Graph, cfg.Paths
+	in, err := newIntraBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Group vertices by part and build per-pair sequences. Every source owns
+	// its seqs[u] map, so the per-vertex loop runs on the worker pool.
+	n := cfg.Graph.N()
+	parts := make(map[int32][]graph.Vertex)
+	for u := 0; u < n; u++ {
+		parts[cfg.PartOf[u]] = append(parts[cfg.PartOf[u]], graph.Vertex(u))
+	}
+	if err := parallel.ForErr(n, func(ui int) error {
+		u := graph.Vertex(ui)
+		members := parts[cfg.PartOf[ui]]
+		in.seqs[u] = make(map[graph.Vertex]intraSeq, len(members)-1)
+		for _, v := range members {
+			if u == v {
+				continue
+			}
+			sq, err := in.buildSequence(cfg.Paths, u, v)
+			if err != nil {
+				return fmt.Errorf("core: sequence %d->%d: %w", u, v, err)
+			}
+			in.seqs[u][v] = sq
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// newIntraBase runs every Lemma 7 preprocessing step that is a pure
+// function of (graph, vicinities, partition): the hitting set, the landmark
+// trees and the nearest-hitting-set table. The per-pair sequences - the one
+// piece that needs a PathSource - are filled by NewIntra or decoded by
+// RestoreIntra (cfg.Paths is not consulted here).
+func newIntraBase(cfg IntraConfig) (*Intra, error) {
+	g := cfg.Graph
 	n := g.N()
 	if len(cfg.Vics) != n || len(cfg.PartOf) != n {
 		return nil, fmt.Errorf("core: intra config arrays must have length n=%d", n)
@@ -115,31 +153,6 @@ func NewIntra(cfg IntraConfig) (*Intra, error) {
 		}
 		if in.bestH[u] == graph.NoVertex {
 			return fmt.Errorf("core: hitting set misses B(%d)", u)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	// Group vertices by part and build per-pair sequences. Every source owns
-	// its seqs[u] map, so the per-vertex loop runs on the worker pool.
-	parts := make(map[int32][]graph.Vertex)
-	for u := 0; u < n; u++ {
-		parts[cfg.PartOf[u]] = append(parts[cfg.PartOf[u]], graph.Vertex(u))
-	}
-	if err := parallel.ForErr(n, func(ui int) error {
-		u := graph.Vertex(ui)
-		members := parts[cfg.PartOf[ui]]
-		in.seqs[u] = make(map[graph.Vertex]intraSeq, len(members)-1)
-		for _, v := range members {
-			if u == v {
-				continue
-			}
-			sq, err := in.buildSequence(paths, u, v)
-			if err != nil {
-				return fmt.Errorf("core: sequence %d->%d: %w", u, v, err)
-			}
-			in.seqs[u][v] = sq
 		}
 		return nil
 	}); err != nil {

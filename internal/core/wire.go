@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"compactroute/internal/graph"
+	"compactroute/internal/treeroute"
 	"compactroute/internal/wire"
 )
 
@@ -28,6 +29,95 @@ func (in *Inter) EncodeWire(e *wire.Encoder) {
 			e.Vertices(sq.waypoints)
 		}
 	}
+}
+
+// EncodeIntraWire writes the Lemma 7 state that cannot be re-derived
+// without a PathSource: the per-source waypoint sequences (targets in
+// increasing id order, so the stream is deterministic). The hitting set,
+// the landmark trees, the nearest-hitting-set table and the destinations'
+// tree labels are pure functions of the restore inputs and are rebuilt on
+// decode.
+func (in *Intra) EncodeIntraWire(e *wire.Encoder) {
+	for u := range in.seqs {
+		targets := make([]graph.Vertex, 0, len(in.seqs[u]))
+		for v := range in.seqs[u] {
+			targets = append(targets, v)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		e.Uint32(uint32(len(targets)))
+		for _, v := range targets {
+			sq := in.seqs[u][v]
+			e.Vertex(v)
+			e.Vertex(sq.landmark) // NoVertex when the sequence ends at v
+			e.Vertices(sq.waypoints)
+		}
+	}
+}
+
+// RestoreIntra rebuilds a Lemma 7 structure from a decoded sequence stream:
+// the derivable state comes from cfg (cfg.Paths is not consulted), the
+// sequences from d. Decoded ids are validated - vertices in range, targets
+// in the source's part, landmarks members of the re-derived hitting set
+// with the destination present in their tree - so a corrupt snapshot fails
+// instead of panicking or misrouting.
+func RestoreIntra(cfg IntraConfig, d *wire.Decoder) (*Intra, error) {
+	in, err := newIntraBase(cfg)
+	if err != nil {
+		d.Failf("%v", err)
+		return nil, d.Err()
+	}
+	n := in.g.N()
+	if !d.Alloc(int64(n) * 16) { // per-source map headers
+		return nil, d.Err()
+	}
+	for u := 0; u < n; u++ {
+		c := d.Count(12) // per target at least: id + landmark + count
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		in.seqs[u] = make(map[graph.Vertex]intraSeq, c)
+		for i := 0; i < c; i++ {
+			v := d.Vertex()
+			lm := d.Vertex()
+			wps := d.Vertices()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if v < 0 || int(v) >= n {
+				d.Failf("sequence target %d out of range", v)
+				return nil, d.Err()
+			}
+			if in.partOf[u] != in.partOf[v] {
+				d.Failf("sequence %d->%d crosses parts", u, v)
+				return nil, d.Err()
+			}
+			for _, wp := range wps {
+				if wp < 0 || int(wp) >= n {
+					d.Failf("waypoint %d out of range in sequence %d->%d", wp, u, v)
+					return nil, d.Err()
+				}
+			}
+			sq := intraSeq{waypoints: wps, landmark: lm}
+			if lm != graph.NoVertex {
+				tr, ok := in.trees[lm]
+				if !ok {
+					d.Failf("sequence %d->%d names %d, which is not a hitting-set landmark", u, v, lm)
+					return nil, d.Err()
+				}
+				sq.treeLbl = tr.LabelOf(v)
+				if sq.treeLbl == treeroute.NoLabel {
+					d.Failf("destination %d missing from landmark tree %d", v, lm)
+					return nil, d.Err()
+				}
+			}
+			if _, dup := in.seqs[u][v]; dup {
+				d.Failf("duplicate sequence %d->%d", u, v)
+				return nil, d.Err()
+			}
+			in.seqs[u][v] = sq
+		}
+	}
+	return in, nil
 }
 
 // RestoreInter rebuilds a Lemma 8 structure from a decoded sequence stream:

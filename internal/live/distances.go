@@ -1,0 +1,115 @@
+package live
+
+import (
+	"sync"
+
+	"compactroute/internal/graph"
+)
+
+// Distances is a graph.PathSource over the *effective* graph: true shortest
+// distances and canonical first hops of base+overlay, computed per source
+// row on demand and cached until the overlay's version moves. It is the
+// truth the live serving stats measure staleness stretch against, and with
+// an empty overlay its rows are bit-identical to a PathSource over the base
+// graph - which is what makes post-swap serving statistics comparable to a
+// from-scratch build on the churned graph.
+//
+// Safe for concurrent use. An update invalidates the whole cache (rows are
+// cheap relative to a rebuild, and churn batches amortize recomputation
+// across the queries between updates).
+type Distances struct {
+	ov *Overlay
+	// maxRows bounds the cache (a row costs ~16n bytes; an unbounded map
+	// would grow back toward the O(n^2) dense matrix the lazy path source
+	// exists to avoid). When full, an arbitrary row is evicted.
+	maxRows int
+
+	mu      sync.Mutex
+	version uint64
+	rows    map[graph.Vertex]graph.Row
+}
+
+var _ graph.PathSource = (*Distances)(nil)
+
+// distBudgetBytes is the default row-cache budget of a Distances.
+const distBudgetBytes = 256 << 20
+
+// NewDistances wraps an overlay as an effective-graph PathSource.
+func NewDistances(ov *Overlay) *Distances {
+	rowBytes := 16*ov.N() + 64
+	maxRows := distBudgetBytes / rowBytes
+	if maxRows < 16 {
+		maxRows = 16
+	}
+	if n := ov.N(); maxRows > n && n > 0 {
+		maxRows = n
+	}
+	return &Distances{ov: ov, maxRows: maxRows, rows: make(map[graph.Vertex]graph.Row)}
+}
+
+// N implements graph.PathSource.
+func (d *Distances) N() int { return d.ov.N() }
+
+// Row implements graph.PathSource: the effective row of src, served from
+// the version-tagged cache or computed with one canonical effective search.
+func (d *Distances) Row(src graph.Vertex) graph.Row {
+	v := d.ov.Version()
+	d.mu.Lock()
+	if v != d.version {
+		d.rows = make(map[graph.Vertex]graph.Row)
+		d.version = v
+	}
+	if row, ok := d.rows[src]; ok {
+		d.mu.Unlock()
+		return row
+	}
+	d.mu.Unlock()
+	// Compute outside the cache lock: concurrent shards computing distinct
+	// sources must not serialize on each other.
+	dist, first := d.ov.ssspRow(src)
+	row := graph.Row{Src: src, Dist: dist, First: first}
+	d.mu.Lock()
+	// Tag the row with the version observed *before* the search; if an
+	// update landed mid-search the row is discarded rather than cached
+	// stale (the search itself was consistent - it holds the overlay read
+	// lock - but it may describe the pre-update graph).
+	if v == d.version {
+		if len(d.rows) >= d.maxRows {
+			for k := range d.rows { // evict an arbitrary row
+				delete(d.rows, k)
+				break
+			}
+		}
+		d.rows[src] = row
+	}
+	d.mu.Unlock()
+	return row
+}
+
+// Dist implements graph.PathSource.
+func (d *Distances) Dist(u, v graph.Vertex) float64 { return d.Row(u).Dist[v] }
+
+// First implements graph.PathSource.
+func (d *Distances) First(u, v graph.Vertex) graph.Vertex { return d.Row(u).First[v] }
+
+// Path implements graph.PathSource: the canonical effective path, built by
+// following first hops (each step reads the current row of the vertex it
+// stands on, exactly like the routing phase would). The walk crosses one
+// row per step; if an update lands mid-walk the mixed-version hops may stop
+// leading anywhere (a hop with no first edge, or a cycle) - Path returns
+// nil then, the same answer as for an unreachable destination.
+func (d *Distances) Path(u, v graph.Vertex) []graph.Vertex {
+	row := d.Row(u)
+	if u != v && row.First[v] == graph.NoVertex {
+		return nil
+	}
+	path := []graph.Vertex{u}
+	for x := u; x != v; {
+		x = d.Row(x).First[v]
+		if x == graph.NoVertex || len(path) > d.N() {
+			return nil // churn raced the walk across row versions
+		}
+		path = append(path, x)
+	}
+	return path
+}

@@ -1,0 +1,154 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/simnet"
+)
+
+// DefaultDetourBudget is the number of vertices a dead-edge local search may
+// finalize before the router gives up on detouring and falls back to one
+// exact search for the whole remaining route.
+const DefaultDetourBudget = 64
+
+// ErrUnreachable reports a destination with no finite effective route.
+var ErrUnreachable = errors.New("live: destination unreachable in the effective graph")
+
+// Result is the outcome of one overlay-patched route.
+type Result struct {
+	Src, Dst    graph.Vertex
+	Hops        int
+	Weight      float64 // effective (current) weight of the traversed walk
+	HeaderWords int
+	// DeadHits counts scheme decisions that chose a dead edge.
+	DeadHits int
+	// Detours counts dead edges successfully bypassed by bounded local
+	// search; DetourHops is the total length of those bypasses.
+	Detours    int
+	DetourHops int
+	// Fallback reports that the route was completed by a per-query exact
+	// search (detour budget exhausted, hop budget exhausted, or the scheme
+	// failed on its own state).
+	Fallback bool
+	Err      error
+}
+
+// Stale reports whether the route was served degraded: it crossed at least
+// one overlay-patched decision (detour or fallback). A non-stale route is
+// exactly the walk the preprocessed scheme would have taken on its own
+// graph.
+func (r Result) Stale() bool { return r.DeadHits > 0 || r.Fallback }
+
+// Router executes one preprocessed scheme hop by hop against the current
+// effective graph: scheme decisions are taken verbatim while their edges are
+// alive (at current weights), dead edges are bypassed with bounded local
+// search, and a per-query exact search finishes any route the scheme can no
+// longer complete. A Router is immutable and safe for concurrent use; the
+// overlay it consults is shared and live.
+type Router struct {
+	scheme  simnet.Scheme
+	g       *graph.Graph
+	ov      *Overlay
+	budget  int
+	maxHops int
+}
+
+// NewRouter wraps a preprocessed scheme for overlay-patched execution.
+// budget <= 0 selects DefaultDetourBudget; maxHops <= 0 keeps the simnet
+// default of 8n+64. The scheme's graph must have the overlay's vertex count
+// (schemes of any generation route against the same vertex set).
+func NewRouter(s simnet.Scheme, ov *Overlay, budget, maxHops int) (*Router, error) {
+	g := s.Graph()
+	if g.N() != ov.N() {
+		return nil, fmt.Errorf("live: scheme graph has %d vertices, overlay %d", g.N(), ov.N())
+	}
+	if budget <= 0 {
+		budget = DefaultDetourBudget
+	}
+	if maxHops <= 0 {
+		maxHops = 8*g.N() + 64
+	}
+	return &Router{scheme: s, g: g, ov: ov, budget: budget, maxHops: maxHops}, nil
+}
+
+// Scheme returns the preprocessed scheme being patched.
+func (r *Router) Scheme() simnet.Scheme { return r.scheme }
+
+// Route serves one query. Every returned route is a real walk in the
+// effective graph with its current weights; when the scheme alone cannot
+// produce one, the route is completed by detour or fallback and the Result
+// says so. Err is non-nil only for invalid pairs, truly unreachable
+// destinations, or a scheme that misbehaves beyond repair.
+func (r *Router) Route(src, dst graph.Vertex) Result {
+	res := Result{Src: src, Dst: dst}
+	if n := graph.Vertex(r.g.N()); src < 0 || src >= n || dst < 0 || dst >= n {
+		res.Err = fmt.Errorf("live: pair (%d, %d) out of range [0, %d)", src, dst, n)
+		return res
+	}
+	pkt, err := r.scheme.Prepare(src, dst)
+	if err != nil {
+		// A scheme that cannot even prepare (should not happen on its own
+		// graph) still gets the query answered exactly.
+		return r.fallback(res, src, dst)
+	}
+	res.HeaderWords = r.scheme.HeaderWords(pkt)
+	at := src
+	for {
+		d, err := r.scheme.Next(at, pkt)
+		if err != nil {
+			return r.fallback(res, at, dst)
+		}
+		if hw := r.scheme.HeaderWords(pkt); hw > res.HeaderWords {
+			res.HeaderWords = hw
+		}
+		if d.Deliver {
+			if at != dst {
+				res.Err = fmt.Errorf("live: packet %d->%d delivered at wrong vertex %d", src, dst, at)
+			}
+			return res
+		}
+		if d.Port < 0 || int(d.Port) >= r.g.Degree(at) {
+			return r.fallback(res, at, dst)
+		}
+		next, baseW, _ := r.g.Endpoint(at, d.Port)
+		ew, alive := r.ov.EffectiveWeight(at, next, baseW)
+		if alive {
+			res.Hops++
+			res.Weight += ew
+			at = next
+		} else {
+			res.DeadHits++
+			path, pw, ok := r.ov.detour(at, next, r.budget, false)
+			if !ok {
+				return r.fallback(res, at, dst)
+			}
+			res.Detours++
+			res.DetourHops += len(path) - 1
+			res.Hops += len(path) - 1
+			res.Weight += pw
+			at = next
+		}
+		if res.Hops > r.maxHops {
+			return r.fallback(res, at, dst)
+		}
+	}
+}
+
+// fallback completes the route from the packet's current position with one
+// exact search over the effective graph.
+func (r *Router) fallback(res Result, at, dst graph.Vertex) Result {
+	res.Fallback = true
+	if at == dst {
+		return res
+	}
+	path, w, ok := r.ov.exact(at, dst)
+	if !ok {
+		res.Err = fmt.Errorf("live: routing %d->%d: %w", res.Src, dst, ErrUnreachable)
+		return res
+	}
+	res.Hops += len(path) - 1
+	res.Weight += w
+	return res
+}

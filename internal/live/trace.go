@@ -1,0 +1,122 @@
+package live
+
+import (
+	"math/rand"
+
+	"compactroute/internal/graph"
+)
+
+// This file generates deterministic churn traces: reproducible update
+// sequences for the -churn benchmark mode, the CI soak and the tests. All
+// randomness flows from one seeded source, so a (graph, seed) pair always
+// produces the same trace on every platform and run.
+
+// baseEdges lists the base edges in canonical (u, v) order.
+func baseEdges(g *graph.Graph) [][2]graph.Vertex {
+	edges := make([][2]graph.Vertex, 0, g.M())
+	for u := 0; u < g.N(); u++ {
+		g.Neighbors(graph.Vertex(u), func(_ graph.Port, v graph.Vertex, _ float64) bool {
+			if graph.Vertex(u) < v {
+				edges = append(edges, [2]graph.Vertex{graph.Vertex(u), v})
+			}
+			return true
+		})
+	}
+	return edges
+}
+
+// DeletionTrace builds a deterministic trace that deletes ~frac of the base
+// edges (rounded) while keeping the effective graph connected: candidate
+// edges are visited in a seeded random order and a deletion that would
+// disconnect the survivors is skipped. The returned updates apply cleanly,
+// in order, to a fresh overlay over g.
+func DeletionTrace(g *graph.Graph, frac float64, seed int64) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	edges := baseEdges(g)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	target := int(frac*float64(len(edges)) + 0.5)
+	scratch := NewOverlay(g)
+	var trace []Update
+	for _, e := range edges {
+		if len(trace) >= target {
+			break
+		}
+		up := DelEdge(e[0], e[1])
+		if scratch.Apply(up) != nil {
+			continue
+		}
+		if !scratch.Connected() {
+			// Revert: re-adding at the base weight normalizes the entry away.
+			w, _ := g.EdgeWeight(e[0], e[1])
+			if err := scratch.Apply(AddEdge(e[0], e[1], w)); err != nil {
+				panic("live: trace revert failed: " + err.Error())
+			}
+			continue
+		}
+		trace = append(trace, up)
+	}
+	return trace
+}
+
+// ChurnTrace builds a deterministic mixed trace of ops updates: roughly half
+// deletions (connectivity-preserving, occasionally revived later), a quarter
+// weight changes and a quarter insertions. Weights are integers in
+// [1, maxWeight] (maxWeight < 1 selects 32). The updates apply cleanly, in
+// order, to a fresh overlay over g.
+func ChurnTrace(g *graph.Graph, ops int, seed int64, maxWeight int) []Update {
+	if maxWeight < 1 {
+		maxWeight = 32
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scratch := NewOverlay(g)
+	n := g.N()
+	var trace []Update
+	var deleted [][2]graph.Vertex // dead edges eligible for revival
+	edges := baseEdges(g)
+	randWeight := func() float64 { return float64(1 + rng.Intn(maxWeight)) }
+	for attempts := 0; len(trace) < ops && attempts < 50*ops+100; attempts++ {
+		var up Update
+		switch roll := rng.Intn(100); {
+		case roll < 40: // delete a random alive edge
+			e := edges[rng.Intn(len(edges))]
+			up = DelEdge(e[0], e[1])
+			if scratch.Apply(up) != nil {
+				continue
+			}
+			if !scratch.Connected() {
+				w, _ := g.EdgeWeight(e[0], e[1])
+				if err := scratch.Apply(AddEdge(e[0], e[1], w)); err != nil {
+					panic("live: trace revert failed: " + err.Error())
+				}
+				continue
+			}
+			deleted = append(deleted, e)
+			trace = append(trace, up)
+		case roll < 50 && len(deleted) > 0: // revive a previously deleted edge
+			i := rng.Intn(len(deleted))
+			e := deleted[i]
+			up = AddEdge(e[0], e[1], randWeight())
+			if scratch.Apply(up) != nil {
+				continue
+			}
+			deleted = append(deleted[:i], deleted[i+1:]...)
+			trace = append(trace, up)
+		case roll < 75: // reweight a random alive edge
+			e := edges[rng.Intn(len(edges))]
+			up = SetWeight(e[0], e[1], randWeight())
+			if scratch.Apply(up) != nil {
+				continue
+			}
+			trace = append(trace, up)
+		default: // insert a random non-edge
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			up = AddEdge(u, v, randWeight())
+			if scratch.Apply(up) != nil {
+				continue
+			}
+			trace = append(trace, up)
+		}
+	}
+	return trace
+}

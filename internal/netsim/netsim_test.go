@@ -6,6 +6,7 @@ import (
 	"compactroute/internal/exact"
 	"compactroute/internal/gen"
 	"compactroute/internal/graph"
+	"compactroute/internal/live"
 	"compactroute/internal/netsim"
 	"compactroute/internal/scheme5"
 	"compactroute/internal/testutil"
@@ -55,6 +56,82 @@ func TestManyConcurrentMessages(t *testing.T) {
 		if d.Weight != apsp.Dist(d.Src, d.Dst) {
 			t.Fatalf("%d->%d weight %v want %v", d.Src, d.Dst, d.Weight, apsp.Dist(d.Src, d.Dst))
 		}
+	}
+}
+
+// TestChurnDegradedAndRecoveredDelivery is the churn scenario of the
+// concurrent network: a deletion trace degrades the graph while the scheme
+// still routes on its preprocessed tables (dead edges bypassed with base
+// -edge detours via live.AsScheme), then a rebuilt scheme on the
+// materialized churned graph serves the recovered state. In both states
+// every message must be delivered, and the routed weight can never beat the
+// true distance of the state's effective graph.
+func TestChurnDegradedAndRecoveredDelivery(t *testing.T) {
+	g := testutil.MustGNM(t, 100, 300, 3, gen.UniformInt)
+	apsp := graph.AllPairs(g)
+	s, err := scheme5.New(g, apsp, scheme5.Params{Eps: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := live.NewOverlay(g)
+	trace := live.DeletionTrace(g, 0.10, 21)
+	if len(trace) == 0 {
+		t.Fatal("empty deletion trace")
+	}
+	for _, up := range trace {
+		if err := ov.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Degraded state: the patched scheme runs unchanged under the
+	// goroutine-per-vertex executor. Deletion-only churn keeps the
+	// preprocessed edge weights current, so delivery weights are exact. The
+	// detour budget is the whole graph: netsim has no exact-fallback escape
+	// hatch, and the trace keeps the survivors connected, so a full search
+	// always finds the bypass.
+	patched, err := live.AsScheme(s, ov, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.New(patched)
+	defer nw.Close()
+	pairs := testutil.Pairs(g.N(), 3, 7)
+	deliveries, err := nw.RouteAll(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := live.NewDistances(ov)
+	for i, d := range deliveries {
+		if d.Err != nil {
+			t.Fatalf("degraded delivery %v: %v", pairs[i], d.Err)
+		}
+		if truth := dist.Dist(d.Src, d.Dst); d.Weight < truth-1e-9 {
+			t.Fatalf("degraded %d->%d weight %v beats effective distance %v", d.Src, d.Dst, d.Weight, truth)
+		}
+	}
+	// Recovered state: rebuild on the materialized churned graph and run
+	// the concurrent network as usual; the proved bound holds again.
+	churned, err := ov.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capsp := graph.AllPairs(churned)
+	rebuilt, err := scheme5.New(churned, capsp, scheme5.Params{Eps: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2 := netsim.New(rebuilt)
+	defer nw2.Close()
+	deliveries, err = nw2.RouteAll(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range deliveries {
+		if d.Err != nil {
+			t.Fatalf("recovered delivery %v: %v", pairs[i], d.Err)
+		}
+		testutil.CheckStretch(t, "netsim-churn/"+rebuilt.Name(), d.Src, d.Dst, d.Weight,
+			rebuilt.StretchBound(capsp.Dist(d.Src, d.Dst)))
 	}
 }
 

@@ -96,12 +96,29 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	if err != nil {
 		return nil, fmt.Errorf("scheme2: %w", err)
 	}
+	intra, err := core.NewIntra(core.IntraConfig{
+		Graph: g, Paths: paths, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scheme2: %w", err)
+	}
+	return assemble(g, params.Eps, vc, lms, intra)
+}
+
+// assemble derives every remaining structure from (graph, vicinities,
+// coloring, landmarks, intra) - cluster forest, global landmark trees, the
+// bunch-intersection hash tables, labels and the storage tally. It is the
+// shared tail of the build and snapshot-restore paths, deterministic for
+// every worker count, which is what makes a decoded scheme behaviorally
+// identical to the encoded one.
+func assemble(g *graph.Graph, eps float64, vc *schemeutil.VicinityColoring, lms *cluster.Landmarks, intra *core.Intra) (*Scheme, error) {
+	n := g.N()
 	fores, err := schemeutil.BuildClusterForest(g, lms)
 	if err != nil {
 		return nil, fmt.Errorf("scheme2: %w", err)
 	}
 	s := &Scheme{
-		g: g, eps: params.Eps, vc: vc, lms: lms, fores: fores,
+		g: g, eps: eps, vc: vc, lms: lms, fores: fores, intra: intra,
 		global: make(map[graph.Vertex]*treeroute.Tree, len(lms.A)),
 		hash:   make([]map[graph.Vertex]via, n),
 		labels: make([]label, n),
@@ -145,12 +162,6 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 			treeLbl: s.global[pa].LabelOf(graph.Vertex(v)),
 		}
 	})
-	s.intra, err = core.NewIntra(core.IntraConfig{
-		Graph: g, Paths: paths, Vics: vc.Vics, PartOf: vc.PartOf, Eps: params.Eps,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("scheme2: %w", err)
-	}
 	s.tally = space.NewTally(n)
 	vc.AddWords(s.tally)
 	fores.AddWords(s.tally, "cluster-trees")

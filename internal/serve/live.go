@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/live"
+	"compactroute/internal/parallel"
+	"compactroute/internal/simnet"
+)
+
+// BuildFunc preprocesses a routing scheme for a (churned) graph; the live
+// engine calls it from the background rebuild goroutine. It must be a pure
+// function of the graph - same graph, same scheme - for a rebuilt
+// generation to be bit-identical to a from-scratch build, and its internal
+// parallelism (every scheme constructor in this repository runs on the
+// internal/parallel pool) is what makes rebuilds fast.
+type BuildFunc func(g *graph.Graph) (simnet.Scheme, error)
+
+// LiveOptions configures a live (churn-tolerant) serving engine.
+type LiveOptions struct {
+	// Workers is the number of serving shards; <= 0 selects the package
+	// parallelism default.
+	Workers int
+	// Verify measures every delivery against the true distance in the
+	// *effective* (churned) graph. Deliveries served clean (no overlay
+	// entries, no detours) are checked against the scheme's proved stretch
+	// bound exactly like Engine does; degraded deliveries are reported as
+	// measured staleness stretch instead - the bound is not a promise the
+	// preprocessed scheme ever made about a different graph.
+	Verify bool
+	// DetourBudget bounds the local search around one dead edge (finalized
+	// vertices); <= 0 selects live.DefaultDetourBudget.
+	DetourBudget int
+	// MaxHops overrides the scheme-walk hop budget (0 keeps 8n+64).
+	MaxHops int
+	// Build rebuilds a scheme for the materialized effective graph; nil
+	// disables Rebuild.
+	Build BuildFunc
+}
+
+// ErrRebuildInFlight is returned by Rebuild while a rebuild is running.
+var ErrRebuildInFlight = errors.New("serve: a rebuild is already in flight")
+
+// generation is one immutable (scheme, router) pair; the engine swaps whole
+// generations with an atomic pointer flip, so a query observes exactly one.
+type generation struct {
+	id     uint64
+	router *live.Router
+}
+
+// liveExtras is the churn-specific half of one shard's statistics.
+type liveExtras struct {
+	deadHits   uint64
+	detours    uint64
+	detourHops uint64
+	fallbacks  uint64
+	stale      uint64 // deliveries served degraded (detour/fallback) or over a non-empty overlay
+	staleHist  [StretchBuckets + 1]uint64
+	maxStale   float64
+}
+
+// liveShard is one worker lane of the live engine.
+type liveShard struct {
+	mu sync.Mutex
+	st counters
+	lv liveExtras
+}
+
+// Live serves route queries while the graph churns underneath the scheme:
+// an RCU-style generation manager over overlay-patched routing.
+//
+// Queries are served from the current generation through a live.Router
+// (scheme decisions patched against the shared edge-delta overlay);
+// ApplyUpdates mutates the overlay; Rebuild materializes base+overlay,
+// preprocesses a fresh scheme for it in the background, and hot-swaps the
+// generation with an atomic pointer flip. No query ever blocks on a
+// rebuild, and the statistics are owned by the engine - not a generation -
+// so nothing is lost across a swap.
+type Live struct {
+	opts   LiveOptions
+	ov     *live.Overlay
+	dist   *live.Distances
+	gen    atomic.Pointer[generation]
+	shards []*liveShard
+	rr     atomic.Uint64
+	start  atomic.Int64
+
+	rebuilding  atomic.Bool
+	rebuilds    atomic.Uint64
+	rebuildErrs atomic.Uint64
+	swaps       atomic.Uint64
+	lastRebuild atomic.Int64 // nanoseconds of the last successful rebuild
+}
+
+// NewLive builds a live engine serving s over a fresh (empty) overlay.
+func NewLive(s simnet.Scheme, o LiveOptions) (*Live, error) {
+	return NewLiveWithOverlay(s, live.NewOverlay(s.Graph()), o)
+}
+
+// NewLiveWithOverlay builds a live engine over an existing overlay - the
+// restore path for snapshots that carry an overlay journal. The overlay
+// must be anchored on the scheme's graph.
+func NewLiveWithOverlay(s simnet.Scheme, ov *live.Overlay, o LiveOptions) (*Live, error) {
+	if ov.Base() != s.Graph() {
+		return nil, fmt.Errorf("serve: overlay is not anchored on the scheme's graph")
+	}
+	if o.Workers <= 0 {
+		o.Workers = parallel.Workers()
+	}
+	router, err := live.NewRouter(s, ov, o.DetourBudget, o.MaxHops)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{opts: o, ov: ov, dist: live.NewDistances(ov), shards: make([]*liveShard, o.Workers)}
+	for i := range l.shards {
+		l.shards[i] = &liveShard{}
+	}
+	l.gen.Store(&generation{id: 0, router: router})
+	l.start.Store(time.Now().UnixNano())
+	return l, nil
+}
+
+// Scheme returns the scheme of the current generation.
+func (l *Live) Scheme() simnet.Scheme { return l.gen.Load().router.Scheme() }
+
+// Generation returns the id of the current generation (0 until the first
+// swap).
+func (l *Live) Generation() uint64 { return l.gen.Load().id }
+
+// Overlay returns the shared edge-delta overlay (snapshot journals and the
+// admin protocol read it).
+func (l *Live) Overlay() *live.Overlay { return l.ov }
+
+// Distances returns the effective-graph distance source the engine
+// verifies against.
+func (l *Live) Distances() *live.Distances { return l.dist }
+
+// Workers returns the number of serving shards.
+func (l *Live) Workers() int { return len(l.shards) }
+
+// ApplyUpdates applies edge updates in order. On the first invalid update
+// it stops and returns the error; earlier updates stay applied (each update
+// is atomic, the batch is not).
+func (l *Live) ApplyUpdates(ups []live.Update) error {
+	for i, up := range ups {
+		if err := l.ov.Apply(up); err != nil {
+			return fmt.Errorf("serve: update %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// routeOn serves one query on the given shard.
+func (l *Live) routeOn(sh *liveShard, src, dst graph.Vertex) live.Result {
+	// A route is bound-checked against the proved stretch bound only when
+	// it provably ran clean: the overlay was empty before routing, no
+	// update arrived while it ran (version unchanged), no generation swap
+	// raced it, and the route itself crossed nothing patched. Every other
+	// route - including the rare one that merely *races* churn - is
+	// conservatively accounted as staleness, never as a false violation.
+	emptyBefore := l.ov.Empty()
+	vBefore := l.ov.Version()
+	gen := l.gen.Load()
+	res := gen.router.Route(src, dst)
+	clean := !res.Stale() && emptyBefore && l.ov.Version() == vBefore && l.gen.Load() == gen
+	sr := Result{Src: src, Dst: dst, Hops: res.Hops, HeaderWords: res.HeaderWords,
+		Weight: res.Weight, Dist: -1, Err: res.Err}
+	if l.opts.Verify && res.Err == nil {
+		sr.Dist = l.dist.Dist(src, dst)
+	}
+	sh.mu.Lock()
+	delivered := sh.st.recordBase(&sr)
+	if delivered {
+		switch {
+		case !l.opts.Verify:
+			sh.st.unverified++
+		case clean:
+			sh.st.recordVerified(gen.router.Scheme(), &sr)
+		default:
+			sh.lv.stale++
+			if sr.Dist > 0 {
+				str := sr.Weight / sr.Dist
+				if str > sh.lv.maxStale {
+					sh.lv.maxStale = str
+				}
+				sh.lv.staleHist[stretchBucket(str)]++
+			}
+		}
+	}
+	sh.lv.deadHits += uint64(res.DeadHits)
+	sh.lv.detours += uint64(res.Detours)
+	sh.lv.detourHops += uint64(res.DetourHops)
+	if res.Fallback {
+		sh.lv.fallbacks++
+	}
+	sh.mu.Unlock()
+	return res
+}
+
+// Route serves a single query on the next shard (round robin).
+func (l *Live) Route(src, dst graph.Vertex) live.Result {
+	sh := l.shards[l.rr.Add(1)%uint64(len(l.shards))]
+	return l.routeOn(sh, src, dst)
+}
+
+// Query serves a batch: contiguous blocks of pairs, one per shard, exactly
+// like Engine.Query. out is allocated when nil or too short.
+func (l *Live) Query(pairs [][2]graph.Vertex, out []live.Result) []live.Result {
+	if len(out) < len(pairs) {
+		out = make([]live.Result, len(pairs))
+	}
+	out = out[:len(pairs)]
+	w := len(l.shards)
+	if w > len(pairs) {
+		w = len(pairs)
+	}
+	if w <= 1 {
+		if len(l.shards) > 0 {
+			sh := l.shards[0]
+			for i, p := range pairs {
+				out[i] = l.routeOn(sh, p[0], p[1])
+			}
+		}
+		return out
+	}
+	chunk := (len(pairs) + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(sh *liveShard, lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				out[j] = l.routeOn(sh, pairs[j][0], pairs[j][1])
+			}
+		}(l.shards[i], lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Rebuild materializes the effective graph, preprocesses a fresh scheme for
+// it with LiveOptions.Build, and hot-swaps the serving generation. It runs
+// in the calling goroutine (use RebuildAsync for fire-and-forget) but never
+// blocks queries: serving continues on the old generation until one atomic
+// pointer flip. Returns ErrRebuildInFlight if a rebuild is already running.
+func (l *Live) Rebuild() error {
+	if l.opts.Build == nil {
+		return errors.New("serve: live engine has no Build function")
+	}
+	if !l.rebuilding.CompareAndSwap(false, true) {
+		return ErrRebuildInFlight
+	}
+	defer l.rebuilding.Store(false)
+	start := time.Now()
+	g, err := l.ov.Materialize()
+	if err != nil {
+		l.rebuildErrs.Add(1)
+		return fmt.Errorf("serve: materialize effective graph: %w", err)
+	}
+	s, err := l.opts.Build(g)
+	if err != nil {
+		l.rebuildErrs.Add(1)
+		return fmt.Errorf("serve: rebuild scheme: %w", err)
+	}
+	if s.Graph().N() != g.N() || s.Graph().Fingerprint() != g.Fingerprint() {
+		l.rebuildErrs.Add(1)
+		return errors.New("serve: Build returned a scheme preprocessed for a different graph")
+	}
+	router, err := live.NewRouter(s, l.ov, l.opts.DetourBudget, l.opts.MaxHops)
+	if err != nil {
+		l.rebuildErrs.Add(1)
+		return err
+	}
+	// The swap: flip the generation pointer first, then rebase the overlay
+	// onto the scheme's own graph (pruning every entry the new base
+	// already agrees with). Order matters: until the rebase, the overlay
+	// still holds the absolute states both generations patch against; once
+	// pruned, an in-flight query that pinned the *old* generation may
+	// route a one-swap-stale walk (old base weights, possibly crossing a
+	// just-removed edge) - bounded RCU staleness that routeOn's clean
+	// check (generation re-read after routing) keeps out of the
+	// bound-verified statistics.
+	old := l.gen.Load()
+	l.gen.Store(&generation{id: old.id + 1, router: router})
+	if err := l.ov.Rebase(s.Graph()); err != nil {
+		l.rebuildErrs.Add(1)
+		return err
+	}
+	l.rebuilds.Add(1)
+	l.swaps.Add(1)
+	l.lastRebuild.Store(int64(time.Since(start)))
+	return nil
+}
+
+// RebuildAsync starts Rebuild in a background goroutine and returns a
+// channel that receives its result (buffered; the goroutine never leaks).
+func (l *Live) RebuildAsync() <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- l.Rebuild() }()
+	return ch
+}
+
+// Rebuilding reports whether a rebuild is currently in flight.
+func (l *Live) Rebuilding() bool { return l.rebuilding.Load() }
+
+// LiveStats extends the serving statistics with the churn-specific
+// counters. The embedded Stats fields carry the same meaning as on Engine;
+// BoundViolations counts only clean-state deliveries (degraded deliveries
+// land in the staleness fields instead).
+type LiveStats struct {
+	Stats
+	Generation     uint64
+	OverlayVersion uint64
+	Overlay        live.Breakdown
+	DeadEdgeHits   uint64
+	Detours        uint64
+	DetourHops     uint64
+	Fallbacks      uint64
+	// StaleServed counts deliveries answered degraded: through a detour or
+	// fallback, or over a non-empty overlay.
+	StaleServed uint64
+	// MaxStaleStretch / StaleHist measure routed weight over the true
+	// effective distance for degraded deliveries (Verify only) - the
+	// "measured staleness stretch" that replaces the proved bound while the
+	// scheme is stale.
+	MaxStaleStretch float64
+	StaleHist       [StretchBuckets + 1]uint64
+	Rebuilds        uint64
+	RebuildErrors   uint64
+	Swaps           uint64
+	LastRebuild     time.Duration
+	Rebuilding      bool
+}
+
+// Stats merges the shard counters into one snapshot.
+func (l *Live) Stats() LiveStats {
+	var m counters
+	var lv liveExtras
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		m.mergeFrom(&sh.st)
+		lv.deadHits += sh.lv.deadHits
+		lv.detours += sh.lv.detours
+		lv.detourHops += sh.lv.detourHops
+		lv.fallbacks += sh.lv.fallbacks
+		lv.stale += sh.lv.stale
+		if sh.lv.maxStale > lv.maxStale {
+			lv.maxStale = sh.lv.maxStale
+		}
+		for i := range sh.lv.staleHist {
+			lv.staleHist[i] += sh.lv.staleHist[i]
+		}
+		sh.mu.Unlock()
+	}
+	st := LiveStats{
+		Stats:           m.finalize(l.start.Load()),
+		Generation:      l.Generation(),
+		OverlayVersion:  l.ov.Version(),
+		Overlay:         l.ov.Breakdown(),
+		DeadEdgeHits:    lv.deadHits,
+		Detours:         lv.detours,
+		DetourHops:      lv.detourHops,
+		Fallbacks:       lv.fallbacks,
+		StaleServed:     lv.stale,
+		MaxStaleStretch: lv.maxStale,
+		StaleHist:       lv.staleHist,
+		Rebuilds:        l.rebuilds.Load(),
+		RebuildErrors:   l.rebuildErrs.Load(),
+		Swaps:           l.swaps.Load(),
+		LastRebuild:     time.Duration(l.lastRebuild.Load()),
+		Rebuilding:      l.rebuilding.Load(),
+	}
+	return st
+}
+
+// ResetStats zeroes every shard's counters and restarts the QPS clock (the
+// rebuild/swap counters are engine-lifetime and survive).
+func (l *Live) ResetStats() {
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		sh.st = counters{}
+		sh.lv = liveExtras{}
+		sh.mu.Unlock()
+	}
+	l.start.Store(time.Now().UnixNano())
+}

@@ -1,0 +1,253 @@
+package serve_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/live"
+	"compactroute/internal/scheme5"
+	"compactroute/internal/serve"
+	"compactroute/internal/simnet"
+	"compactroute/internal/testutil"
+)
+
+// buildThm11 is the deterministic BuildFunc the live tests rebuild with.
+func buildThm11(seed int64) serve.BuildFunc {
+	return func(g *graph.Graph) (simnet.Scheme, error) {
+		return scheme5.New(g, graph.NewLazyAPSP(g, graph.LazyConfig{}), scheme5.Params{Eps: 0.5, Seed: seed})
+	}
+}
+
+func newLiveEngine(t *testing.T, n, m int, seed int64, o serve.LiveOptions) *serve.Live {
+	t.Helper()
+	g := testutil.MustGNM(t, n, m, seed, gen.UniformInt)
+	s, err := buildThm11(seed)(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Build == nil {
+		o.Build = buildThm11(seed)
+	}
+	l, err := serve.NewLive(s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestLiveServesThroughChurnAndSwap is the end-to-end acceptance path: a
+// deterministic 10% edge-deletion trace, every query answered with a finite
+// route throughout (degraded service flagged as staleness, not violations),
+// and after rebuild+hot-swap the stretch histogram is bit-identical to a
+// from-scratch build on the churned graph.
+func TestLiveServesThroughChurnAndSwap(t *testing.T) {
+	const n, seed = 300, 2015
+	l := newLiveEngine(t, n, 4*n, seed, serve.LiveOptions{Workers: 4, Verify: true})
+	base := l.Scheme().Graph()
+	pairs := testutil.Pairs(n, 7, 11)
+
+	// Phase A: clean serving, proved bound enforced.
+	for _, r := range l.Query(pairs, nil) {
+		if r.Err != nil {
+			t.Fatalf("clean phase: %v", r.Err)
+		}
+	}
+	if st := l.Stats(); st.BoundViolations != 0 || st.StaleServed != 0 {
+		t.Fatalf("clean phase: %d violations, %d stale", st.BoundViolations, st.StaleServed)
+	}
+
+	// Phase B: apply the deletion trace in chunks, querying between chunks.
+	trace := live.DeletionTrace(base, 0.10, 42)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	chunk := (len(trace) + 3) / 4
+	for lo := 0; lo < len(trace); lo += chunk {
+		hi := min(lo+chunk, len(trace))
+		if err := l.ApplyUpdates(trace[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range l.Query(pairs, nil) {
+			if r.Err != nil {
+				t.Fatalf("degraded phase: %v", r.Err)
+			}
+		}
+	}
+	degraded := l.Stats()
+	if degraded.BoundViolations != 0 {
+		t.Fatalf("degraded phase charged %d bound violations (must be staleness instead)", degraded.BoundViolations)
+	}
+	if degraded.StaleServed == 0 || degraded.DeadEdgeHits == 0 {
+		t.Fatalf("10%% deletions served nothing degraded: %+v", degraded)
+	}
+
+	// Phase C: rebuild + hot-swap, then serve clean again.
+	if err := l.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", l.Generation())
+	}
+	if !l.Overlay().Empty() {
+		t.Fatalf("overlay still has %d entries after the swap", l.Overlay().Len())
+	}
+	l.ResetStats()
+	for _, r := range l.Query(pairs, nil) {
+		if r.Err != nil {
+			t.Fatalf("recovered phase: %v", r.Err)
+		}
+		if r.Stale() {
+			t.Fatalf("recovered phase served a stale route: %+v", r)
+		}
+	}
+	recovered := l.Stats()
+	if recovered.BoundViolations != 0 || recovered.StaleServed != 0 {
+		t.Fatalf("recovered phase: %d violations, %d stale", recovered.BoundViolations, recovered.StaleServed)
+	}
+
+	// From-scratch reference: build on the churned graph directly and serve
+	// the same pairs through the plain engine. Histograms must match bit
+	// for bit.
+	churned := l.Scheme().Graph()
+	ref, err := buildThm11(seed)(churned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(ref, serve.Options{Workers: 4, Verify: true,
+		Paths: graph.NewLazyAPSP(churned, graph.LazyConfig{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range eng.Query(pairs, nil) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	refSt := eng.Stats()
+	if refSt.BoundViolations != 0 {
+		t.Fatalf("from-scratch build violated its bound %d times", refSt.BoundViolations)
+	}
+	if recovered.StretchHist != refSt.StretchHist {
+		t.Fatalf("post-swap stretch histogram differs from the from-scratch build:\n%v\n%v",
+			recovered.StretchHist, refSt.StretchHist)
+	}
+	if recovered.MaxStretch != refSt.MaxStretch {
+		t.Fatalf("post-swap max stretch %v != from-scratch %v", recovered.MaxStretch, refSt.MaxStretch)
+	}
+}
+
+// TestLiveSwapUnderLoad hot-swaps while queries hammer the engine from many
+// goroutines: no query may fail, block, or be dropped, and the final stats
+// must account every single query issued (none lost across the swap).
+func TestLiveSwapUnderLoad(t *testing.T) {
+	const n, seed = 150, 7
+	l := newLiveEngine(t, n, 4*n, seed, serve.LiveOptions{Workers: 4, Verify: true})
+	trace := live.DeletionTrace(l.Scheme().Graph(), 0.08, 5)
+
+	var issued atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pairs := testutil.Pairs(n, 2+w, 3+w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range l.Query(pairs, nil) {
+					if r.Err != nil {
+						t.Errorf("query failed during swap: %v", r.Err)
+						return
+					}
+				}
+				issued.Add(uint64(len(pairs)))
+			}
+		}(w)
+	}
+	// Churn and swap twice while the load runs.
+	for i := 0; i < 2; i++ {
+		half := len(trace) / 2
+		part := trace[i*half : (i+1)*half]
+		if err := l.ApplyUpdates(part); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-l.RebuildAsync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := l.Stats()
+	if st.Queries < issued.Load() {
+		t.Fatalf("stats lost queries across the swap: recorded %d, issued at least %d", st.Queries, issued.Load())
+	}
+	if st.Errors != 0 {
+		t.Fatalf("%d routing errors under swap load", st.Errors)
+	}
+	if l.Generation() != 2 || st.Swaps != 2 {
+		t.Fatalf("generation %d, swaps %d, want 2/2", l.Generation(), st.Swaps)
+	}
+}
+
+// TestLiveRebuildExclusive: a second Rebuild while one is in flight returns
+// ErrRebuildInFlight, and a Build-less engine refuses to rebuild.
+func TestLiveRebuildExclusive(t *testing.T) {
+	const n = 100
+	g := testutil.MustGNM(t, n, 4*n, 3, gen.UniformInt)
+	s, err := buildThm11(3)(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBuild, err := serve.NewLive(s, serve.LiveOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noBuild.Rebuild(); err == nil {
+		t.Fatal("rebuild without a Build function must fail")
+	}
+
+	gate := make(chan struct{})
+	l, err := serve.NewLive(s, serve.LiveOptions{Workers: 2, Build: func(g *graph.Graph) (simnet.Scheme, error) {
+		<-gate
+		return buildThm11(3)(g)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := l.RebuildAsync()
+	for !l.Rebuilding() {
+		runtime.Gosched()
+	}
+	if err := l.Rebuild(); err != serve.ErrRebuildInFlight {
+		t.Fatalf("concurrent rebuild: %v, want ErrRebuildInFlight", err)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveUpdateErrors: invalid updates are rejected with the failing index
+// and leave serving intact.
+func TestLiveUpdateErrors(t *testing.T) {
+	const n = 80
+	l := newLiveEngine(t, n, 3*n, 9, serve.LiveOptions{Workers: 2})
+	err := l.ApplyUpdates([]live.Update{live.DelEdge(0, 0)})
+	if err == nil {
+		t.Fatal("self-loop delete accepted")
+	}
+	if r := l.Route(1, 2); r.Err != nil {
+		t.Fatalf("serving broken after rejected update: %v", r.Err)
+	}
+}

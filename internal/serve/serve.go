@@ -183,10 +183,25 @@ func (e *Engine) routeOn(sh *shard, src, dst graph.Vertex) Result {
 }
 
 func (c *counters) record(s simnet.Scheme, r *Result, verified bool) {
+	if !c.recordBase(r) {
+		return
+	}
+	if !verified {
+		c.unverified++
+		return
+	}
+	c.recordVerified(s, r)
+}
+
+// recordBase accounts the query, error and hop counters and reports whether
+// the query was delivered (so the caller decides how to account quality:
+// verified against the proved bound, unverified, or - on the live engine -
+// as a measured staleness stretch).
+func (c *counters) recordBase(r *Result) bool {
 	c.queries++
 	if r.Err != nil {
 		c.errors++
-		return
+		return false
 	}
 	c.delivered++
 	c.hopsSum += uint64(r.Hops)
@@ -195,10 +210,12 @@ func (c *counters) record(s simnet.Scheme, r *Result, verified bool) {
 		h = hopBuckets
 	}
 	c.hopHist[h]++
-	if !verified {
-		c.unverified++
-		return
-	}
+	return true
+}
+
+// recordVerified checks a delivery against the scheme's proved stretch
+// bound and feeds the stretch histogram.
+func (c *counters) recordVerified(s simnet.Scheme, r *Result) {
 	if r.Weight > s.StretchBound(r.Dist)+1e-9 {
 		c.violations++
 	}
@@ -207,15 +224,20 @@ func (c *counters) record(s simnet.Scheme, r *Result, verified bool) {
 		if str > c.maxStretch {
 			c.maxStretch = str
 		}
-		b := int((str - 1) / StretchBucketWidth)
-		if b < 0 {
-			b = 0
-		}
-		if b > StretchBuckets {
-			b = StretchBuckets
-		}
-		c.stretchHist[b]++
+		c.stretchHist[stretchBucket(str)]++
 	}
+}
+
+// stretchBucket maps a stretch value to its histogram bucket.
+func stretchBucket(str float64) int {
+	b := int((str - 1) / StretchBucketWidth)
+	if b < 0 {
+		b = 0
+	}
+	if b > StretchBuckets {
+		b = StretchBuckets
+	}
+	return b
 }
 
 // Route serves a single query on the next shard (round robin).
@@ -282,46 +304,58 @@ func (e *Engine) Query(pairs [][2]graph.Vertex, out []Result) []Result {
 	return out
 }
 
+// mergeFrom folds another shard's counters into c (the caller holds the
+// other shard's lock).
+func (c *counters) mergeFrom(o *counters) {
+	c.queries += o.queries
+	c.errors += o.errors
+	c.unverified += o.unverified
+	c.violations += o.violations
+	c.hopsSum += o.hopsSum
+	c.delivered += o.delivered
+	if o.maxStretch > c.maxStretch {
+		c.maxStretch = o.maxStretch
+	}
+	for i := range o.hopHist {
+		c.hopHist[i] += o.hopHist[i]
+	}
+	for i := range o.stretchHist {
+		c.stretchHist[i] += o.stretchHist[i]
+	}
+}
+
+// finalize turns merged counters into the exported snapshot, deriving the
+// QPS and hop quantiles - shared by Engine.Stats and Live.Stats.
+func (c *counters) finalize(startNanos int64) Stats {
+	st := Stats{
+		Queries:         c.queries,
+		Errors:          c.errors,
+		Unverified:      c.unverified,
+		BoundViolations: c.violations,
+		Elapsed:         time.Duration(time.Now().UnixNano() - startNanos),
+		MaxStretch:      c.maxStretch,
+		StretchHist:     c.stretchHist,
+	}
+	if st.Elapsed > 0 {
+		st.QPS = float64(c.queries) / st.Elapsed.Seconds()
+	}
+	if c.delivered > 0 {
+		st.MeanHops = float64(c.hopsSum) / float64(c.delivered)
+		st.P50Hops = quantile(c.hopHist[:], c.delivered, 0.50)
+		st.P99Hops = quantile(c.hopHist[:], c.delivered, 0.99)
+	}
+	return st
+}
+
 // Stats merges the shard counters into one snapshot.
 func (e *Engine) Stats() Stats {
 	var m counters
 	for _, sh := range e.shards {
 		sh.mu.Lock()
-		m.queries += sh.st.queries
-		m.errors += sh.st.errors
-		m.unverified += sh.st.unverified
-		m.violations += sh.st.violations
-		m.hopsSum += sh.st.hopsSum
-		m.delivered += sh.st.delivered
-		if sh.st.maxStretch > m.maxStretch {
-			m.maxStretch = sh.st.maxStretch
-		}
-		for i := range sh.st.hopHist {
-			m.hopHist[i] += sh.st.hopHist[i]
-		}
-		for i := range sh.st.stretchHist {
-			m.stretchHist[i] += sh.st.stretchHist[i]
-		}
+		m.mergeFrom(&sh.st)
 		sh.mu.Unlock()
 	}
-	st := Stats{
-		Queries:         m.queries,
-		Errors:          m.errors,
-		Unverified:      m.unverified,
-		BoundViolations: m.violations,
-		Elapsed:         time.Duration(time.Now().UnixNano() - e.start.Load()),
-		MaxStretch:      m.maxStretch,
-		StretchHist:     m.stretchHist,
-	}
-	if st.Elapsed > 0 {
-		st.QPS = float64(m.queries) / st.Elapsed.Seconds()
-	}
-	if m.delivered > 0 {
-		st.MeanHops = float64(m.hopsSum) / float64(m.delivered)
-		st.P50Hops = quantile(m.hopHist[:], m.delivered, 0.50)
-		st.P99Hops = quantile(m.hopHist[:], m.delivered, 0.99)
-	}
-	return st
+	return m.finalize(e.start.Load())
 }
 
 // ResetStats zeroes every shard's counters and restarts the QPS clock.

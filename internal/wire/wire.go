@@ -444,6 +444,27 @@ func Read(r io.Reader) (*Snapshot, error) {
 	return Parse(data)
 }
 
+// PeekKind parses only the stream prefix - magic, version, kind string -
+// out of the leading bytes of a snapshot, without requiring the rest of the
+// stream or its checksum. Callers that dispatch on the kind before paying
+// for a full decode (e.g. choosing a rebuild recipe) use this; the real
+// Read/Parse still validates everything.
+func PeekKind(prefix []byte) (string, error) {
+	if len(prefix) < len(Magic) || string(prefix[:len(Magic)]) != Magic {
+		return "", fmt.Errorf("wire: bad magic in snapshot prefix")
+	}
+	d := NewDecoder("header", prefix[len(Magic):])
+	version := d.Uint32()
+	if d.err == nil && version != Version {
+		return "", fmt.Errorf("wire: unsupported snapshot version %d (this build reads %d)", version, Version)
+	}
+	kind := d.String()
+	if d.err != nil {
+		return "", fmt.Errorf("wire: snapshot prefix too short to hold the kind string")
+	}
+	return kind, nil
+}
+
 // Parse is Read over bytes already in memory.
 func Parse(data []byte) (*Snapshot, error) {
 	if len(data) < len(Magic)+4+4 {

@@ -1,0 +1,178 @@
+package compactroute
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/live"
+	"compactroute/internal/serve"
+	"compactroute/internal/wire"
+)
+
+// Live serving re-exports: the churn-tolerant generation manager of
+// internal/serve and the edge-delta machinery of internal/live behind it.
+type (
+	// LiveEngine serves route queries while the graph churns underneath
+	// the preprocessed scheme: an edge-delta overlay records updates, an
+	// overlay-patched router detours around dead edges (bounded local
+	// search, exact fallback), and a background rebuild hot-swaps in a
+	// fresh generation with an RCU-style pointer flip - queries are never
+	// blocked on a rebuild.
+	LiveEngine = serve.Live
+	// LiveServeOptions configures a LiveEngine (workers, verification,
+	// detour budget, the rebuild constructor).
+	LiveServeOptions = serve.LiveOptions
+	// LiveStats extends the serving statistics with churn counters:
+	// overlay breakdown, dead-edge hits, detours, fallbacks, measured
+	// staleness stretch, rebuilds and swaps.
+	LiveStats = serve.LiveStats
+	// LiveResult is the outcome of one overlay-patched route.
+	LiveResult = live.Result
+	// BuildFunc preprocesses a scheme for a (churned) graph; the live
+	// engine calls it from the background rebuild goroutine.
+	BuildFunc = serve.BuildFunc
+	// EdgeUpdate is one edge mutation (weight change, insertion, deletion).
+	EdgeUpdate = live.Update
+	// EdgeOverlay is the edge-delta overlay over an immutable base graph.
+	EdgeOverlay = live.Overlay
+	// OverlayBreakdown classifies overlay entries (deleted / inserted /
+	// reweighted).
+	OverlayBreakdown = live.Breakdown
+)
+
+// SetEdgeWeight returns the update that changes the weight of {u, v} to w.
+func SetEdgeWeight(u, v Vertex, w float64) EdgeUpdate { return live.SetWeight(u, v, w) }
+
+// InsertEdge returns the update that inserts the edge {u, v} with weight w.
+func InsertEdge(u, v Vertex, w float64) EdgeUpdate { return live.AddEdge(u, v, w) }
+
+// RemoveEdge returns the update that deletes the edge {u, v}.
+func RemoveEdge(u, v Vertex) EdgeUpdate { return live.DelEdge(u, v) }
+
+// ServeLive wraps a preprocessed scheme in a live (churn-tolerant) serving
+// engine. Apply churn with (*LiveEngine).ApplyUpdates, rebuild and hot-swap
+// with Rebuild/RebuildAsync (LiveServeOptions.Build supplies the
+// constructor), and read staleness-aware statistics with Stats.
+func ServeLive(s Scheme, o LiveServeOptions) (*LiveEngine, error) {
+	return serve.NewLive(s, o)
+}
+
+// DeletionTrace builds a deterministic churn trace that deletes ~frac of
+// g's edges while keeping the graph connected - the reproducible workload
+// of the -churn benchmark mode and the CI soak.
+func DeletionTrace(g *Graph, frac float64, seed int64) []EdgeUpdate {
+	return live.DeletionTrace(g, frac, seed)
+}
+
+// ChurnTrace builds a deterministic mixed churn trace (deletions, weight
+// changes, insertions) of the given length.
+func ChurnTrace(g *Graph, ops int, seed int64, maxWeight int) []EdgeUpdate {
+	return live.ChurnTrace(g, ops, seed, maxWeight)
+}
+
+// SaveLiveState writes the full serving state of a live engine - the
+// current generation's scheme snapshot plus the overlay journal - so a
+// churned serving process can be restored exactly (scheme, delta and
+// update version) by LoadLiveState. The scheme of the current generation
+// must be snapshot-capable.
+func SaveLiveState(w io.Writer, l *LiveEngine) error {
+	s := l.Scheme()
+	es, ok := s.(wire.Encodable)
+	if !ok {
+		return fmt.Errorf("compactroute: scheme %s (%T) has no snapshot support", s.Name(), s)
+	}
+	g := s.Graph()
+	snap := wire.New(es.WireKind(), g.Fingerprint())
+	wire.EncodeGraph(snap, g)
+	if err := es.EncodeSnapshot(snap); err != nil {
+		return fmt.Errorf("compactroute: encode %s snapshot: %w", s.Name(), err)
+	}
+	live.EncodeOverlay(snap, l.Overlay())
+	if _, err := snap.WriteTo(w); err != nil {
+		return fmt.Errorf("compactroute: write live snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadLiveState restores a live engine from a snapshot written by
+// SaveLiveState: the scheme is decoded as usual, the overlay journal is
+// replayed over its graph, and a fresh engine is started around both. A
+// snapshot without an overlay journal (written by SaveScheme) loads as a
+// clean live engine.
+func LoadLiveState(r io.Reader, o LiveServeOptions) (*LiveEngine, error) {
+	snap, err := wire.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	var ov *live.Overlay
+	if live.HasOverlay(snap) {
+		ov, err = live.DecodeOverlay(snap, s.Graph())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ov = live.NewOverlay(s.Graph())
+	}
+	return serve.NewLiveWithOverlay(s, ov, o)
+}
+
+// SaveLiveStateFile is SaveLiveState into a file created (truncated) at
+// path.
+func SaveLiveStateFile(path string, l *LiveEngine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveLiveState(f, l); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadLiveStateFile is LoadLiveState from the file at path.
+func LoadLiveStateFile(path string, o LiveServeOptions) (*LiveEngine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := LoadLiveState(f, o)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// lazyBuild is the default rebuild constructor factory used by the CLIs:
+// it reconstructs the same scheme family with a lazy path source.
+func lazyBuild(construct func(g *Graph, ps PathSource) (Scheme, error), budgetMiB int) BuildFunc {
+	return func(g *graph.Graph) (Scheme, error) {
+		return construct(g, NewLazyAPSP(g, int64(budgetMiB)<<20))
+	}
+}
+
+// RebuildFuncFor returns a BuildFunc that reconstructs the scheme family of
+// the given snapshot kind (see SnapshotKinds) on a churned graph, with the
+// given construction options and a lazy path source bounded by budgetMiB.
+// It returns an error for kinds with no registered rebuild recipe.
+func RebuildFuncFor(kind string, o Options, budgetMiB int) (BuildFunc, error) {
+	switch kind {
+	case "exact/v1":
+		return lazyBuild(func(g *Graph, _ PathSource) (Scheme, error) { return NewExact(g) }, budgetMiB), nil
+	case "tzroute/v1":
+		return lazyBuild(func(g *Graph, _ PathSource) (Scheme, error) { return NewThorupZwick(g, o) }, budgetMiB), nil
+	case "thm10/v1":
+		return lazyBuild(func(g *Graph, ps PathSource) (Scheme, error) { return NewTheorem10(g, ps, o) }, budgetMiB), nil
+	case "thm11/v1":
+		return lazyBuild(func(g *Graph, ps PathSource) (Scheme, error) { return NewTheorem11(g, ps, o) }, budgetMiB), nil
+	default:
+		return nil, fmt.Errorf("compactroute: no rebuild recipe for scheme kind %q", kind)
+	}
+}

@@ -19,6 +19,13 @@ type (
 	ServeStats = serve.Stats
 )
 
+// Histogram geometry of the serving statistics, re-exported for clients
+// that render ServeStats/LiveStats stretch histograms.
+const (
+	StretchBuckets     = serve.StretchBuckets
+	StretchBucketWidth = serve.StretchBucketWidth
+)
+
 // NewServeEngine builds a query engine over a preprocessed (typically
 // snapshot-loaded) scheme. With ServeOptions.Verify set and a PathSource
 // supplied, every delivery is checked against the scheme's proved stretch

@@ -10,7 +10,7 @@ import (
 
 // SnapshotKind returns the registered wire kind of a scheme, or "" if the
 // scheme does not support snapshots yet. Snapshot support is added per
-// scheme (see internal/wire); currently the Theorem 11 scheme, the
+// scheme (see internal/wire); currently the Theorem 10 and 11 schemes, the
 // Thorup-Zwick baseline and the exact baseline are snapshottable.
 func SnapshotKind(s Scheme) string {
 	if es, ok := s.(wire.Encodable); ok {
@@ -18,6 +18,11 @@ func SnapshotKind(s Scheme) string {
 	}
 	return ""
 }
+
+// SnapshotKinds returns the scheme kinds with a registered snapshot
+// decoder (order unspecified) - the set -save/-load and the live engine's
+// hot-swap persistence cover.
+func SnapshotKinds() []string { return wire.Kinds() }
 
 // SaveScheme writes a versioned binary snapshot of a preprocessed scheme -
 // the graph it was built for plus every routing table, sequence and label -
@@ -72,6 +77,29 @@ func decodeSnapshot(snap *wire.Snapshot) (Scheme, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// PeekSnapshotKind reads only the header of the snapshot at path and
+// returns its scheme kind - how a serving process chooses a rebuild recipe
+// before paying for the full (checksummed) decode. The magic and version
+// are checked; everything after the kind string, including the checksum, is
+// validated later by the real load.
+func PeekSnapshotKind(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	hdr := make([]byte, 4096)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return "", fmt.Errorf("%s: read snapshot header: %w", path, err)
+	}
+	kind, err := wire.PeekKind(hdr[:n])
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return kind, nil
 }
 
 // SaveSchemeFile is SaveScheme into a file created (truncated) at path.

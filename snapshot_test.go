@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"reflect"
+	"sort"
 	"testing"
 
 	"compactroute"
@@ -31,6 +32,22 @@ func snapshotRows() []snapRow {
 		{"thm11", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
 			return compactroute.NewTheorem11(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
 		}},
+		{"thm10", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem10(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
+		}},
+	}
+}
+
+// TestSnapshotRegistryKinds pins exactly which scheme kinds are
+// snapshot-capable: adding a codec must extend this list (and with it the
+// -save/-load row set and the hot-swap coverage of the live engine);
+// removing one is a compatibility break this test makes loud.
+func TestSnapshotRegistryKinds(t *testing.T) {
+	want := []string{"exact/v1", "thm10/v1", "thm11/v1", "tzroute/v1"}
+	got := compactroute.SnapshotKinds()
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered snapshot kinds = %v, want %v", got, want)
 	}
 }
 
@@ -279,6 +296,11 @@ func TestSnapshotResealedCorruptionSweep(t *testing.T) {
 	}
 	if s, err := compactroute.NewExact(g); err == nil {
 		schemes["exact"] = s
+	}
+	if gu, err := compactroute.GNM(24, 96, benchSeed, false, 0); err == nil {
+		if s, err := compactroute.NewTheorem10(gu, compactroute.AllPairs(gu), compactroute.Options{Eps: 0.5, Seed: benchSeed}); err == nil {
+			schemes["thm10"] = s
+		}
 	}
 	for name, s := range schemes {
 		t.Run(name, func(t *testing.T) {
