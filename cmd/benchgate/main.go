@@ -1,0 +1,271 @@
+// benchgate makes serving speed a tested invariant: it compares a candidate
+// benchmark run against a recorded BENCH_*.json baseline and exits non-zero
+// when any shared metric regresses past the tolerance band.
+//
+// Two modes:
+//
+//	benchgate -baseline BENCH_pr4.json -candidate BENCH_pr6.json
+//	    File mode: gate one recorded trajectory against another (hermetic;
+//	    this is what the negative-path CI check feeds a synthetically
+//	    regressed file to).
+//
+//	benchgate -baseline BENCH_pr4.json -schemes exact,tz-k2 -n 1000
+//	    Measure mode: rebuild the pinned benchmark subset with the exact
+//	    routebench workload (GNM graph, seed, eps), serve -queries uniform
+//	    pairs through the batched engine hot path, and gate the fresh
+//	    qps/ns-per-op/allocs-per-op against the baseline. -write saves the
+//	    measured records as the next trajectory point.
+//
+// Exit status: 0 pass, 1 regression, 2 usage or measurement error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"compactroute"
+	"compactroute/internal/benchtrack"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+// row ties a routebench row name to its construction recipe; the subset here
+// covers the schemes the serving benchmarks record.
+type row struct {
+	name     string
+	weighted bool
+	build    func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error)
+}
+
+func rows() []row {
+	return []row{
+		{"exact", false, func(g *compactroute.Graph, _ compactroute.PathSource, _ float64, _ int64) (compactroute.Scheme, error) {
+			return compactroute.NewExact(g)
+		}},
+		{"tz-k2", true, func(g *compactroute.Graph, _ compactroute.PathSource, _ float64, seed int64) (compactroute.Scheme, error) {
+			return compactroute.NewThorupZwick(g, compactroute.Options{K: 2, Seed: seed})
+		}},
+		{"warmup", true, func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
+			return compactroute.NewWarmup3(g, a, compactroute.Options{Eps: eps, Seed: seed})
+		}},
+		{"thm11", true, func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem11(g, a, compactroute.Options{Eps: eps, Seed: seed})
+		}},
+	}
+}
+
+// record is one measured configuration, shaped like a qps_sweep entry so the
+// written file parses back into the same trajectory keys.
+type record struct {
+	Scheme      string  `json:"scheme"`
+	Kind        string  `json:"kind,omitempty"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Workers     int     `json:"workers"`
+	Verify      bool    `json:"verify"`
+	Queries     int     `json:"queries"`
+	Errors      uint64  `json:"errors"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	QPS         float64 `json:"qps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MeanHops    float64 `json:"mean_hops"`
+	P50Hops     int     `json:"p50_hops"`
+	P99Hops     int     `json:"p99_hops"`
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		baseline  = fs.String("baseline", "", "baseline BENCH_*.json (required)")
+		candidate = fs.String("candidate", "", "candidate BENCH_*.json; empty = measure fresh")
+		tolerance = fs.Float64("tolerance", 0.15, "relative tolerance band per metric")
+		n         = fs.Int("n", 1000, "measure: graph size (m = 4n)")
+		queries   = fs.Int("queries", 100000, "measure: served queries per scheme")
+		batch     = fs.Int("batch", 4096, "measure: Query batch size")
+		schemes   = fs.String("schemes", "exact,tz-k2", "measure: comma-separated rows (exact, tz-k2, warmup, thm11)")
+		seed      = fs.Int64("seed", 2015, "measure: graph/scheme seed (matches routebench)")
+		eps       = fs.Float64("eps", 0.25, "measure: eps of the eps-schemes")
+		workers   = fs.Int("workers", 1, "measure: engine shards")
+		budget    = fs.Int64("mem-budget", 512, "measure: lazy path-source budget in MiB")
+		write     = fs.String("write", "", "measure: write the measured records to this JSON file")
+		pr        = fs.Int("pr", 0, "measure: pr number recorded in -write output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" {
+		fmt.Fprintln(out, "benchgate: -baseline is required")
+		return 2
+	}
+	base, err := benchtrack.ParseFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: %v\n", err)
+		return 2
+	}
+
+	var cand *benchtrack.Trajectory
+	if *candidate != "" {
+		if cand, err = benchtrack.ParseFile(*candidate); err != nil {
+			fmt.Fprintf(out, "benchgate: %v\n", err)
+			return 2
+		}
+	} else {
+		recs, err := measure(out, strings.Split(*schemes, ","), *n, *queries, *batch, *workers, *seed, *eps, *budget)
+		if err != nil {
+			fmt.Fprintf(out, "benchgate: %v\n", err)
+			return 2
+		}
+		if *write != "" {
+			if err := writeRecords(*write, *pr, recs); err != nil {
+				fmt.Fprintf(out, "benchgate: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(out, "wrote %s\n", *write)
+		}
+		// Round-trip through the parser so the gate sees exactly what a
+		// future run will read back from the written file.
+		doc, err := json.Marshal(map[string]any{"qps_sweep": recs})
+		if err != nil {
+			fmt.Fprintf(out, "benchgate: %v\n", err)
+			return 2
+		}
+		if cand, err = benchtrack.Parse(doc, "measured"); err != nil {
+			fmt.Fprintf(out, "benchgate: %v\n", err)
+			return 2
+		}
+	}
+
+	regs, compared, err := benchtrack.Compare(base, cand, *tolerance)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: %v\n", err)
+		return 2
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(out, "FAIL: %d regression(s) vs %s (tolerance %.0f%%, %d comparisons):\n",
+			len(regs), base.File, *tolerance*100, compared)
+		for _, r := range regs {
+			fmt.Fprintf(out, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Fprintf(out, "PASS: %d comparisons vs %s within %.0f%%\n", compared, base.File, *tolerance*100)
+	return 0
+}
+
+// measure rebuilds each requested scheme on the routebench workload and
+// serves the batched hot path, reporting qps, ns/op and allocs/op.
+func measure(out io.Writer, names []string, n, queries, batch, workers int, seed int64, eps float64, budgetMiB int64) ([]record, error) {
+	byName := map[string]row{}
+	for _, r := range rows() {
+		byName[r.name] = r
+	}
+	var recs []record
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme row %q", name)
+		}
+		g, err := compactroute.GNM(n, 4*n, seed, r.weighted, 32)
+		if err != nil {
+			return nil, err
+		}
+		paths := compactroute.NewLazyAPSP(g, budgetMiB<<20)
+		t0 := time.Now()
+		s, err := r.build(g, paths, eps, seed)
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", name, err)
+		}
+		fmt.Fprintf(out, "built %s (n=%d) in %.1fs\n", s.Name(), n, time.Since(t0).Seconds())
+		rec, err := serveRecord(s, queries, batch, workers, seed)
+		if err != nil {
+			return nil, err
+		}
+		rec.M = g.M()
+		recs = append(recs, rec)
+		fmt.Fprintf(out, "  %s: %.0f qps, %.0f ns/op, %.3f allocs/op\n", s.Name(), rec.QPS, rec.NsPerOp, rec.AllocsPerOp)
+	}
+	return recs, nil
+}
+
+// serveRecord drives the batched Query hot path: one warm-up batch, then a
+// timed closed loop with alloc accounting from the runtime's Mallocs delta.
+func serveRecord(s compactroute.Scheme, queries, batch, workers int, seed int64) (record, error) {
+	eng, err := compactroute.NewServeEngine(s, compactroute.ServeOptions{Workers: workers, PinWorkers: true})
+	if err != nil {
+		return record{}, err
+	}
+	defer eng.Close()
+	n := s.Graph().N()
+	// Pairs are pregenerated outside the timed loop, exactly like
+	// routeserve -loadgen (the source of the recorded baselines), so the
+	// trajectory points stay methodology-compatible across PRs.
+	pairs := compactroute.SamplePairs(n, queries, seed+77)
+	if len(pairs) == 0 {
+		return record{}, fmt.Errorf("graph too small to sample pairs")
+	}
+	outBuf := make([]compactroute.ServeResult, min(batch, len(pairs)))
+	for lo := 0; lo < len(pairs) && lo < 4*batch; lo += batch { // warm packet scratch and stats chunks
+		eng.Query(pairs[lo:min(lo+batch, len(pairs))], outBuf)
+	}
+	eng.ResetStats()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	served := 0
+	var errs uint64
+	t0 := time.Now()
+	for lo := 0; lo < len(pairs); lo += batch {
+		hi := min(lo+batch, len(pairs))
+		for _, res := range eng.Query(pairs[lo:hi], outBuf) {
+			if res.Err != nil {
+				errs++
+			}
+		}
+		served += hi - lo
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	st := eng.Stats()
+	rec := record{
+		Scheme:      s.Name(),
+		Kind:        compactroute.SnapshotKind(s),
+		N:           n,
+		Workers:     workers,
+		Queries:     served,
+		Errors:      errs,
+		ElapsedSec:  elapsed.Seconds(),
+		QPS:         float64(served) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(served),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(served),
+		MeanHops:    st.MeanHops,
+		P50Hops:     st.P50Hops,
+		P99Hops:     st.P99Hops,
+	}
+	return rec, nil
+}
+
+func writeRecords(path string, pr int, recs []record) error {
+	doc := map[string]any{
+		"pr":        pr,
+		"date":      time.Now().Format("2006-01-02"),
+		"go":        runtime.Version(),
+		"method":    "cmd/benchgate measure mode: routebench workload (GNM n/4n, seed 2015), batched Engine.Query closed loop, allocs from runtime Mallocs delta",
+		"qps_sweep": recs,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -210,7 +210,7 @@ func TestSnapshotFlagsExclusive(t *testing.T) {
 	}
 	// A snapshot-mode run filtered to a row without snapshot support would
 	// silently do nothing; it must be rejected up front.
-	if err := run([]string{"-save", "a", "-schemes", "warmup"}, &out); err == nil {
+	if err := run([]string{"-save", "a", "-schemes", "thm16-k4"}, &out); err == nil {
 		t.Fatal("-save with a non-snapshot -schemes row accepted")
 	}
 	// -scaling has its own fixed row set; silently skipping it under

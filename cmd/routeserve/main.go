@@ -164,6 +164,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer eng.Close()
 		srv.scheme, srv.eng, srv.paths = scheme, eng, paths
 	}
 	if *loadgen {

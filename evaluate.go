@@ -100,6 +100,7 @@ func EvaluateBatched(s Scheme, paths PathSource, pairs [][2]Vertex, opts EvalOpt
 	if err != nil {
 		return ev, fmt.Errorf("evaluate %s: %w", s.Name(), err)
 	}
+	defer eng.Close()
 	outcomes := eng.Query(pairs, nil)
 	// Report the lowest-index real failure; ErrAborted marks pairs the
 	// fail-fast batch skipped after that failure.

@@ -1,0 +1,125 @@
+package compactroute_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"compactroute"
+)
+
+var regenCorpus = flag.Bool("regen-fuzz-corpus", false,
+	"rewrite testdata/fuzz/FuzzDecodeSnapshot seed files from the current encoders")
+
+const corpusDir = "testdata/fuzz/FuzzDecodeSnapshot"
+
+// corpusSchemes builds one snapshot-capable scheme per registered wire kind,
+// on the same tiny deterministic graphs the fuzz harness seeds with.
+func corpusSchemes(t testing.TB) map[string]compactroute.Scheme {
+	t.Helper()
+	g, err := compactroute.GNM(24, 96, 1, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu, err := compactroute.GNM(24, 96, 1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := compactroute.AllPairs(g)
+	psu := compactroute.AllPairs(gu)
+	out := map[string]compactroute.Scheme{}
+	add := func(s compactroute.Scheme, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := compactroute.SnapshotKind(s)
+		if kind == "" {
+			t.Fatalf("%s has no snapshot kind", s.Name())
+		}
+		out[kind] = s
+	}
+	add(compactroute.NewExact(g))
+	add(compactroute.NewThorupZwick(g, compactroute.Options{K: 2, Seed: 1}))
+	add(compactroute.NewTheorem11(g, ps, compactroute.Options{Eps: 0.5, Seed: 1}))
+	add(compactroute.NewWarmup3(g, ps, compactroute.Options{Eps: 0.5, Seed: 1}))
+	add(compactroute.NewTheorem10(gu, psu, compactroute.Options{Eps: 0.5, Seed: 1}))
+	return out
+}
+
+func corpusFileName(kind string) string {
+	return "seed_" + strings.NewReplacer("/", "_", ".", "_").Replace(kind)
+}
+
+// encodeCorpusEntry renders data in the Go fuzzing corpus-file format.
+func encodeCorpusEntry(data []byte) []byte {
+	return []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data))
+}
+
+// decodeCorpusEntry parses a Go fuzzing corpus file holding one []byte value.
+func decodeCorpusEntry(raw []byte) ([]byte, error) {
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("not a v1 corpus file with one value (%d lines)", len(lines))
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, fmt.Errorf("unquote corpus value: %w", err)
+	}
+	return []byte(s), nil
+}
+
+// TestFuzzCorpusSeedsDecode pins the checked-in seed corpus of
+// FuzzDecodeSnapshot: there is exactly one valid snapshot file per registered
+// kind, each parses as a Go fuzz corpus entry, and each decodes back into a
+// scheme of that kind. Run with -regen-fuzz-corpus after changing a wire
+// format (a version bump) to rewrite the seeds.
+func TestFuzzCorpusSeedsDecode(t *testing.T) {
+	schemes := corpusSchemes(t)
+	if *regenCorpus {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for kind, s := range schemes {
+			var buf bytes.Buffer
+			if err := compactroute.SaveScheme(&buf, s); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(corpusDir, corpusFileName(kind))
+			if err := os.WriteFile(path, encodeCorpusEntry(buf.Bytes()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d snapshot bytes)", path, buf.Len())
+		}
+	}
+
+	kinds := compactroute.SnapshotKinds()
+	if len(kinds) != len(schemes) {
+		t.Fatalf("corpusSchemes covers %d kinds, registry has %d (%v)", len(schemes), len(kinds), kinds)
+	}
+	for _, kind := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			path := filepath.Join(corpusDir, corpusFileName(kind))
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing seed corpus file (regenerate with -regen-fuzz-corpus): %v", err)
+			}
+			data, err := decodeCorpusEntry(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := compactroute.LoadScheme(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("seed corpus snapshot does not decode: %v", err)
+			}
+			if got := compactroute.SnapshotKind(s); got != kind {
+				t.Fatalf("seed decodes as kind %q, file is for %q", got, kind)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Package benchtrack turns the repository's BENCH_*.json artifacts into a
+// comparable performance trajectory: each file contributes a set of keyed
+// points (one per served scheme/size/worker configuration or micro-benchmark),
+// and Compare checks a fresh run against a recorded baseline with a relative
+// tolerance band per metric. cmd/benchgate wraps this into a CI gate, so a
+// qps, ns/op or allocs/op regression fails the build instead of landing
+// silently.
+package benchtrack
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Point is one measured configuration: a stable key (shared across PRs) and
+// its metric values.
+type Point struct {
+	Key     string
+	Metrics map[string]float64
+}
+
+// Trajectory is the parsed content of one BENCH_*.json file.
+type Trajectory struct {
+	File   string
+	PR     int
+	Points map[string]Point
+}
+
+// Metric directions. A metric absent from this table is informational only
+// and never gated (Compare skips it).
+var higherIsBetter = map[string]bool{
+	"qps":           true,
+	"ns_per_op":     false,
+	"bytes_per_op":  false,
+	"allocs_per_op": false,
+}
+
+// GatedMetrics lists the metric names Compare enforces, sorted.
+func GatedMetrics() []string {
+	ms := make([]string, 0, len(higherIsBetter))
+	for m := range higherIsBetter {
+		ms = append(ms, m)
+	}
+	sort.Strings(ms)
+	return ms
+}
+
+// qpsRecord mirrors one entry of the qps_sweep / verified arrays written by
+// the serving benchmarks (BENCH_pr4.json onward). ns/op and allocs/op are
+// optional - pointer fields so an explicit 0 (the zero-alloc hot path) is
+// distinguishable from "not measured".
+type qpsRecord struct {
+	Scheme      string   `json:"scheme"`
+	N           int      `json:"n"`
+	Workers     int      `json:"workers"`
+	QPS         float64  `json:"qps"`
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchValues mirrors a testing-benchmark measurement (BENCH_pr3.json style).
+type benchValues struct {
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchRecord is one before/after micro-benchmark entry; the trajectory
+// keeps the "after" state (that is what the PR shipped).
+type benchRecord struct {
+	Name  string       `json:"name"`
+	After *benchValues `json:"after"`
+}
+
+// benchFile is the superset schema of every BENCH_*.json in the repository.
+type benchFile struct {
+	PR         int           `json:"pr"`
+	QPSSweep   []qpsRecord   `json:"qps_sweep"`
+	Verified   []qpsRecord   `json:"verified"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// QPSKey is the trajectory key of a serving-throughput record. Keys are the
+// contract between PRs: a future BENCH file gates against a past one only
+// where the keys match exactly.
+func QPSKey(scheme string, n, workers int, verified bool) string {
+	k := fmt.Sprintf("qps/%s/n=%d/workers=%d", scheme, n, workers)
+	if verified {
+		k += "/verified"
+	}
+	return k
+}
+
+// Parse reads one BENCH_*.json document. Unknown top-level fields are
+// ignored, so metadata-only sections (method, build_vs_load, notes) never
+// break parsing.
+func Parse(data []byte, file string) (*Trajectory, error) {
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("benchtrack: %s: %w", file, err)
+	}
+	t := &Trajectory{File: file, PR: bf.PR, Points: make(map[string]Point)}
+	add := func(key string, metrics map[string]float64) error {
+		if _, dup := t.Points[key]; dup {
+			return fmt.Errorf("benchtrack: %s: duplicate point %q", file, key)
+		}
+		t.Points[key] = Point{Key: key, Metrics: metrics}
+		return nil
+	}
+	qps := func(recs []qpsRecord, verified bool) error {
+		for _, r := range recs {
+			if r.Scheme == "" {
+				return fmt.Errorf("benchtrack: %s: qps record without scheme", file)
+			}
+			m := map[string]float64{"qps": r.QPS}
+			if r.NsPerOp != nil {
+				m["ns_per_op"] = *r.NsPerOp
+			}
+			if r.AllocsPerOp != nil {
+				m["allocs_per_op"] = *r.AllocsPerOp
+			}
+			if err := add(QPSKey(r.Scheme, r.N, r.Workers, verified), m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := qps(bf.QPSSweep, false); err != nil {
+		return nil, err
+	}
+	if err := qps(bf.Verified, true); err != nil {
+		return nil, err
+	}
+	for _, b := range bf.Benchmarks {
+		if b.Name == "" || b.After == nil {
+			continue // narrative entries carry no gateable measurement
+		}
+		m := map[string]float64{}
+		if b.After.NsPerOp != nil {
+			m["ns_per_op"] = *b.After.NsPerOp
+		}
+		if b.After.BytesPerOp != nil {
+			m["bytes_per_op"] = *b.After.BytesPerOp
+		}
+		if b.After.AllocsPerOp != nil {
+			m["allocs_per_op"] = *b.After.AllocsPerOp
+		}
+		if len(m) == 0 {
+			continue
+		}
+		if err := add("bench/"+b.Name, m); err != nil {
+			return nil, err
+		}
+	}
+	if len(t.Points) == 0 {
+		return nil, fmt.Errorf("benchtrack: %s: no gateable points (need qps_sweep, verified or benchmarks)", file)
+	}
+	return t, nil
+}
+
+// ParseFile is Parse on the file at path.
+func ParseFile(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data, path)
+}
+
+// Keys returns the trajectory's point keys, sorted.
+func (t *Trajectory) Keys() []string {
+	ks := make([]string, 0, len(t.Points))
+	for k := range t.Points {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Regression is one metric of one point that moved outside the tolerance
+// band in the bad direction.
+type Regression struct {
+	Key    string
+	Metric string
+	Base   float64 // baseline value
+	Cand   float64 // candidate value
+	Limit  float64 // worst value the tolerance allowed
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (limit %.6g)", r.Key, r.Metric, r.Base, r.Cand, r.Limit)
+}
+
+// Compare gates cand against base: for every key present in both
+// trajectories and every gated metric present in both points, a
+// higher-is-better metric must not fall below base*(1-tol) and a
+// lower-is-better metric must not rise above base*(1+tol). It returns the
+// regressions (empty = pass) and the number of (key, metric) comparisons
+// made; zero overlap is an error - a gate that compares nothing must not
+// report success.
+func Compare(base, cand *Trajectory, tol float64) ([]Regression, int, error) {
+	if tol < 0 {
+		return nil, 0, fmt.Errorf("benchtrack: negative tolerance %v", tol)
+	}
+	var regs []Regression
+	compared := 0
+	for _, key := range base.Keys() {
+		bp := base.Points[key]
+		cp, ok := cand.Points[key]
+		if !ok {
+			continue
+		}
+		for _, metric := range GatedMetrics() {
+			bv, okB := bp.Metrics[metric]
+			cv, okC := cp.Metrics[metric]
+			if !okB || !okC {
+				continue
+			}
+			compared++
+			if higherIsBetter[metric] {
+				limit := bv * (1 - tol)
+				if cv < limit {
+					regs = append(regs, Regression{Key: key, Metric: metric, Base: bv, Cand: cv, Limit: limit})
+				}
+			} else {
+				limit := bv * (1 + tol)
+				if cv > limit {
+					regs = append(regs, Regression{Key: key, Metric: metric, Base: bv, Cand: cv, Limit: limit})
+				}
+			}
+		}
+	}
+	if compared == 0 {
+		return nil, 0, fmt.Errorf("benchtrack: no overlapping (point, metric) pairs between %s and %s - nothing was gated", base.File, cand.File)
+	}
+	return regs, compared, nil
+}

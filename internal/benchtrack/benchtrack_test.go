@@ -1,0 +1,166 @@
+package benchtrack
+
+import (
+	"strings"
+	"testing"
+)
+
+const sweepJSON = `{
+  "pr": 4,
+  "method": "ignored metadata",
+  "build_vs_load": {"n10000_save_run_sec": 433.1},
+  "qps_sweep": [
+    {"scheme": "thm11-5+eps", "n": 10000, "workers": 1, "qps": 215865, "mean_hops": 16.2},
+    {"scheme": "exact", "n": 1000, "workers": 1, "qps": 5146767}
+  ],
+  "verified": [
+    {"scheme": "thm11-5+eps", "n": 10000, "workers": 1, "qps": 9000}
+  ]
+}`
+
+const microJSON = `{
+  "pr": 3,
+  "benchmarks": [
+    {"name": "Nearest/unit/n=4096/k=64",
+     "before": {"ns_per_op": 224357, "allocs_per_op": 35},
+     "after": {"ns_per_op": 58235, "bytes_per_op": 12824, "allocs_per_op": 8}},
+    {"name": "narrative-only"}
+  ]
+}`
+
+func TestParseQPSSweep(t *testing.T) {
+	tr, err := Parse([]byte(sweepJSON), "BENCH_pr4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PR != 4 {
+		t.Fatalf("PR = %d, want 4", tr.PR)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("got %d points (%v), want 3", len(tr.Points), tr.Keys())
+	}
+	p, ok := tr.Points["qps/thm11-5+eps/n=10000/workers=1"]
+	if !ok {
+		t.Fatalf("missing sweep point; keys: %v", tr.Keys())
+	}
+	if p.Metrics["qps"] != 215865 {
+		t.Fatalf("qps = %v, want 215865", p.Metrics["qps"])
+	}
+	if _, stray := p.Metrics["allocs_per_op"]; stray {
+		t.Fatal("absent allocs_per_op must not appear as a metric")
+	}
+	if _, ok := tr.Points["qps/thm11-5+eps/n=10000/workers=1/verified"]; !ok {
+		t.Fatalf("missing verified point; keys: %v", tr.Keys())
+	}
+}
+
+func TestParseMicroBenchmarks(t *testing.T) {
+	tr, err := Parse([]byte(microJSON), "BENCH_pr3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := tr.Points["bench/Nearest/unit/n=4096/k=64"]
+	if !ok {
+		t.Fatalf("missing bench point; keys: %v", tr.Keys())
+	}
+	// The trajectory keeps the "after" state, not the superseded "before".
+	if p.Metrics["ns_per_op"] != 58235 || p.Metrics["allocs_per_op"] != 8 {
+		t.Fatalf("metrics = %v, want after-state values", p.Metrics)
+	}
+	if len(tr.Points) != 1 {
+		t.Fatalf("narrative entry leaked into points: %v", tr.Keys())
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse([]byte(`{"pr": 1}`), "empty.json"); err == nil {
+		t.Fatal("file without gateable points must not parse")
+	}
+	if _, err := Parse([]byte(`not json`), "junk.json"); err == nil {
+		t.Fatal("junk must not parse")
+	}
+	dup := `{"qps_sweep": [
+	  {"scheme": "exact", "n": 10, "workers": 1, "qps": 1},
+	  {"scheme": "exact", "n": 10, "workers": 1, "qps": 2}]}`
+	if _, err := Parse([]byte(dup), "dup.json"); err == nil {
+		t.Fatal("duplicate keys must not parse")
+	}
+}
+
+func traj(t *testing.T, file, body string) *Trajectory {
+	t.Helper()
+	tr, err := Parse([]byte(body), file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := traj(t, "base", `{"qps_sweep": [
+	  {"scheme": "a", "n": 100, "workers": 1, "qps": 1000, "ns_per_op": 1000, "allocs_per_op": 0}]}`)
+
+	// Within tolerance both ways: pass.
+	ok := traj(t, "ok", `{"qps_sweep": [
+	  {"scheme": "a", "n": 100, "workers": 1, "qps": 900, "ns_per_op": 1100, "allocs_per_op": 0}]}`)
+	regs, compared, err := Compare(base, ok, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if compared != 3 {
+		t.Fatalf("compared %d metrics, want 3", compared)
+	}
+
+	// qps down past the band, ns/op and allocs up past it: three regressions.
+	bad := traj(t, "bad", `{"qps_sweep": [
+	  {"scheme": "a", "n": 100, "workers": 1, "qps": 500, "ns_per_op": 2000, "allocs_per_op": 2}]}`)
+	regs, _, err = Compare(base, bad, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions (%v), want 3", len(regs), regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r.String(), "qps/a/n=100/workers=1") {
+			t.Fatalf("regression %v lost its key", r)
+		}
+	}
+
+	// Improvements are never regressions.
+	better := traj(t, "better", `{"qps_sweep": [
+	  {"scheme": "a", "n": 100, "workers": 1, "qps": 2000, "ns_per_op": 500, "allocs_per_op": 0}]}`)
+	regs, _, err = Compare(base, better, 0.15)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("improvement flagged: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestCompareZeroAllocBaselineIsStrict(t *testing.T) {
+	base := traj(t, "base", `{"qps_sweep": [
+	  {"scheme": "a", "n": 100, "workers": 1, "qps": 1000, "allocs_per_op": 0}]}`)
+	cand := traj(t, "cand", `{"qps_sweep": [
+	  {"scheme": "a", "n": 100, "workers": 1, "qps": 1000, "allocs_per_op": 0.5}]}`)
+	regs, _, err := Compare(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 * (1+tol) = 0: any allocation on a recorded zero-alloc path regresses.
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("regs = %v, want exactly the allocs_per_op regression", regs)
+	}
+}
+
+func TestCompareRejectsNoOverlap(t *testing.T) {
+	base := traj(t, "base", `{"qps_sweep": [{"scheme": "a", "n": 100, "workers": 1, "qps": 1}]}`)
+	cand := traj(t, "cand", `{"qps_sweep": [{"scheme": "b", "n": 100, "workers": 1, "qps": 1}]}`)
+	if _, _, err := Compare(base, cand, 0.15); err == nil {
+		t.Fatal("disjoint trajectories must not gate successfully")
+	}
+	if _, _, err := Compare(base, base, -0.1); err == nil {
+		t.Fatal("negative tolerance must be rejected")
+	}
+}

@@ -19,7 +19,7 @@ type Inter struct {
 	g       *graph.Graph
 	vics    []*vicinity.Set
 	uPartOf []int32
-	wPartOf map[graph.Vertex]int32
+	wPartOf []int32 // part index of each target, -1 for non-targets
 	b       int
 	eps     float64
 	scale   float64 // omega_min: unit of the doubling thresholds
@@ -108,16 +108,22 @@ func newInterBase(cfg InterConfig) (*Inter, error) {
 		g:        g,
 		vics:     cfg.Vics,
 		uPartOf:  cfg.UPartOf,
-		wPartOf:  make(map[graph.Vertex]int32),
+		wPartOf:  make([]int32, n),
 		b:        b,
 		eps:      cfg.Eps,
 		scale:    minEdgeWeight(g),
 		relayRep: make([][]graph.Vertex, n),
 		seqs:     make([]map[graph.Vertex]interSeq, n),
 	}
+	for i := range in.wPartOf {
+		in.wPartOf[i] = -1
+	}
 	for j, part := range cfg.WParts {
 		for _, w := range part {
-			if _, dup := in.wPartOf[w]; dup {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("core: W vertex %d out of range [0,%d)", w, n)
+			}
+			if in.wPartOf[w] >= 0 {
 				return nil, fmt.Errorf("core: %d appears twice in W", w)
 			}
 			in.wPartOf[w] = int32(j)
@@ -275,13 +281,25 @@ func (st *InterState) Words() int {
 
 // Start builds the header at a source in U_{part(dst)}.
 func (in *Inter) Start(src, dst graph.Vertex) (*InterState, error) {
-	if src == dst {
-		return &InterState{dst: dst}, nil
+	return in.StartInto(nil, src, dst)
+}
+
+// StartInto is Start writing into a caller-owned state (allocated when st is
+// nil): the reuse hook the zero-alloc serving path needs. The waypoint slice
+// is shared read-only table data, never copied, so resetting st in place
+// carries nothing over.
+func (in *Inter) StartInto(st *InterState, src, dst graph.Vertex) (*InterState, error) {
+	if st == nil {
+		st = &InterState{}
 	}
-	j, ok := in.wPartOf[dst]
-	if !ok {
+	if src == dst {
+		*st = InterState{dst: dst}
+		return st, nil
+	}
+	if dst < 0 || int(dst) >= len(in.wPartOf) || in.wPartOf[dst] < 0 {
 		return nil, fmt.Errorf("core: %d is not a Lemma 8 target", dst)
 	}
+	j := in.wPartOf[dst]
 	if in.uPartOf[src] != j {
 		return nil, fmt.Errorf("core: source %d is in U_%d, not U_%d", src, in.uPartOf[src], j)
 	}
@@ -289,7 +307,8 @@ func (in *Inter) Start(src, dst graph.Vertex) (*InterState, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no sequence stored at %d for %d", src, dst)
 	}
-	return &InterState{dst: dst, wp: sq.waypoints, relay: sq.relay, maxLen: len(sq.waypoints)}, nil
+	*st = InterState{dst: dst, wp: sq.waypoints, relay: sq.relay, maxLen: len(sq.waypoints)}
+	return st, nil
 }
 
 // Step makes the local forwarding decision of Lemma 8's routing phase. At a
@@ -337,14 +356,15 @@ func (in *Inter) Budget() int { return in.b }
 
 // Targets reports whether dst is one of the Lemma 8 targets.
 func (in *Inter) Targets(dst graph.Vertex) bool {
-	_, ok := in.wPartOf[dst]
-	return ok
+	return dst >= 0 && int(dst) < len(in.wPartOf) && in.wPartOf[dst] >= 0
 }
 
 // TargetPart returns the part index of a target.
 func (in *Inter) TargetPart(dst graph.Vertex) (int32, bool) {
-	j, ok := in.wPartOf[dst]
-	return j, ok
+	if !in.Targets(dst) {
+		return 0, false
+	}
+	return in.wPartOf[dst], true
 }
 
 // AddTableWords charges the Lemma 8 storage to a tally: the relay

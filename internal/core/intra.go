@@ -230,8 +230,20 @@ func (st *IntraState) Words() int { return len(st.wp) + 4 }
 // copied into the packet (the paper's "u obtains the sequence ... and adds
 // it to the message header").
 func (in *Intra) Start(src, dst graph.Vertex) (*IntraState, error) {
+	return in.StartInto(nil, src, dst)
+}
+
+// StartInto is Start writing into a caller-owned state (allocated when st is
+// nil): the reuse hook the zero-alloc serving path needs. The waypoint slice
+// is shared read-only table data, never copied, so resetting st in place
+// carries nothing over.
+func (in *Intra) StartInto(st *IntraState, src, dst graph.Vertex) (*IntraState, error) {
+	if st == nil {
+		st = &IntraState{}
+	}
 	if src == dst {
-		return &IntraState{dst: dst}, nil
+		*st = IntraState{dst: dst}
+		return st, nil
 	}
 	if in.partOf[src] != in.partOf[dst] {
 		return nil, fmt.Errorf("core: %d and %d are in different parts", src, dst)
@@ -240,7 +252,8 @@ func (in *Intra) Start(src, dst graph.Vertex) (*IntraState, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no sequence stored at %d for %d", src, dst)
 	}
-	return &IntraState{dst: dst, wp: sq.waypoints, lm: sq.landmark, lbl: sq.treeLbl}, nil
+	*st = IntraState{dst: dst, wp: sq.waypoints, lm: sq.landmark, lbl: sq.treeLbl}
+	return st, nil
 }
 
 // Step makes the local forwarding decision of Lemma 7's routing phase.

@@ -16,7 +16,7 @@ type Scheme struct {
 	ports [][]graph.Port // ports[u][v] = port of the first hop u->v
 }
 
-var _ simnet.Scheme = (*Scheme)(nil)
+var _ simnet.ReusableScheme = (*Scheme)(nil)
 
 // New preprocesses full routing tables: one shortest-path tree per vertex.
 func New(g *graph.Graph) (*Scheme, error) {
@@ -54,6 +54,16 @@ func (s *Scheme) Graph() *graph.Graph { return s.g }
 // Prepare implements simnet.Scheme.
 func (s *Scheme) Prepare(_, dst graph.Vertex) (simnet.Packet, error) {
 	return &packet{dst: dst}, nil
+}
+
+// PrepareInto implements simnet.ReusableScheme.
+func (s *Scheme) PrepareInto(scratch simnet.Packet, _, dst graph.Vertex) (simnet.Packet, error) {
+	pk, ok := scratch.(*packet)
+	if !ok {
+		pk = &packet{}
+	}
+	pk.dst = dst
+	return pk, nil
 }
 
 // Next implements simnet.Scheme. Successive first hops strictly decrease the

@@ -46,7 +46,7 @@ type Scheme struct {
 	tally *space.Tally
 }
 
-var _ simnet.Scheme = (*Scheme)(nil)
+var _ simnet.ReusableScheme = (*Scheme)(nil)
 
 // New runs the preprocessing phase.
 func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
@@ -85,6 +85,11 @@ type packet struct {
 	ph    phase
 	rep   graph.Vertex
 	intra *core.IntraState
+	// scratch is a retained IntraState for packet reuse. It is distinct
+	// from intra, which stays nil until the Lemma 7 leg actually starts:
+	// HeaderWords only charges the intra words once intra is non-nil, and a
+	// recycled state must not inflate the next route's high-water mark.
+	scratch *core.IntraState
 }
 
 // Name implements simnet.Scheme.
@@ -96,7 +101,24 @@ func (s *Scheme) Graph() *graph.Graph { return s.g }
 // Prepare implements simnet.Scheme. It uses src's table (vicinity membership
 // and representatives) and dst's label (its id and color).
 func (s *Scheme) Prepare(src, dst graph.Vertex) (simnet.Packet, error) {
-	pk := &packet{dst: dst, color: s.vc.PartOf[dst]}
+	return s.prepare(&packet{}, src, dst)
+}
+
+// PrepareInto implements simnet.ReusableScheme.
+func (s *Scheme) PrepareInto(scratch simnet.Packet, src, dst graph.Vertex) (simnet.Packet, error) {
+	pk, ok := scratch.(*packet)
+	if !ok {
+		pk = &packet{}
+	}
+	return s.prepare(pk, src, dst)
+}
+
+func (s *Scheme) prepare(pk *packet, src, dst graph.Vertex) (simnet.Packet, error) {
+	scratch := pk.scratch
+	if pk.intra != nil {
+		scratch = pk.intra
+	}
+	*pk = packet{dst: dst, color: s.vc.PartOf[dst], scratch: scratch}
 	switch {
 	case src == dst || s.vc.Vics[src].Contains(dst):
 		pk.ph = phaseVicinity
@@ -123,12 +145,13 @@ func (s *Scheme) Next(at graph.Vertex, p simnet.Packet) (simnet.Decision, error)
 		if at != pk.rep {
 			return s.vicinityStep(at, pk.rep)
 		}
-		st, err := s.intra.Start(at, pk.dst)
+		st, err := s.intra.StartInto(pk.scratch, at, pk.dst)
 		if err != nil {
 			return simnet.Decision{}, fmt.Errorf("scheme3: intra start at rep %d: %w", at, err)
 		}
 		pk.ph = phaseIntra
 		pk.intra = st
+		pk.scratch = st
 		fallthrough
 	case phaseIntra:
 		return s.intra.Step(at, pk.intra)

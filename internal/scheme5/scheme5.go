@@ -66,7 +66,7 @@ type Scheme struct {
 	tally  *space.Tally
 }
 
-var _ simnet.Scheme = (*Scheme)(nil)
+var _ simnet.ReusableScheme = (*Scheme)(nil)
 
 // New runs the preprocessing phase.
 func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
@@ -152,6 +152,11 @@ type packet struct {
 	inter    *core.InterState
 	treeRoot graph.Vertex
 	tlbl     treeroute.Label
+	// scratch is a retained InterState for packet reuse. It is distinct
+	// from inter, which stays nil until the Lemma 8 leg actually starts:
+	// HeaderWords only charges the inter words once inter is non-nil, and a
+	// recycled state must not inflate the next route's high-water mark.
+	scratch *core.InterState
 }
 
 // Name implements simnet.Scheme.
@@ -162,7 +167,26 @@ func (s *Scheme) Graph() *graph.Graph { return s.g }
 
 // Prepare implements simnet.Scheme.
 func (s *Scheme) Prepare(src, dst graph.Vertex) (simnet.Packet, error) {
-	pk := &packet{dst: dst, lbl: s.labels[dst]}
+	return s.prepare(&packet{}, src, dst)
+}
+
+// PrepareInto implements simnet.ReusableScheme.
+func (s *Scheme) PrepareInto(scratch simnet.Packet, src, dst graph.Vertex) (simnet.Packet, error) {
+	pk, ok := scratch.(*packet)
+	if !ok {
+		pk = &packet{}
+	}
+	return s.prepare(pk, src, dst)
+}
+
+func (s *Scheme) prepare(pk *packet, src, dst graph.Vertex) (simnet.Packet, error) {
+	// Keep the larger of the retained and in-flight inter states as the next
+	// route's scratch; everything else resets.
+	scratch := pk.scratch
+	if pk.inter != nil {
+		scratch = pk.inter
+	}
+	*pk = packet{dst: dst, lbl: s.labels[dst], scratch: scratch}
 	switch {
 	case src == dst || s.vc.Vics[src].Contains(dst):
 		pk.ph = phaseVicinity
@@ -204,12 +228,13 @@ func (s *Scheme) Next(at graph.Vertex, p simnet.Packet) (simnet.Decision, error)
 		if at != pk.rep {
 			return s.vicinityStep(at, pk.rep)
 		}
-		st, err := s.inter.Start(at, pk.lbl.pa)
+		st, err := s.inter.StartInto(pk.scratch, at, pk.lbl.pa)
 		if err != nil {
 			return simnet.Decision{}, fmt.Errorf("scheme5: inter start: %w", err)
 		}
 		pk.ph = phaseInter
 		pk.inter = st
+		pk.scratch = st
 		fallthrough
 	case phaseInter:
 		if at != pk.lbl.pa {

@@ -4,11 +4,15 @@
 //
 // A preprocessed Scheme is read-only at query time (simnet.Scheme requires
 // Prepare/Next to be purely local computations over immutable tables), so
-// the engine shards nothing but scratch: each worker owns a shard with its
-// own simnet.Network handle and its own statistics block - the same
-// own-your-slot idiom the construction pipeline (internal/parallel) and the
-// search kernels (graph.Workspace pooling) use - and queries never contend
-// on shared mutable state. Statistics are merged on demand by Stats.
+// the engine shards nothing but scratch: each shard owns a simnet.Network
+// handle, a persistent worker goroutine with a private scratch packet, and
+// its own statistics block - the same own-your-slot idiom the construction
+// pipeline (internal/parallel) and the search kernels (graph.Workspace
+// pooling) use - and queries never contend on shared mutable state. The
+// batched Query path routes with zero steady-state allocations: packets are
+// reused through simnet.RouteReuse, batch bookkeeping is pooled, and stats
+// are folded into the shard block in chunks instead of per query.
+// Statistics are merged on demand by Stats.
 //
 // The evaluation harness (compactroute.EvaluateBatched) is a client of this
 // engine, so offline evaluation and online serving exercise the same code
@@ -20,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,7 +37,8 @@ import (
 // Options configures an Engine.
 type Options struct {
 	// Workers is the number of shards (concurrent routing lanes); <= 0
-	// selects the package-wide parallelism default.
+	// selects the package-wide parallelism default (GOMAXPROCS, so the
+	// shard count matches the core count).
 	Workers int
 	// Verify looks up the true shortest distance of every delivered query
 	// in Paths and checks the routed weight against the scheme's proved
@@ -50,6 +56,10 @@ type Options struct {
 	// The batched evaluation harness uses this so a broken scheme fails
 	// in one route instead of burning the hop limit on every pair.
 	FailFast bool
+	// PinWorkers locks every shard worker to its OS thread, pinning one
+	// serving lane per core on machines where the scheduler would
+	// otherwise migrate them between batches.
+	PinWorkers bool
 }
 
 // ErrAborted marks pairs skipped after a FailFast batch hit its first
@@ -78,6 +88,14 @@ const (
 	StretchBuckets     = 64
 	StretchBucketWidth = 0.25
 )
+
+// statsChunk is the number of queries a batch worker accumulates in its
+// private counters before folding them into the shard block under the
+// lock. Chunking amortizes the mutex from one acquisition per query to one
+// per chunk; the only observable effect is that Stats taken while a batch
+// is in flight may lag the newest routes by up to a chunk (every counter
+// is exact once Query returns).
+const statsChunk = 512
 
 // Stats is a merged snapshot of an engine's counters.
 type Stats struct {
@@ -112,26 +130,76 @@ type counters struct {
 	stretchHist [StretchBuckets + 1]uint64
 }
 
-// shard is one worker lane: a Network handle plus privately-owned counters.
-// Shards are allocated separately so two lanes never share a cache line.
+// shard is one worker lane: a Network handle, the worker's job feed and the
+// privately-owned counters. Shards are allocated separately so two lanes
+// never share a cache line, and the read-mostly dispatch fields are padded
+// away from the mutex/counters the worker and Stats write - the dispatcher
+// of one shard must not false-share with the stats traffic of another.
 type shard struct {
-	nw *simnet.Network
-	mu sync.Mutex
-	st counters
+	nw   *simnet.Network
+	jobs chan batchJob
+	_    [64]byte // keep dispatch reads off the stats line
+	mu   sync.Mutex
+	st   counters
+	_    [64]byte
+}
+
+// batchJob is one contiguous block of a Query batch, dispatched to a shard
+// worker. pairs and out are parallel slices of the caller's batch.
+type batchJob struct {
+	pairs [][2]graph.Vertex
+	out   []Result
+	bs    *batchState
+}
+
+// batchState is the pooled per-Query bookkeeping shared by the batch's
+// jobs: the completion latch and the FailFast flag.
+type batchState struct {
+	wg     sync.WaitGroup
+	failed atomic.Bool
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchState) }}
+
+// closer owns the engine's shutdown state. It is shared by the engine, its
+// workers and the runtime cleanup, and deliberately references neither the
+// Engine nor its shards: the cleanup must be able to fire (and release the
+// workers) once the Engine itself is unreachable.
+type closer struct {
+	mu     sync.RWMutex
+	closed bool
+	quit   chan struct{}
+}
+
+func (c *closer) close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.quit)
+	}
+	c.mu.Unlock()
 }
 
 // Engine serves route queries for one scheme.
 type Engine struct {
 	scheme simnet.Scheme
 	opts   Options
+	n      graph.Vertex // cached scheme.Graph().N(), off the per-query path
 	shards []*shard
+	cl     *closer
+	// pkts recycles scratch packets of the single-query Route path (batch
+	// workers own their packet outright and never touch the pool).
+	pkts sync.Pool
 	// start is the QPS clock origin in unix nanoseconds; atomic because
 	// ResetStats may race with Stats on the concurrent engine API.
 	start atomic.Int64
 	rr    atomic.Uint64
 }
 
-// New builds an engine over a preprocessed scheme.
+// New builds an engine over a preprocessed scheme and starts one worker
+// goroutine per shard. Callers that create engines in a loop should Close
+// them; an engine dropped without Close releases its workers when the
+// garbage collector collects it.
 func New(s simnet.Scheme, o Options) (*Engine, error) {
 	if o.Workers <= 0 {
 		o.Workers = parallel.Workers()
@@ -143,13 +211,30 @@ func New(s simnet.Scheme, o Options) (*Engine, error) {
 	if o.MaxHops > 0 {
 		nwOpts = append(nwOpts, simnet.WithMaxHops(o.MaxHops))
 	}
-	e := &Engine{scheme: s, opts: o, shards: make([]*shard, o.Workers)}
+	e := &Engine{
+		scheme: s,
+		opts:   o,
+		n:      graph.Vertex(s.Graph().N()),
+		shards: make([]*shard, o.Workers),
+		cl:     &closer{quit: make(chan struct{})},
+	}
 	e.start.Store(time.Now().UnixNano())
 	for i := range e.shards {
-		e.shards[i] = &shard{nw: simnet.NewNetwork(s, nwOpts...)}
+		e.shards[i] = &shard{nw: simnet.NewNetwork(s, nwOpts...), jobs: make(chan batchJob, 8)}
+		w := &worker{sh: e.shards[i], quit: e.cl.quit, scheme: s, n: e.n, opts: o}
+		go w.loop()
 	}
+	// Safety net for engines dropped without Close: the workers reference
+	// only their shard and the closer, never the Engine, so the engine
+	// becomes unreachable while they are parked and the cleanup can run.
+	runtime.AddCleanup(e, func(c *closer) { c.close() }, e.cl)
 	return e, nil
 }
+
+// Close stops the shard workers. It is idempotent and safe to call
+// concurrently with queries: batches already dispatched are finished, and
+// later Query/Route calls are served inline on the caller's goroutine.
+func (e *Engine) Close() { e.cl.close() }
 
 // Scheme returns the scheme being served.
 func (e *Engine) Scheme() simnet.Scheme { return e.scheme }
@@ -157,29 +242,103 @@ func (e *Engine) Scheme() simnet.Scheme { return e.scheme }
 // Workers returns the number of shards.
 func (e *Engine) Workers() int { return len(e.shards) }
 
-// routeOn serves one query on the given shard. Vertex ids are validated
+// worker is the serving loop state of one shard. It holds copies of the
+// engine fields it needs instead of the Engine itself so the engine's
+// cleanup can fire while workers are parked (see closer).
+type worker struct {
+	sh     *shard
+	quit   chan struct{}
+	scheme simnet.Scheme
+	n      graph.Vertex
+	opts   Options
+	pkt    simnet.Packet // worker-owned scratch, reused across every route
+	pend   counters      // stats accumulated since the last flush
+	pendN  int
+}
+
+func (w *worker) loop() {
+	if w.opts.PinWorkers {
+		runtime.LockOSThread()
+	}
+	for {
+		select {
+		case job := <-w.sh.jobs:
+			w.serve(job)
+		case <-w.quit:
+			// Drain jobs that were enqueued before the closed flag was
+			// published, so no dispatched batch is left waiting.
+			for {
+				select {
+				case job := <-w.sh.jobs:
+					w.serve(job)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// serve routes one job block and signals completion. Pairs aborted by
+// FailFast are not routed and stay out of the statistics, exactly like the
+// per-query engine before batching.
+func (w *worker) serve(job batchJob) {
+	ff := w.opts.FailFast
+	for j := range job.pairs {
+		if ff && job.bs.failed.Load() {
+			job.out[j] = Result{Src: job.pairs[j][0], Dst: job.pairs[j][1], Dist: -1, Err: ErrAborted}
+			continue
+		}
+		job.out[j] = w.route(job.pairs[j][0], job.pairs[j][1])
+		if ff && job.out[j].Err != nil {
+			job.bs.failed.Store(true)
+		}
+	}
+	w.flush()
+	job.bs.wg.Done()
+}
+
+// route serves one query on the worker's shard. Vertex ids are validated
 // here - the engine fronts untrusted protocol input, and schemes index
 // their tables with the destination, so an out-of-range id must become a
 // Result error, not a panic.
-func (e *Engine) routeOn(sh *shard, src, dst graph.Vertex) Result {
+func (w *worker) route(src, dst graph.Vertex) Result {
 	res := Result{Src: src, Dst: dst, Dist: -1}
-	if n := graph.Vertex(e.scheme.Graph().N()); src < 0 || src >= n || dst < 0 || dst >= n {
-		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, n)
-		sh.mu.Lock()
-		sh.st.record(e.scheme, &res, e.opts.Verify)
-		sh.mu.Unlock()
+	if src < 0 || src >= w.n || dst < 0 || dst >= w.n {
+		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, w.n)
+		w.record(&res)
 		return res
 	}
-	r, err := sh.nw.Route(src, dst)
+	r, pkt, err := w.sh.nw.RouteReuse(src, dst, w.pkt)
+	if pkt != nil {
+		w.pkt = pkt
+	}
 	res.Hops, res.Weight, res.HeaderWords = r.Hops, r.Weight, r.HeaderWords
 	res.Err = err
-	if err == nil && e.opts.Verify {
-		res.Dist = e.opts.Paths.Dist(src, dst)
+	if err == nil && w.opts.Verify {
+		res.Dist = w.opts.Paths.Dist(src, dst)
 	}
-	sh.mu.Lock()
-	sh.st.record(e.scheme, &res, e.opts.Verify)
-	sh.mu.Unlock()
+	w.record(&res)
 	return res
+}
+
+func (w *worker) record(res *Result) {
+	w.pend.record(w.scheme, res, w.opts.Verify)
+	if w.pendN++; w.pendN >= statsChunk {
+		w.flush()
+	}
+}
+
+// flush folds the worker's pending counters into the shard block.
+func (w *worker) flush() {
+	if w.pendN == 0 {
+		return
+	}
+	w.sh.mu.Lock()
+	w.sh.st.mergeFrom(&w.pend)
+	w.sh.mu.Unlock()
+	w.pend = counters{}
+	w.pendN = 0
 }
 
 func (c *counters) record(s simnet.Scheme, r *Result, verified bool) {
@@ -240,49 +399,54 @@ func stretchBucket(str float64) int {
 	return b
 }
 
-// Route serves a single query on the next shard (round robin).
+// Route serves a single query on the next shard (round robin), recording
+// its stats immediately. Scratch packets come from a pool, so a warm
+// engine routes without allocating.
 func (e *Engine) Route(src, dst graph.Vertex) Result {
 	sh := e.shards[e.rr.Add(1)%uint64(len(e.shards))]
-	return e.routeOn(sh, src, dst)
+	res := Result{Src: src, Dst: dst, Dist: -1}
+	if src < 0 || src >= e.n || dst < 0 || dst >= e.n {
+		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, e.n)
+	} else {
+		scratch, _ := e.pkts.Get().(simnet.Packet)
+		r, pkt, err := sh.nw.RouteReuse(src, dst, scratch)
+		if pkt != nil {
+			e.pkts.Put(pkt)
+		}
+		res.Hops, res.Weight, res.HeaderWords = r.Hops, r.Weight, r.HeaderWords
+		res.Err = err
+		if err == nil && e.opts.Verify {
+			res.Dist = e.opts.Paths.Dist(src, dst)
+		}
+	}
+	sh.mu.Lock()
+	sh.st.record(e.scheme, &res, e.opts.Verify)
+	sh.mu.Unlock()
+	return res
 }
 
 // Query serves a batch: every pair is routed, out[i] receives the outcome
 // of pairs[i]. out is allocated when nil or too short; the filled prefix is
-// returned. Pairs are split into contiguous blocks, one per shard, so every
-// worker streams its own slice of the batch - the same slot-ownership
+// returned. Pairs are split into contiguous blocks, one per shard, and
+// dispatched to the persistent shard workers - the same slot-ownership
 // discipline as the batched evaluation engine, which makes the per-pair
-// results independent of the worker count.
+// results independent of the worker count. With a preallocated out and a
+// reuse-capable scheme the steady-state batch path does not allocate.
 func (e *Engine) Query(pairs [][2]graph.Vertex, out []Result) []Result {
 	if len(out) < len(pairs) {
 		out = make([]Result, len(pairs))
 	}
 	out = out[:len(pairs)]
+	if len(pairs) == 0 {
+		return out
+	}
 	w := len(e.shards)
 	if w > len(pairs) {
 		w = len(pairs)
 	}
-	var failed atomic.Bool
-	serveOne := func(sh *shard, j int) {
-		if e.opts.FailFast && failed.Load() {
-			out[j] = Result{Src: pairs[j][0], Dst: pairs[j][1], Dist: -1, Err: ErrAborted}
-			return
-		}
-		out[j] = e.routeOn(sh, pairs[j][0], pairs[j][1])
-		if e.opts.FailFast && out[j].Err != nil {
-			failed.Store(true)
-		}
-	}
-	if w <= 1 {
-		if len(e.shards) > 0 {
-			sh := e.shards[0]
-			for i := range pairs {
-				serveOne(sh, i)
-			}
-		}
-		return out
-	}
 	chunk := (len(pairs) + w - 1) / w
-	var wg sync.WaitGroup
+	bs := batchPool.Get().(*batchState)
+	bs.failed.Store(false)
 	for i := 0; i < w; i++ {
 		lo := i * chunk
 		hi := lo + chunk
@@ -292,16 +456,28 @@ func (e *Engine) Query(pairs [][2]graph.Vertex, out []Result) []Result {
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(sh *shard, lo, hi int) {
-			defer wg.Done()
-			for j := lo; j < hi; j++ {
-				serveOne(sh, j)
-			}
-		}(e.shards[i], lo, hi)
+		bs.wg.Add(1)
+		e.dispatch(e.shards[i], batchJob{pairs: pairs[lo:hi], out: out[lo:hi], bs: bs})
 	}
-	wg.Wait()
+	bs.wg.Wait()
+	batchPool.Put(bs)
 	return out
+}
+
+// dispatch hands a job to a shard worker, or serves it inline once the
+// engine is closed. The closer's read lock makes the closed check and the
+// channel send atomic with respect to Close, so a job is never parked on a
+// channel no worker will drain.
+func (e *Engine) dispatch(sh *shard, job batchJob) {
+	e.cl.mu.RLock()
+	if e.cl.closed {
+		e.cl.mu.RUnlock()
+		w := worker{sh: sh, scheme: e.scheme, n: e.n, opts: e.opts}
+		w.serve(job)
+		return
+	}
+	sh.jobs <- job
+	e.cl.mu.RUnlock()
 }
 
 // mergeFrom folds another shard's counters into c (the caller holds the
@@ -347,7 +523,9 @@ func (c *counters) finalize(startNanos int64) Stats {
 	return st
 }
 
-// Stats merges the shard counters into one snapshot.
+// Stats merges the shard counters into one snapshot. Counters are exact
+// whenever no Query batch is in flight; during a batch they may lag the
+// newest routes by up to statsChunk queries per shard.
 func (e *Engine) Stats() Stats {
 	var m counters
 	for _, sh := range e.shards {

@@ -58,6 +58,18 @@ type Scheme interface {
 	StretchBound(d float64) float64
 }
 
+// ReusableScheme is an optional extension of Scheme for allocation-free
+// serving: PrepareInto behaves exactly like Prepare but may overwrite and
+// return a packet previously produced by the same scheme instead of
+// allocating a fresh one. scratch is either nil, or a packet obtained from
+// an earlier Prepare/PrepareInto call on this scheme that is no longer in
+// flight; a foreign or nil scratch must fall back to a fresh allocation.
+// The returned packet carries no state from the previous route.
+type ReusableScheme interface {
+	Scheme
+	PrepareInto(scratch Packet, src, dst graph.Vertex) (Packet, error)
+}
+
 // Result describes one completed routing.
 type Result struct {
 	Hops        int
@@ -72,6 +84,7 @@ var ErrHopLimit = errors.New("simnet: hop limit exceeded")
 // Network executes packets of one Scheme over its graph.
 type Network struct {
 	scheme   Scheme
+	reuse    ReusableScheme // non-nil when scheme supports packet reuse
 	g        *graph.Graph
 	maxHops  int
 	keepPath bool
@@ -98,6 +111,7 @@ func WithPath() Option {
 // NewNetwork wraps a preprocessed scheme for execution.
 func NewNetwork(s Scheme, opts ...Option) *Network {
 	n := &Network{scheme: s, g: s.Graph(), maxHops: 8*s.Graph().N() + 64}
+	n.reuse, _ = s.(ReusableScheme)
 	for _, o := range opts {
 		o.apply(n)
 	}
@@ -106,10 +120,27 @@ func NewNetwork(s Scheme, opts ...Option) *Network {
 
 // Route sends a packet from src to dst and reports the traversed path.
 func (n *Network) Route(src, dst graph.Vertex) (Result, error) {
+	res, _, err := n.RouteReuse(src, dst, nil)
+	return res, err
+}
+
+// RouteReuse is Route with packet-scratch reuse: scratch is a packet
+// returned by an earlier RouteReuse call on this network (or nil), and the
+// packet used for this route is returned for the caller to pass back in.
+// When the scheme implements ReusableScheme a warm caller routes with zero
+// steady-state allocations; otherwise scratch is ignored and a fresh packet
+// is prepared. The Result is bit-identical to Route's.
+func (n *Network) RouteReuse(src, dst graph.Vertex, scratch Packet) (Result, Packet, error) {
 	var res Result
-	pkt, err := n.scheme.Prepare(src, dst)
+	var pkt Packet
+	var err error
+	if n.reuse != nil {
+		pkt, err = n.reuse.PrepareInto(scratch, src, dst)
+	} else {
+		pkt, err = n.scheme.Prepare(src, dst)
+	}
 	if err != nil {
-		return res, fmt.Errorf("prepare %d->%d: %w", src, dst, err)
+		return res, pkt, fmt.Errorf("prepare %d->%d: %w", src, dst, err)
 	}
 	at := src
 	if n.keepPath {
@@ -119,19 +150,19 @@ func (n *Network) Route(src, dst graph.Vertex) (Result, error) {
 	for {
 		d, err := n.scheme.Next(at, pkt)
 		if err != nil {
-			return res, fmt.Errorf("next at %d (%d->%d, hop %d): %w", at, src, dst, res.Hops, err)
+			return res, pkt, fmt.Errorf("next at %d (%d->%d, hop %d): %w", at, src, dst, res.Hops, err)
 		}
 		if hw := n.scheme.HeaderWords(pkt); hw > res.HeaderWords {
 			res.HeaderWords = hw
 		}
 		if d.Deliver {
 			if at != dst {
-				return res, fmt.Errorf("simnet: packet %d->%d delivered at wrong vertex %d", src, dst, at)
+				return res, pkt, fmt.Errorf("simnet: packet %d->%d delivered at wrong vertex %d", src, dst, at)
 			}
-			return res, nil
+			return res, pkt, nil
 		}
 		if d.Port < 0 || int(d.Port) >= n.g.Degree(at) {
-			return res, fmt.Errorf("simnet: invalid port %d at vertex %d (degree %d)", d.Port, at, n.g.Degree(at))
+			return res, pkt, fmt.Errorf("simnet: invalid port %d at vertex %d (degree %d)", d.Port, at, n.g.Degree(at))
 		}
 		next, w, _ := n.g.Endpoint(at, d.Port)
 		res.Hops++
@@ -141,7 +172,7 @@ func (n *Network) Route(src, dst graph.Vertex) (Result, error) {
 			res.Path = append(res.Path, at)
 		}
 		if res.Hops > n.maxHops {
-			return res, fmt.Errorf("routing %d->%d: %w (limit %d)", src, dst, ErrHopLimit, n.maxHops)
+			return res, pkt, fmt.Errorf("routing %d->%d: %w (limit %d)", src, dst, ErrHopLimit, n.maxHops)
 		}
 	}
 }

@@ -10,10 +10,17 @@
 // routes taken are identical (the unique tree path), so every stretch result
 // is unaffected; storage is O(deg_T(u)) words and is accounted honestly by
 // WordsAt, which the space experiments report.
+//
+// Trees are stored flat: per-vertex records live in one id-sorted slice and
+// all child intervals in two concatenated slices, with a flat open-addressed
+// vertex -> record table in front, so the per-hop Next lookup costs one
+// cache-line probe plus the record fetch instead of a map probe chasing
+// per-node heap objects or a binary-search descent.
 package treeroute
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"compactroute/internal/graph"
@@ -25,23 +32,80 @@ type Label int32
 // NoLabel is returned for vertices outside the tree.
 const NoLabel Label = -1
 
-// node is the per-vertex routing record.
-type node struct {
-	v          graph.Vertex
+// rec is the per-vertex routing record: the vertex's DFS interval, the port
+// to its parent and its slice [childLo, childHi) of the tree's concatenated
+// child arrays. Hot fields only - one cache line covers four records.
+type rec struct {
 	enter      Label
 	exit       Label
 	parentPort graph.Port
-	// children, in increasing DFS-entry order. childEnter[i] is the entry
-	// time of the i-th child; the interval of that child is
-	// [childEnter[i], childEnter[i+1]) within (enter, exit].
-	childEnter []Label
-	childPort  []graph.Port
+	childLo    int32
+	childHi    int32
 }
 
 // Tree is a routable tree over a subset of a graph's vertices.
 type Tree struct {
-	root  graph.Vertex
-	nodes map[graph.Vertex]*node
+	root graph.Vertex
+	vs   []graph.Vertex // tree vertices, sorted by id
+	rec  []rec          // parallel to vs
+	// childEnter[childLo:childHi] are a vertex's children's entry times in
+	// increasing order; childPort holds the matching ports.
+	childEnter []Label
+	childPort  []graph.Port
+	// pos is an open-addressed vertex -> vs-index table (Fibonacci hash,
+	// linear probing, load factor <= 0.5): the per-hop record lookup is one
+	// probe instead of a log2(size) binary-search descent over cold lines.
+	pos      []posEntry
+	posShift uint32 // 32 - log2(len(pos))
+}
+
+type posEntry struct {
+	v graph.Vertex // graph.NoVertex marks an empty slot
+	i int32
+}
+
+// fibMul is the 32-bit Fibonacci hashing multiplier, floor(2^32 / phi).
+const fibMul = 2654435769
+
+// buildPos fills the vertex -> index table; vs must be sorted and duplicate
+// free (New validates both before calling).
+func (t *Tree) buildPos() {
+	size := 4
+	for size < 2*len(t.vs) {
+		size <<= 1
+	}
+	t.pos = make([]posEntry, size)
+	t.posShift = uint32(32 - bits.TrailingZeros(uint(size)))
+	for i := range t.pos {
+		t.pos[i].v = graph.NoVertex
+	}
+	mask := uint32(size - 1)
+	for i, v := range t.vs {
+		j := uint32(v) * fibMul >> t.posShift
+		for t.pos[j].v != graph.NoVertex {
+			j = (j + 1) & mask
+		}
+		t.pos[j] = posEntry{v: v, i: int32(i)}
+	}
+}
+
+// idx returns v's position in the sorted vertex array, or -1.
+func (t *Tree) idx(v graph.Vertex) int {
+	if len(t.pos) == 0 || v == graph.NoVertex {
+		return -1
+	}
+	mask := uint32(len(t.pos) - 1)
+	j := uint32(v) * fibMul >> t.posShift
+	for {
+		e := t.pos[j]
+		if e.v == v {
+			return int(e.i)
+		}
+		if e.v == graph.NoVertex {
+			return -1
+		}
+		j = (j + 1) & mask
+	}
 }
 
 // Edge is a parent link used to describe the tree to New.
@@ -57,13 +121,15 @@ func New(g *graph.Graph, edges []Edge) (*Tree, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("treeroute: empty tree")
 	}
-	t := &Tree{nodes: make(map[graph.Vertex]*node, len(edges)), root: graph.NoVertex}
+	t := &Tree{root: graph.NoVertex, vs: make([]graph.Vertex, 0, len(edges))}
 	children := make(map[graph.Vertex][]graph.Vertex, len(edges))
+	seen := make(map[graph.Vertex]bool, len(edges))
 	for _, e := range edges {
-		if _, dup := t.nodes[e.V]; dup {
+		if seen[e.V] {
 			return nil, fmt.Errorf("treeroute: duplicate vertex %d", e.V)
 		}
-		t.nodes[e.V] = &node{v: e.V, parentPort: graph.NoPort}
+		seen[e.V] = true
+		t.vs = append(t.vs, e.V)
 		if e.Parent == graph.NoVertex {
 			if t.root != graph.NoVertex {
 				return nil, fmt.Errorf("treeroute: two roots %d and %d", t.root, e.V)
@@ -76,31 +142,40 @@ func New(g *graph.Graph, edges []Edge) (*Tree, error) {
 	if t.root == graph.NoVertex {
 		return nil, fmt.Errorf("treeroute: no root")
 	}
+	sort.Slice(t.vs, func(i, j int) bool { return t.vs[i] < t.vs[j] })
+	t.buildPos()
+	t.rec = make([]rec, len(t.vs))
+	for i := range t.rec {
+		t.rec[i].parentPort = graph.NoPort
+	}
 	for _, e := range edges {
 		if e.Parent == graph.NoVertex {
 			continue
 		}
-		if _, ok := t.nodes[e.Parent]; !ok {
+		if !seen[e.Parent] {
 			return nil, fmt.Errorf("treeroute: parent %d of %d not in tree", e.Parent, e.V)
 		}
 		p := g.PortTo(e.V, e.Parent)
 		if p == graph.NoPort {
 			return nil, fmt.Errorf("treeroute: tree link {%d,%d} is not a graph edge", e.V, e.Parent)
 		}
-		t.nodes[e.V].parentPort = p
+		t.rec[t.idx(e.V)].parentPort = p
 	}
 	for v := range children {
 		cs := children[v]
 		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 	}
-	// Iterative DFS assigning enter/exit times.
+	// Iterative DFS assigning enter/exit times; child arrays are collected
+	// per vertex first (DFS interleaves parents), then concatenated.
+	childEnter := make(map[graph.Vertex][]Label, len(children))
+	childPort := make(map[graph.Vertex][]graph.Port, len(children))
 	var clock Label
 	type frame struct {
 		v    graph.Vertex
 		next int
 	}
 	stack := []frame{{v: t.root}}
-	t.nodes[t.root].enter = clock
+	t.rec[t.idx(t.root)].enter = clock
 	visited := 1
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
@@ -109,25 +184,32 @@ func New(g *graph.Graph, edges []Edge) (*Tree, error) {
 			c := cs[f.next]
 			f.next++
 			clock++
-			t.nodes[c].enter = clock
+			t.rec[t.idx(c)].enter = clock
 			visited++
-			nd := t.nodes[f.v]
-			nd.childEnter = append(nd.childEnter, clock)
-			nd.childPort = append(nd.childPort, graphPort(g, f.v, c))
+			childEnter[f.v] = append(childEnter[f.v], clock)
+			childPort[f.v] = append(childPort[f.v], g.PortTo(f.v, c))
 			stack = append(stack, frame{v: c})
 			continue
 		}
-		t.nodes[f.v].exit = clock
+		t.rec[t.idx(f.v)].exit = clock
 		stack = stack[:len(stack)-1]
 	}
 	if visited != len(edges) {
 		return nil, fmt.Errorf("treeroute: tree has %d edges but DFS reached %d vertices (cycle or disconnection)", len(edges), visited)
 	}
+	total := 0
+	for _, ce := range childEnter {
+		total += len(ce)
+	}
+	t.childEnter = make([]Label, 0, total)
+	t.childPort = make([]graph.Port, 0, total)
+	for i, v := range t.vs {
+		t.rec[i].childLo = int32(len(t.childEnter))
+		t.childEnter = append(t.childEnter, childEnter[v]...)
+		t.childPort = append(t.childPort, childPort[v]...)
+		t.rec[i].childHi = int32(len(t.childEnter))
+	}
 	return t, nil
-}
-
-func graphPort(g *graph.Graph, u, v graph.Vertex) graph.Port {
-	return g.PortTo(u, v)
 }
 
 // FromMembers builds a tree from cluster-style members (V, Parent).
@@ -143,21 +225,18 @@ func FromMembers[T any](g *graph.Graph, members []T, conv func(T) Edge) (*Tree, 
 func (t *Tree) Root() graph.Vertex { return t.root }
 
 // Size returns the number of vertices in the tree.
-func (t *Tree) Size() int { return len(t.nodes) }
+func (t *Tree) Size() int { return len(t.vs) }
 
 // Contains reports whether v is a tree vertex.
-func (t *Tree) Contains(v graph.Vertex) bool {
-	_, ok := t.nodes[v]
-	return ok
-}
+func (t *Tree) Contains(v graph.Vertex) bool { return t.idx(v) >= 0 }
 
 // LabelOf returns the routing label of v, or NoLabel if v is not in the tree.
 func (t *Tree) LabelOf(v graph.Vertex) Label {
-	nd, ok := t.nodes[v]
-	if !ok {
+	i := t.idx(v)
+	if i < 0 {
 		return NoLabel
 	}
-	return nd.enter
+	return t.rec[i].enter
 }
 
 // Next makes the local forwarding decision at u for a packet whose
@@ -165,10 +244,11 @@ func (t *Tree) LabelOf(v graph.Vertex) Label {
 // port. It errors if u is outside the tree or lbl is not a label of this
 // tree.
 func (t *Tree) Next(u graph.Vertex, lbl Label) (deliver bool, port graph.Port, err error) {
-	nd, ok := t.nodes[u]
-	if !ok {
+	i := t.idx(u)
+	if i < 0 {
 		return false, graph.NoPort, fmt.Errorf("treeroute: vertex %d not in tree rooted at %d", u, t.root)
 	}
+	nd := &t.rec[i]
 	switch {
 	case lbl == nd.enter:
 		return true, graph.NoPort, nil
@@ -179,11 +259,20 @@ func (t *Tree) Next(u graph.Vertex, lbl Label) (deliver bool, port graph.Port, e
 		return false, nd.parentPort, nil
 	default:
 		// lbl lies in some child's interval: rightmost childEnter <= lbl.
-		i := sort.Search(len(nd.childEnter), func(i int) bool { return nd.childEnter[i] > lbl }) - 1
-		if i < 0 {
+		ce := t.childEnter[nd.childLo:nd.childHi]
+		lo, hi := 0, len(ce)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ce[mid] <= lbl {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
 			return false, graph.NoPort, fmt.Errorf("treeroute: inconsistent intervals at %d for label %d", u, lbl)
 		}
-		return false, nd.childPort[i], nil
+		return false, t.childPort[int(nd.childLo)+lo-1], nil
 	}
 }
 
@@ -191,11 +280,11 @@ func (t *Tree) Next(u graph.Vertex, lbl Label) (deliver bool, port graph.Port, e
 // this tree: its interval, its parent port and one (enter, port) pair per
 // child. Returns 0 for vertices outside the tree.
 func (t *Tree) WordsAt(v graph.Vertex) int {
-	nd, ok := t.nodes[v]
-	if !ok {
+	i := t.idx(v)
+	if i < 0 {
 		return 0
 	}
-	return 3 + 2*len(nd.childEnter)
+	return 3 + 2*int(t.rec[i].childHi-t.rec[i].childLo)
 }
 
 // Edges returns the tree's parent links (the root carries Parent ==
@@ -203,29 +292,28 @@ func (t *Tree) WordsAt(v graph.Vertex) int {
 // used by the snapshot encoders. Parent vertices are resolved through g's
 // port map.
 func (t *Tree) Edges(g *graph.Graph) []Edge {
-	edges := make([]Edge, 0, len(t.nodes))
-	for v, nd := range t.nodes {
+	edges := make([]Edge, 0, len(t.vs))
+	for i, v := range t.vs {
 		e := Edge{V: v, Parent: graph.NoVertex}
-		if nd.parentPort != graph.NoPort {
-			e.Parent, _, _ = g.Endpoint(v, nd.parentPort)
+		if pp := t.rec[i].parentPort; pp != graph.NoPort {
+			e.Parent, _, _ = g.Endpoint(v, pp)
 		}
 		edges = append(edges, e)
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].V < edges[j].V })
 	return edges
 }
 
 // Depth returns the number of tree edges between v and the root, or -1 if v
 // is not in the tree. O(depth); used by tests only.
 func (t *Tree) Depth(g *graph.Graph, v graph.Vertex) int {
-	nd, ok := t.nodes[v]
-	if !ok {
+	i := t.idx(v)
+	if i < 0 {
 		return -1
 	}
 	depth := 0
-	for nd.parentPort != graph.NoPort {
-		parent, _, _ := g.Endpoint(nd.v, nd.parentPort)
-		nd = t.nodes[parent]
+	for t.rec[i].parentPort != graph.NoPort {
+		parent, _, _ := g.Endpoint(t.vs[i], t.rec[i].parentPort)
+		i = t.idx(parent)
 		depth++
 	}
 	return depth

@@ -47,11 +47,13 @@ type Hierarchy struct {
 	D [][]float64
 	// Trees[w] is the routable shortest-path tree spanning C(w).
 	Trees []*treeroute.Tree
-	// bunch[u] = sorted list of w with u in C(w).
-	bunch [][]graph.Vertex
-	inB   []map[graph.Vertex]bool
-	// bunchDist[u][w] = d(u, w) for w in B(u) (used by the distance oracle).
-	bunchDist []map[graph.Vertex]float64
+	// bunch[u] = sorted list of w with u in C(w); bunchD[u][i] = d(u,
+	// bunch[u][i]). Parallel sorted arrays instead of per-vertex maps: the
+	// InBunch probe is the innermost operation of Prepare, and a binary
+	// search over a dense id array beats a map probe on every graph size the
+	// benchmarks cover.
+	bunch  [][]graph.Vertex
+	bunchD [][]float64
 }
 
 // NewHierarchy samples and preprocesses the structure.
@@ -135,11 +137,7 @@ func (h *Hierarchy) buildClusters() error {
 	n := g.N()
 	h.Trees = make([]*treeroute.Tree, n)
 	h.bunch = make([][]graph.Vertex, n)
-	h.inB = make([]map[graph.Vertex]bool, n)
-	h.bunchDist = make([]map[graph.Vertex]float64, n)
-	for v := 0; v < n; v++ {
-		h.bunchDist[v] = make(map[graph.Vertex]float64)
-	}
+	h.bunchD = make([][]float64, n)
 	type clusterMembers struct {
 		vs []graph.Vertex
 		ds []float64
@@ -182,31 +180,47 @@ func (h *Hierarchy) buildClusters() error {
 	}); err != nil {
 		return err
 	}
+	// Transposing in ascending root order leaves every bunch[v] sorted by id
+	// with bunchD[v] parallel - no per-vertex sort or map build needed.
 	for wi := 0; wi < n; wi++ {
 		w := graph.Vertex(wi)
 		for i, v := range members[wi].vs {
 			h.bunch[v] = append(h.bunch[v], w)
-			h.bunchDist[v][w] = members[wi].ds[i]
-		}
-	}
-	for v := 0; v < n; v++ {
-		sort.Slice(h.bunch[v], func(a, b int) bool { return h.bunch[v][a] < h.bunch[v][b] })
-		h.inB[v] = make(map[graph.Vertex]bool, len(h.bunch[v]))
-		for _, w := range h.bunch[v] {
-			h.inB[v][w] = true
+			h.bunchD[v] = append(h.bunchD[v], members[wi].ds[i])
 		}
 	}
 	return nil
 }
 
+// bunchIdx returns w's position in the sorted bunch B(u), or -1.
+func (h *Hierarchy) bunchIdx(u, w graph.Vertex) int {
+	b := h.bunch[u]
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(b) && b[lo] == w {
+		return lo
+	}
+	return -1
+}
+
 // InBunch reports whether u lies in C(w), i.e. w in B(u) - the membership
 // check each routing step performs against u's local table.
-func (h *Hierarchy) InBunch(u, w graph.Vertex) bool { return h.inB[u][w] }
+func (h *Hierarchy) InBunch(u, w graph.Vertex) bool { return h.bunchIdx(u, w) >= 0 }
 
 // BunchDist returns d(u, w) for w in B(u).
 func (h *Hierarchy) BunchDist(u, w graph.Vertex) (float64, bool) {
-	d, ok := h.bunchDist[u][w]
-	return d, ok
+	i := h.bunchIdx(u, w)
+	if i < 0 {
+		return 0, false
+	}
+	return h.bunchD[u][i], true
 }
 
 // Bunch returns B(u) sorted by id.
@@ -266,7 +280,7 @@ type Scheme struct {
 	tally  *space.Tally
 }
 
-var _ simnet.Scheme = (*Scheme)(nil)
+var _ simnet.ReusableScheme = (*Scheme)(nil)
 
 // New preprocesses the baseline scheme.
 func New(g *graph.Graph, params Params) (*Scheme, error) {
@@ -301,7 +315,20 @@ func (s *Scheme) Graph() *graph.Graph { return s.h.G }
 
 // Prepare implements simnet.Scheme.
 func (s *Scheme) Prepare(src, dst graph.Vertex) (simnet.Packet, error) {
-	pk := &packet{dst: dst, lbl: s.labels[dst], root: graph.NoVertex}
+	return s.prepare(&packet{}, src, dst)
+}
+
+// PrepareInto implements simnet.ReusableScheme.
+func (s *Scheme) PrepareInto(scratch simnet.Packet, src, dst graph.Vertex) (simnet.Packet, error) {
+	pk, ok := scratch.(*packet)
+	if !ok {
+		pk = &packet{}
+	}
+	return s.prepare(pk, src, dst)
+}
+
+func (s *Scheme) prepare(pk *packet, src, dst graph.Vertex) (simnet.Packet, error) {
+	*pk = packet{dst: dst, lbl: s.labels[dst], root: graph.NoVertex}
 	// Refinement of [TZ01] giving 4k-5: if v is in C(u), u's own tree label
 	// table routes directly on T(u).
 	if lbl := s.h.Trees[src].LabelOf(dst); lbl != treeroute.NoLabel {

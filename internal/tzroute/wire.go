@@ -3,7 +3,6 @@ package tzroute
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"compactroute/internal/graph"
 	"compactroute/internal/parallel"
@@ -52,7 +51,7 @@ func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
 		edges := h.Trees[w].Edges(h.G)
 		cl.Uint32(uint32(len(edges)))
 		for _, e := range edges {
-			d, ok := h.bunchDist[e.V][graph.Vertex(w)]
+			d, ok := h.BunchDist(e.V, graph.Vertex(w))
 			if !ok {
 				return fmt.Errorf("tzroute: encode: member %d of C(%d) has no bunch distance", e.V, w)
 			}
@@ -159,16 +158,12 @@ func decodeSnapshot(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error) 
 func restoreClusters(h *Hierarchy, d *wire.Decoder) error {
 	g := h.G
 	n := g.N()
-	if !d.Alloc(int64(n) * 96) { // trees, bunch lists, membership maps
+	if !d.Alloc(int64(n) * 96) { // trees and bunch arrays
 		return d.Err()
 	}
 	h.Trees = make([]*treeroute.Tree, n)
 	h.bunch = make([][]graph.Vertex, n)
-	h.inB = make([]map[graph.Vertex]bool, n)
-	h.bunchDist = make([]map[graph.Vertex]float64, n)
-	for v := 0; v < n; v++ {
-		h.bunchDist[v] = make(map[graph.Vertex]float64)
-	}
+	h.bunchD = make([][]float64, n)
 	for wi := 0; wi < n; wi++ {
 		c := d.Count(16) // V + Dist + Parent
 		if d.Err() != nil {
@@ -217,14 +212,7 @@ func restoreClusters(h *Hierarchy, d *wire.Decoder) error {
 				return d.Err()
 			}
 			h.bunch[e.V] = append(h.bunch[e.V], graph.Vertex(wi))
-			h.bunchDist[e.V][graph.Vertex(wi)] = dists[i]
-		}
-	}
-	for v := 0; v < n; v++ {
-		sort.Slice(h.bunch[v], func(a, b int) bool { return h.bunch[v][a] < h.bunch[v][b] })
-		h.inB[v] = make(map[graph.Vertex]bool, len(h.bunch[v]))
-		for _, w := range h.bunch[v] {
-			h.inB[v][w] = true
+			h.bunchD[e.V] = append(h.bunchD[e.V], dists[i])
 		}
 	}
 	return nil

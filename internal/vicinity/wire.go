@@ -23,21 +23,19 @@ func Restore(n int, center graph.Vertex, radius float64, members []Member) (*Set
 		center:  center,
 		radius:  radius,
 		members: members,
-		index:   make(map[graph.Vertex]int32, len(members)),
 	}
 	for i, m := range members {
 		if m.V < 0 || int(m.V) >= n || m.First < 0 || int(m.First) >= n {
 			return nil, fmt.Errorf("vicinity: restore: member %d of B(%d) out of range", i, center)
 		}
-		if _, dup := s.index[m.V]; dup {
-			return nil, fmt.Errorf("vicinity: restore: duplicate member %d in B(%d)", m.V, center)
-		}
 		if math.IsNaN(m.Dist) || m.Dist < 0 {
 			return nil, fmt.Errorf("vicinity: restore: member %d of B(%d) has invalid distance %v", m.V, center, m.Dist)
 		}
-		s.index[m.V] = int32(i)
 	}
-	if _, ok := s.index[center]; !ok {
+	if dup := s.buildIndex(); dup != graph.NoVertex {
+		return nil, fmt.Errorf("vicinity: restore: duplicate member %d in B(%d)", dup, center)
+	}
+	if s.lookup(center) == nil {
 		return nil, fmt.Errorf("vicinity: restore: B(%d) does not contain its center", center)
 	}
 	return s, nil

@@ -34,6 +34,9 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		func() (compactroute.Scheme, error) {
 			return compactroute.NewTheorem11(g, ps, compactroute.Options{Eps: 0.5, Seed: 1})
 		},
+		func() (compactroute.Scheme, error) {
+			return compactroute.NewWarmup3(g, ps, compactroute.Options{Eps: 0.5, Seed: 1})
+		},
 	}
 	for _, build := range builds {
 		s, err := build()

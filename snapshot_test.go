@@ -35,6 +35,9 @@ func snapshotRows() []snapRow {
 		{"thm10", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
 			return compactroute.NewTheorem10(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
 		}},
+		{"warmup", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewWarmup3(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
+		}},
 	}
 }
 
@@ -43,7 +46,7 @@ func snapshotRows() []snapRow {
 // -save/-load row set and the hot-swap coverage of the live engine);
 // removing one is a compatibility break this test makes loud.
 func TestSnapshotRegistryKinds(t *testing.T) {
-	want := []string{"exact/v1", "thm10/v1", "thm11/v1", "tzroute/v1"}
+	want := []string{"exact/v1", "scheme3/v1", "thm10/v1", "thm11/v1", "tzroute/v1"}
 	got := compactroute.SnapshotKinds()
 	sort.Strings(got)
 	if !reflect.DeepEqual(got, want) {
@@ -200,11 +203,18 @@ func TestSnapshotKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind := compactroute.SnapshotKind(warm); kind != "" {
-		t.Fatalf("warmup3 unexpectedly snapshottable as %q", kind)
+	if kind := compactroute.SnapshotKind(warm); kind != "scheme3/v1" {
+		t.Fatalf("warmup3 kind = %q, want scheme3/v1", kind)
+	}
+	t16, err := compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := compactroute.SnapshotKind(t16); kind != "" {
+		t.Fatalf("thm16 unexpectedly snapshottable as %q", kind)
 	}
 	var buf bytes.Buffer
-	if err := compactroute.SaveScheme(&buf, warm); err == nil {
+	if err := compactroute.SaveScheme(&buf, t16); err == nil {
 		t.Fatal("SaveScheme accepted a scheme without snapshot support")
 	}
 	if buf.Len() != 0 {
@@ -296,6 +306,9 @@ func TestSnapshotResealedCorruptionSweep(t *testing.T) {
 	}
 	if s, err := compactroute.NewExact(g); err == nil {
 		schemes["exact"] = s
+	}
+	if s, err := compactroute.NewWarmup3(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed}); err == nil {
+		schemes["warmup"] = s
 	}
 	if gu, err := compactroute.GNM(24, 96, benchSeed, false, 0); err == nil {
 		if s, err := compactroute.NewTheorem10(gu, compactroute.AllPairs(gu), compactroute.Options{Eps: 0.5, Seed: benchSeed}); err == nil {
