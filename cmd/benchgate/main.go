@@ -13,13 +13,17 @@
 //	    Measure mode: rebuild the pinned benchmark subset with the exact
 //	    routebench workload (GNM graph, seed, eps), serve -queries uniform
 //	    pairs through the batched engine hot path, and gate the fresh
-//	    qps/ns-per-op/allocs-per-op against the baseline. -write saves the
-//	    measured records as the next trajectory point.
+//	    qps/ns-per-op/allocs-per-op against the baseline. Snapshot-capable
+//	    schemes additionally get cold-start load (decode vs mmap, loadms/
+//	    keys) and on-disk footprint (bytes/ keys) measured from a saved
+//	    snapshot. -write saves the measured records as the next trajectory
+//	    point.
 //
 // Exit status: 0 pass, 1 regression, 2 usage or measurement error.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -118,13 +122,13 @@ func run(args []string, out io.Writer) int {
 			return 2
 		}
 	} else {
-		recs, err := measure(out, strings.Split(*schemes, ","), *n, *queries, *batch, *workers, *seed, *eps, *budget)
+		recs, loads, sizes, err := measure(out, strings.Split(*schemes, ","), *n, *queries, *batch, *workers, *seed, *eps, *budget)
 		if err != nil {
 			fmt.Fprintf(out, "benchgate: %v\n", err)
 			return 2
 		}
 		if *write != "" {
-			if err := writeRecords(*write, *pr, recs); err != nil {
+			if err := writeRecords(*write, *pr, recs, loads, sizes); err != nil {
 				fmt.Fprintf(out, "benchgate: %v\n", err)
 				return 2
 			}
@@ -132,7 +136,9 @@ func run(args []string, out io.Writer) int {
 		}
 		// Round-trip through the parser so the gate sees exactly what a
 		// future run will read back from the written file.
-		doc, err := json.Marshal(map[string]any{"qps_sweep": recs})
+		doc, err := json.Marshal(map[string]any{
+			"qps_sweep": recs, "snapshot_load": loads, "snapshot_size": sizes,
+		})
 		if err != nil {
 			fmt.Fprintf(out, "benchgate: %v\n", err)
 			return 2
@@ -160,40 +166,121 @@ func run(args []string, out io.Writer) int {
 	return 0
 }
 
-// measure rebuilds each requested scheme on the routebench workload and
-// serves the batched hot path, reporting qps, ns/op and allocs/op.
-func measure(out io.Writer, names []string, n, queries, batch, workers int, seed int64, eps float64, budgetMiB int64) ([]record, error) {
+// loadRecord and sizeRecord mirror the snapshot_load / snapshot_size entries
+// benchtrack parses into the loadms/ and bytes/ trajectories.
+type loadRecord struct {
+	Scheme string  `json:"scheme"`
+	N      int     `json:"n"`
+	Mode   string  `json:"mode"`
+	LoadMs float64 `json:"load_ms"`
+}
+
+type sizeRecord struct {
+	Scheme        string  `json:"scheme"`
+	N             int     `json:"n"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	BytesPerWord  float64 `json:"bytes_per_word"`
+}
+
+// measure rebuilds each requested scheme on the routebench workload, serves
+// the batched hot path (qps, ns/op, allocs/op), and - for snapshot-capable
+// schemes - measures the snapshot's cold-start load paths and footprint.
+func measure(out io.Writer, names []string, n, queries, batch, workers int, seed int64, eps float64, budgetMiB int64) ([]record, []loadRecord, []sizeRecord, error) {
 	byName := map[string]row{}
 	for _, r := range rows() {
 		byName[r.name] = r
 	}
 	var recs []record
+	var loads []loadRecord
+	var sizes []sizeRecord
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		r, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown scheme row %q", name)
+			return nil, nil, nil, fmt.Errorf("unknown scheme row %q", name)
 		}
 		g, err := compactroute.GNM(n, 4*n, seed, r.weighted, 32)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		paths := compactroute.NewLazyAPSP(g, budgetMiB<<20)
 		t0 := time.Now()
 		s, err := r.build(g, paths, eps, seed)
 		if err != nil {
-			return nil, fmt.Errorf("build %s: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("build %s: %w", name, err)
 		}
 		fmt.Fprintf(out, "built %s (n=%d) in %.1fs\n", s.Name(), n, time.Since(t0).Seconds())
 		rec, err := serveRecord(s, queries, batch, workers, seed)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		rec.M = g.M()
 		recs = append(recs, rec)
 		fmt.Fprintf(out, "  %s: %.0f qps, %.0f ns/op, %.3f allocs/op\n", s.Name(), rec.QPS, rec.NsPerOp, rec.AllocsPerOp)
+		if compactroute.SnapshotKind(s) != "" {
+			ld, sz, err := measureSnapshot(name, s)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("snapshot %s: %w", name, err)
+			}
+			loads = append(loads, ld...)
+			sizes = append(sizes, sz)
+			fmt.Fprintf(out, "  %s snapshot: %d bytes (%.2f B/word), load decode %.1fms mmap %.1fms\n",
+				name, sz.SnapshotBytes, sz.BytesPerWord, ld[0].LoadMs, ld[1].LoadMs)
+		}
 	}
-	return recs, nil
+	return recs, loads, sizes, nil
+}
+
+// measureSnapshot saves s to a temp file and times the two cold-start load
+// paths: "decode" (read the whole stream, decode on the heap) and "mmap"
+// (map the file, alias the fixed-width sections). Keys use the row name, not
+// s.Name(), so the trajectory is stable across stretch-annotation changes.
+func measureSnapshot(name string, s compactroute.Scheme) ([]loadRecord, sizeRecord, error) {
+	dir, err := os.MkdirTemp("", "benchgate-snap")
+	if err != nil {
+		return nil, sizeRecord{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/scheme.snap"
+	if err := compactroute.SaveSchemeFile(path, s); err != nil {
+		return nil, sizeRecord{}, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, sizeRecord{}, err
+	}
+	n := s.Graph().N()
+
+	t0 := time.Now()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, sizeRecord{}, err
+	}
+	ds, err := compactroute.LoadScheme(bytes.NewReader(data))
+	if err != nil {
+		return nil, sizeRecord{}, err
+	}
+	decodeMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+	t0 = time.Now()
+	sf, err := compactroute.OpenSchemeFile(path)
+	if err != nil {
+		return nil, sizeRecord{}, err
+	}
+	mmapMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+	defer sf.Close()
+
+	words := 0
+	for v := 0; v < n; v++ {
+		words += ds.TableWords(compactroute.Vertex(v))
+	}
+	loads := []loadRecord{
+		{Scheme: name, N: n, Mode: "decode", LoadMs: decodeMs},
+		{Scheme: name, N: n, Mode: "mmap", LoadMs: mmapMs},
+	}
+	sz := sizeRecord{Scheme: name, N: n, SnapshotBytes: st.Size(),
+		BytesPerWord: float64(st.Size()) / float64(words)}
+	return loads, sz, nil
 }
 
 // serveRecord drives the batched Query hot path: one warm-up batch, then a
@@ -255,13 +342,19 @@ func serveRecord(s compactroute.Scheme, queries, batch, workers int, seed int64)
 	return rec, nil
 }
 
-func writeRecords(path string, pr int, recs []record) error {
+func writeRecords(path string, pr int, recs []record, loads []loadRecord, sizes []sizeRecord) error {
 	doc := map[string]any{
 		"pr":        pr,
 		"date":      time.Now().Format("2006-01-02"),
 		"go":        runtime.Version(),
-		"method":    "cmd/benchgate measure mode: routebench workload (GNM n/4n, seed 2015), batched Engine.Query closed loop, allocs from runtime Mallocs delta",
+		"method":    "cmd/benchgate measure mode: routebench workload (GNM n/4n, seed 2015), batched Engine.Query closed loop, allocs from runtime Mallocs delta; snapshot load paths timed on a freshly saved file",
 		"qps_sweep": recs,
+	}
+	if len(loads) > 0 {
+		doc["snapshot_load"] = loads
+	}
+	if len(sizes) > 0 {
+		doc["snapshot_size"] = sizes
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

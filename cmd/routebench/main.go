@@ -103,7 +103,7 @@ func rows() []row {
 
 // snapshotRowNames lists the Table 1 rows whose schemes have registered
 // snapshot support (see internal/wire); -save/-load operate on these.
-var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm10", "thm11", "warmup"}
+var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm10", "thm11", "thm13-l3", "thm15-l2", "warmup"}
 
 func isSnapshotRow(name string) bool {
 	for _, s := range snapshotRowNames {

@@ -1,0 +1,112 @@
+// snapstat inspects a scheme snapshot: container version, kind, per-section
+// byte counts, total bytes per table word, and the cold-start cost of the
+// two load paths (heap decode of the byte stream vs mmap + alias). It is the
+// measurement harness behind the E16 rows in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	snapstat [-cpuprofile prof.out] file.snap [file2.snap ...]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"compactroute"
+	"compactroute/internal/wire"
+)
+
+func main() {
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load paths to this file")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: snapstat [-cpuprofile prof.out] file.snap [file2.snap ...]")
+		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapstat: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "snapstat: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	status := 0
+	for _, path := range flag.Args() {
+		if err := stat(path); err != nil {
+			fmt.Fprintf(os.Stderr, "snapstat: %s: %v\n", path, err)
+			status = 1
+		}
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	os.Exit(status)
+}
+
+func stat(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	snap, err := wire.Parse(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes, container v%d, kind %s, fingerprint %016x\n",
+		path, len(data), snap.Version, snap.Kind, snap.Fingerprint)
+	for _, name := range snap.Sections() {
+		d, err := snap.Decoder(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  section %-24s %10d bytes\n", name, d.Remaining())
+	}
+
+	// Heap-decode path: read the whole stream and decode through the byte
+	// reader (no aliasing of a shared mapping).
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	s, err := compactroute.LoadScheme(bytes.NewReader(data))
+	decode := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return err
+	}
+	n := s.Graph().N()
+	words := 0
+	for v := 0; v < n; v++ {
+		words += s.TableWords(compactroute.Vertex(v))
+	}
+	fmt.Printf("  n=%d table words=%d bytes/word=%.2f\n", n, words, float64(len(data))/float64(words))
+	fmt.Printf("  load (heap decode): %v, heap delta %.1f MiB\n",
+		decode, float64(m1.TotalAlloc-m0.TotalAlloc)/(1<<20))
+
+	// mmap path: map the file and alias the fixed-width sections; only the
+	// rebuilt indexes and varint-coded cold sections allocate.
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 = time.Now()
+	sf, err := compactroute.OpenSchemeFile(path)
+	mmapLoad := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	fmt.Printf("  load (mmap+alias):  %v, heap delta %.1f MiB, mapped=%v\n",
+		mmapLoad, float64(m1.TotalAlloc-m0.TotalAlloc)/(1<<20), sf.Mapped())
+	return nil
+}

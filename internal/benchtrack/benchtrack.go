@@ -31,10 +31,13 @@ type Trajectory struct {
 // Metric directions. A metric absent from this table is informational only
 // and never gated (Compare skips it).
 var higherIsBetter = map[string]bool{
-	"qps":           true,
-	"ns_per_op":     false,
-	"bytes_per_op":  false,
-	"allocs_per_op": false,
+	"qps":            true,
+	"ns_per_op":      false,
+	"bytes_per_op":   false,
+	"allocs_per_op":  false,
+	"load_ms":        false,
+	"bytes_per_word": false,
+	"snapshot_bytes": false,
 }
 
 // GatedMetrics lists the metric names Compare enforces, sorted.
@@ -74,12 +77,34 @@ type benchRecord struct {
 	After *benchValues `json:"after"`
 }
 
+// snapLoadRecord mirrors one entry of the snapshot_load array (BENCH_pr7.json
+// onward): the cold-start cost of loading one scheme snapshot through one of
+// the two load paths ("decode" reads the whole file and decodes on the heap,
+// "mmap" maps it and aliases the fixed-width sections).
+type snapLoadRecord struct {
+	Scheme string  `json:"scheme"`
+	N      int     `json:"n"`
+	Mode   string  `json:"mode"`
+	LoadMs float64 `json:"load_ms"`
+}
+
+// snapSizeRecord mirrors one entry of the snapshot_size array: the on-disk
+// footprint of one scheme snapshot, absolute and per table word.
+type snapSizeRecord struct {
+	Scheme        string  `json:"scheme"`
+	N             int     `json:"n"`
+	SnapshotBytes float64 `json:"snapshot_bytes"`
+	BytesPerWord  float64 `json:"bytes_per_word"`
+}
+
 // benchFile is the superset schema of every BENCH_*.json in the repository.
 type benchFile struct {
-	PR         int           `json:"pr"`
-	QPSSweep   []qpsRecord   `json:"qps_sweep"`
-	Verified   []qpsRecord   `json:"verified"`
-	Benchmarks []benchRecord `json:"benchmarks"`
+	PR           int              `json:"pr"`
+	QPSSweep     []qpsRecord      `json:"qps_sweep"`
+	Verified     []qpsRecord      `json:"verified"`
+	Benchmarks   []benchRecord    `json:"benchmarks"`
+	SnapshotLoad []snapLoadRecord `json:"snapshot_load"`
+	SnapshotSize []snapSizeRecord `json:"snapshot_size"`
 }
 
 // QPSKey is the trajectory key of a serving-throughput record. Keys are the
@@ -91,6 +116,17 @@ func QPSKey(scheme string, n, workers int, verified bool) string {
 		k += "/verified"
 	}
 	return k
+}
+
+// LoadKey is the trajectory key of a snapshot cold-start measurement; mode is
+// "decode" (heap decode of the byte stream) or "mmap" (map + alias).
+func LoadKey(scheme string, n int, mode string) string {
+	return fmt.Sprintf("loadms/%s/n=%d/%s", scheme, n, mode)
+}
+
+// SizeKey is the trajectory key of a snapshot-footprint measurement.
+func SizeKey(scheme string, n int) string {
+	return fmt.Sprintf("bytes/%s/n=%d", scheme, n)
 }
 
 // Parse reads one BENCH_*.json document. Unknown top-level fields are
@@ -132,6 +168,26 @@ func Parse(data []byte, file string) (*Trajectory, error) {
 	}
 	if err := qps(bf.Verified, true); err != nil {
 		return nil, err
+	}
+	for _, r := range bf.SnapshotLoad {
+		if r.Scheme == "" {
+			return nil, fmt.Errorf("benchtrack: %s: snapshot_load record without scheme", file)
+		}
+		if r.Mode != "decode" && r.Mode != "mmap" {
+			return nil, fmt.Errorf("benchtrack: %s: snapshot_load mode %q (want decode or mmap)", file, r.Mode)
+		}
+		if err := add(LoadKey(r.Scheme, r.N, r.Mode), map[string]float64{"load_ms": r.LoadMs}); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range bf.SnapshotSize {
+		if r.Scheme == "" {
+			return nil, fmt.Errorf("benchtrack: %s: snapshot_size record without scheme", file)
+		}
+		m := map[string]float64{"snapshot_bytes": r.SnapshotBytes, "bytes_per_word": r.BytesPerWord}
+		if err := add(SizeKey(r.Scheme, r.N), m); err != nil {
+			return nil, err
+		}
 	}
 	for _, b := range bf.Benchmarks {
 		if b.Name == "" || b.After == nil {

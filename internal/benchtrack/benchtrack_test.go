@@ -72,6 +72,69 @@ func TestParseMicroBenchmarks(t *testing.T) {
 	}
 }
 
+const snapshotJSON = `{
+  "pr": 7,
+  "snapshot_load": [
+    {"scheme": "thm11", "n": 10000, "mode": "decode", "load_ms": 912.0},
+    {"scheme": "thm11", "n": 10000, "mode": "mmap", "load_ms": 14.0}
+  ],
+  "snapshot_size": [
+    {"scheme": "thm11", "n": 10000, "snapshot_bytes": 28311552, "bytes_per_word": 2.31}
+  ]
+}`
+
+func TestParseSnapshotTrajectories(t *testing.T) {
+	tr, err := Parse([]byte(snapshotJSON), "BENCH_pr7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("got %d points (%v), want 3", len(tr.Points), tr.Keys())
+	}
+	p, ok := tr.Points[LoadKey("thm11", 10000, "mmap")]
+	if !ok {
+		t.Fatalf("missing mmap load point; keys: %v", tr.Keys())
+	}
+	if p.Metrics["load_ms"] != 14.0 {
+		t.Fatalf("load_ms = %v, want 14", p.Metrics["load_ms"])
+	}
+	sz, ok := tr.Points[SizeKey("thm11", 10000)]
+	if !ok {
+		t.Fatalf("missing size point; keys: %v", tr.Keys())
+	}
+	if sz.Metrics["bytes_per_word"] != 2.31 || sz.Metrics["snapshot_bytes"] != 28311552 {
+		t.Fatalf("size metrics = %v", sz.Metrics)
+	}
+
+	// load_ms and the size metrics gate lower-is-better: a slower load or a
+	// fatter snapshot regresses, a faster/leaner one never does.
+	slower := traj(t, "slower", `{"snapshot_load": [
+	  {"scheme": "thm11", "n": 10000, "mode": "mmap", "load_ms": 30.0}]}`)
+	regs, _, err := Compare(tr, slower, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "load_ms" {
+		t.Fatalf("regs = %v, want exactly the load_ms regression", regs)
+	}
+	faster := traj(t, "faster", `{"snapshot_load": [
+	  {"scheme": "thm11", "n": 10000, "mode": "mmap", "load_ms": 2.0}]}`)
+	if regs, _, err := Compare(tr, faster, 0.5); err != nil || len(regs) != 0 {
+		t.Fatalf("improvement flagged: regs=%v err=%v", regs, err)
+	}
+
+	// A bad mode and a duplicate size record must be rejected at parse time.
+	if _, err := Parse([]byte(`{"snapshot_load": [
+	  {"scheme": "a", "n": 1, "mode": "warp", "load_ms": 1}]}`), "bad.json"); err == nil {
+		t.Fatal("unknown load mode must not parse")
+	}
+	if _, err := Parse([]byte(`{"snapshot_size": [
+	  {"scheme": "a", "n": 1, "snapshot_bytes": 1, "bytes_per_word": 1},
+	  {"scheme": "a", "n": 1, "snapshot_bytes": 2, "bytes_per_word": 2}]}`), "dup.json"); err == nil {
+		t.Fatal("duplicate size keys must not parse")
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := Parse([]byte(`{"pr": 1}`), "empty.json"); err == nil {
 		t.Fatal("file without gateable points must not parse")

@@ -38,6 +38,46 @@ func (c *Coloring) EncodeWire(e *wire.Encoder) {
 	}
 }
 
+// EncodeWireV2 writes the coloring compressed: q, the vertex count and the
+// per-vertex colors as uvarints - q is small (about n^(1/k)), so a color is
+// one byte instead of four.
+func (c *Coloring) EncodeWireV2(e *wire.Encoder) {
+	e.Uvarint(uint64(c.q))
+	e.Uvarint(uint64(len(c.colors)))
+	for _, cv := range c.colors {
+		e.Uvarint(uint64(cv))
+	}
+}
+
+// DecodeWireV2 reads a coloring written by EncodeWireV2 for n vertices.
+func DecodeWireV2(d *wire.Decoder, n int) (*Coloring, error) {
+	q := int(d.Uvarint())
+	c := int(d.Uvarint())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if c < 0 || c > d.Remaining() || q < 0 || q > n+1 {
+		d.Failf("coloring claims %d colors over %d vertices with %d bytes remaining", q, c, d.Remaining())
+		return nil, d.Err()
+	}
+	if !d.Alloc(int64(c)*4 + int64(q)*24) {
+		return nil, d.Err()
+	}
+	colors := make([]Color, c)
+	for i := range colors {
+		colors[i] = Color(d.Uvarint())
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	col, err := Restore(n, q, colors)
+	if err != nil {
+		d.Failf("%v", err)
+		return nil, d.Err()
+	}
+	return col, nil
+}
+
 // DecodeWire reads a coloring written by EncodeWire for n vertices.
 func DecodeWire(d *wire.Decoder, n int) (*Coloring, error) {
 	q := int(d.Uint32())

@@ -28,14 +28,56 @@ type Inter struct {
 	// relayRep[u][j] is a vertex of U_j inside B(u, q-tilde); its existence
 	// is the hitting precondition of the lemma.
 	relayRep [][]graph.Vertex
-	// seqs[u][w] for every w in W_{uPartOf[u]}.
+	// seqs[u][w] for every w in W_{uPartOf[u]}; nil maps when flat is set.
 	seqs []map[graph.Vertex]interSeq
+	// flat is the snapshot-aliased form of the sequences (v2 decode path):
+	// per-source sorted target runs over one shared waypoint slab, consulted
+	// by binary search instead of rebuilt maps. Exactly one of seqs/flat
+	// carries the sequences.
+	flat *interFlat
 }
 
 // interSeq is the stored sequence for one (source, target) pair.
 type interSeq struct {
 	waypoints []graph.Vertex
 	relay     bool // last waypoint is a relay in U_j rather than the target
+}
+
+// interFlat stores every sequence in five flat arrays that alias the mapped
+// snapshot: targets of source u are targets[srcOff[u]:srcOff[u+1]] in
+// ascending order, sequence si's waypoints are wps[wpOff[si]:wpOff[si+1]],
+// and relay holds one bit per sequence. All slices are read-only.
+type interFlat struct {
+	srcOff  []uint32 // n+1
+	targets []graph.Vertex
+	relay   []uint32 // bitset over sequence indexes
+	wpOff   []uint32 // len(targets)+1
+	wps     []graph.Vertex
+}
+
+// lookupSeq returns the stored sequence for the pair (u, w) from whichever
+// representation this Inter carries.
+func (in *Inter) lookupSeq(u, w graph.Vertex) (wps []graph.Vertex, relay, ok bool) {
+	if f := in.flat; f != nil {
+		lo, hi := int(f.srcOff[u]), int(f.srcOff[u+1])
+		run := f.targets[lo:hi]
+		i, j := 0, len(run)
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if run[h] < w {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		if i >= len(run) || run[i] != w {
+			return nil, false, false
+		}
+		si := lo + i
+		return f.wps[f.wpOff[si]:f.wpOff[si+1]], f.relay[si>>5]>>(si&31)&1 == 1, true
+	}
+	sq, ok := in.seqs[u][w]
+	return sq.waypoints, sq.relay, ok
 }
 
 // InterConfig carries the inputs of Lemma 8.
@@ -131,17 +173,20 @@ func newInterBase(cfg InterConfig) (*Inter, error) {
 	}
 	// Relay representatives: for every vertex and every part index, the
 	// closest member of that part inside the vertex's vicinity. Each vertex
-	// owns its relayRep[u] slot, so the loop runs on the worker pool.
+	// owns its relayRep[u] slot, so the loop runs on the worker pool. Indexed
+	// member access keeps the restore path free of per-set materialization.
 	if err := parallel.ForErr(n, func(u int) error {
 		reps := make([]graph.Vertex, q)
 		for j := range reps {
 			reps[j] = graph.NoVertex
 		}
 		found := 0
-		for _, m := range cfg.Vics[u].Members() { // (dist, id) order
-			j := cfg.UPartOf[m.V]
+		vic := cfg.Vics[u]
+		for i, c := 0, vic.Size(); i < c; i++ { // (dist, id) order
+			mv := vic.MemberV(i)
+			j := cfg.UPartOf[mv]
 			if int(j) >= 0 && int(j) < q && reps[j] == graph.NoVertex {
-				reps[j] = m.V
+				reps[j] = mv
 				if found++; found == q {
 					break
 				}
@@ -303,11 +348,11 @@ func (in *Inter) StartInto(st *InterState, src, dst graph.Vertex) (*InterState, 
 	if in.uPartOf[src] != j {
 		return nil, fmt.Errorf("core: source %d is in U_%d, not U_%d", src, in.uPartOf[src], j)
 	}
-	sq, ok := in.seqs[src][dst]
+	wps, relay, ok := in.lookupSeq(src, dst)
 	if !ok {
 		return nil, fmt.Errorf("core: no sequence stored at %d for %d", src, dst)
 	}
-	*st = InterState{dst: dst, wp: sq.waypoints, relay: sq.relay, maxLen: len(sq.waypoints)}
+	*st = InterState{dst: dst, wp: wps, relay: relay, maxLen: len(wps)}
 	return st, nil
 }
 
@@ -325,7 +370,7 @@ func (in *Inter) Step(at graph.Vertex, st *InterState) (simnet.Decision, error) 
 			return simnet.Decision{}, fmt.Errorf("core: inter sequence exhausted at %d before %d", at, st.dst)
 		}
 		// Hand-off: this vertex is the relay r_{i+1}; swap in its sequence.
-		sq, ok := in.seqs[at][st.dst]
+		wps, relay, ok := in.lookupSeq(at, st.dst)
 		if !ok {
 			return simnet.Decision{}, fmt.Errorf("core: relay %d has no sequence for %d", at, st.dst)
 		}
@@ -333,9 +378,9 @@ func (in *Inter) Step(at graph.Vertex, st *InterState) (simnet.Decision, error) 
 		if st.handoffs > in.g.N()+4 {
 			return simnet.Decision{}, fmt.Errorf("core: relay hand-offs did not converge (Claim 9 violated?)")
 		}
-		st.wp, st.i, st.relay = sq.waypoints, 0, sq.relay
-		if len(sq.waypoints) > st.maxLen {
-			st.maxLen = len(sq.waypoints)
+		st.wp, st.i, st.relay = wps, 0, relay
+		if len(wps) > st.maxLen {
+			st.maxLen = len(wps)
 		}
 		for st.i < len(st.wp) && st.wp[st.i] == at {
 			st.i++
@@ -374,8 +419,14 @@ func (in *Inter) AddTableWords(t *space.Tally) {
 	for u := 0; u < in.g.N(); u++ {
 		t.Add("lemma8-relay-reps", u, len(in.relayRep[u]))
 		words := 0
-		for _, sq := range in.seqs[u] {
-			words += 2 + len(sq.waypoints) // target key + relay flag + waypoints
+		if f := in.flat; f != nil {
+			for si := f.srcOff[u]; si < f.srcOff[u+1]; si++ {
+				words += 2 + int(f.wpOff[si+1]-f.wpOff[si]) // target key + relay flag + waypoints
+			}
+		} else {
+			for _, sq := range in.seqs[u] {
+				words += 2 + len(sq.waypoints) // target key + relay flag + waypoints
+			}
 		}
 		t.Add("lemma8-sequences", u, words)
 	}

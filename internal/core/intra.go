@@ -111,10 +111,10 @@ func newIntraBase(cfg IntraConfig) (*Intra, error) {
 	// Hitting set over the vicinities (Lemma 5).
 	sets := make([][]graph.Vertex, n)
 	for u := 0; u < n; u++ {
-		ms := cfg.Vics[u].Members()
-		s := make([]graph.Vertex, len(ms))
-		for i, m := range ms {
-			s[i] = m.V
+		vic := cfg.Vics[u]
+		s := make([]graph.Vertex, vic.Size())
+		for i := range s {
+			s[i] = vic.MemberV(i)
 		}
 		sets[u] = s
 	}
@@ -145,9 +145,10 @@ func newIntraBase(cfg IntraConfig) (*Intra, error) {
 	}
 	if err := parallel.ForErr(n, func(u int) error {
 		in.bestH[u] = graph.NoVertex
-		for _, m := range cfg.Vics[u].Members() { // (dist, id) order: first hit is best
-			if inH[m.V] {
-				in.bestH[u] = m.V
+		vic := cfg.Vics[u]
+		for i, c := 0, vic.Size(); i < c; i++ { // (dist, id) order: first hit is best
+			if mv := vic.MemberV(i); inH[mv] {
+				in.bestH[u] = mv
 				break
 			}
 		}

@@ -143,11 +143,13 @@ func assemble(g *graph.Graph, eps float64, vc *schemeutil.VicinityColoring, lms 
 	// a member of B(u, q-tilde) /\ B_A(v); keep the best per destination.
 	parallel.For(n, func(u int) {
 		h := make(map[graph.Vertex]via)
-		for _, m := range vc.Vics[u].Members() {
-			for _, cm := range lms.Cluster(m.V) {
-				sum := m.Dist + cm.Dist
-				if old, ok := h[cm.V]; !ok || sum < old.sum || (sum == old.sum && m.V < old.w) {
-					h[cm.V] = via{w: m.V, sum: sum}
+		vic := vc.Vics[u]
+		for i, c := 0, vic.Size(); i < c; i++ {
+			mv, md := vic.MemberV(i), vic.MemberDist(i)
+			for _, cm := range lms.Cluster(mv) {
+				sum := md + cm.Dist
+				if old, ok := h[cm.V]; !ok || sum < old.sum || (sum == old.sum && mv < old.w) {
+					h[cm.V] = via{w: mv, sum: sum}
 				}
 			}
 		}

@@ -13,10 +13,17 @@ import (
 	"compactroute/internal/wire"
 )
 
-// WireKindName is the registered snapshot kind of the warm-up (3+eps) scheme.
+// WireKindName is the registered snapshot kind of the warm-up (3+eps)
+// scheme (legacy v1 layout; still decodable).
 const WireKindName = "scheme3/v1"
 
-func init() { wire.Register(WireKindName, decodeSnapshot) }
+// WireKindNameV2 is the v2 layout with varint/delta-compressed sections.
+const WireKindNameV2 = "scheme3/v2"
+
+func init() {
+	wire.Register(WireKindName, decodeSnapshot)
+	wire.Register(WireKindNameV2, decodeSnapshotV2)
+}
 
 // Section names of the warm-up snapshot.
 const (
@@ -27,20 +34,24 @@ const (
 )
 
 // WireKind implements wire.Encodable.
-func (s *Scheme) WireKind() string { return WireKindName }
+func (s *Scheme) WireKind() string { return WireKindNameV2 }
 
-// EncodeSnapshot implements wire.Encodable. Only state that cannot be
-// re-derived deterministically is written: the vicinities, the rainbow
-// coloring and the Lemma 7 waypoint sequences. The representatives, labels
-// and storage tally are pure functions of those and are rebuilt on decode.
+// EncodeSnapshot implements wire.Encodable, writing the v2 layout. Only
+// state that cannot be re-derived deterministically is written: the
+// vicinities as aligned fixed-width arrays that alias the mapped file, and
+// the rainbow coloring and the Lemma 7 waypoint sequences,
+// varint/delta-compressed. The representatives, labels and storage tally
+// are pure functions of those and are rebuilt on decode.
 func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
 	p := snap.Section(secParams)
 	p.Float64(s.eps)
-	p.Uint32(uint32(s.vc.Q))
-	p.Uint32(uint32(s.vc.L))
-	vicinity.EncodeSets(snap.Section(secVicinities), s.vc.Vics)
-	s.vc.Col.EncodeWire(snap.Section(secColoring))
-	s.intra.EncodeIntraWire(snap.Section(secIntra))
+	p.Uvarint(uint64(s.vc.Q))
+	p.Uvarint(uint64(s.vc.L))
+	if err := vicinity.EncodeSetsV2(snap.AlignedSection(secVicinities), s.vc.Vics); err != nil {
+		return err
+	}
+	s.vc.Col.EncodeWireV2(snap.Section(secColoring))
+	s.intra.EncodeIntraWireV2(snap.Section(secIntra))
 	return nil
 }
 
@@ -97,6 +108,73 @@ func decodeSnapshot(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error) 
 		return nil, err
 	}
 	intra, err := core.RestoreIntra(core.IntraConfig{
+		Graph: g, Vics: vc.Vics, PartOf: vc.PartOf, Eps: eps,
+	}, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := id.Finish(); err != nil {
+		return nil, err
+	}
+
+	s := &Scheme{g: g, eps: eps, vc: vc, intra: intra}
+	s.tally = space.NewTally(n)
+	vc.AddWords(s.tally)
+	intra.AddTableWords(s.tally)
+	return s, nil
+}
+
+// decodeSnapshotV2 rebuilds a warm-up scheme from the v2 layout; the
+// reassembly after decoding the compressed parts is identical to v1.
+func decodeSnapshotV2(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error) {
+	n := g.N()
+	pd, err := snap.Decoder(secParams)
+	if err != nil {
+		return nil, err
+	}
+	eps := pd.Float64()
+	q := int(pd.Uvarint())
+	l := int(pd.Uvarint())
+	if err := pd.Finish(); err != nil {
+		return nil, err
+	}
+	if q < 1 || q > n {
+		return nil, fmt.Errorf("scheme3: snapshot q=%d outside [1,%d]", q, n)
+	}
+
+	vd, err := snap.Decoder(secVicinities)
+	if err != nil {
+		return nil, err
+	}
+	vics, err := vicinity.DecodeSetsV2(vd, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := vd.Finish(); err != nil {
+		return nil, err
+	}
+
+	cd, err := snap.Decoder(secColoring)
+	if err != nil {
+		return nil, err
+	}
+	col, err := coloring.DecodeWireV2(cd, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := cd.Finish(); err != nil {
+		return nil, err
+	}
+	vc, err := schemeutil.RestoreVicinityColoring(q, l, vics, col)
+	if err != nil {
+		return nil, err
+	}
+
+	id, err := snap.Decoder(secIntra)
+	if err != nil {
+		return nil, err
+	}
+	intra, err := core.RestoreIntraV2(core.IntraConfig{
 		Graph: g, Vics: vc.Vics, PartOf: vc.PartOf, Eps: eps,
 	}, id)
 	if err != nil {

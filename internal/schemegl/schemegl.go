@@ -122,26 +122,8 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	}
 	n := g.N()
 	l := params.L
-	denom := 2*l - 1
-	if params.Variant == Plus {
-		denom = 2*l + 1
-	}
-	q := int(math.Ceil(math.Pow(float64(n), 1/float64(denom))))
-	if q < 2 {
-		q = 2
-	}
-	s := &Scheme{g: g, params: params, q: q}
-	s.qPow = make([]int, l+1)
-	p := 1
-	for i := 0; i <= l; i++ {
-		s.qPow[i] = p
-		if p < n {
-			p *= q
-		}
-		if s.qPow[i] > n {
-			s.qPow[i] = n
-		}
-	}
+	s := &Scheme{g: g, params: params}
+	s.deriveGranularity()
 
 	// Landmark levels L_0..L_l: L_0 = V; L_i by Lemma 4 with cluster bound
 	// 4 q^i (s = n / q^i).
@@ -191,16 +173,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	s.inters = make([]*core.Inter, l+1)
 	for _, i := range is {
 		j := kOf(i)
-		parts := s.qPow[i]
-		lm := s.lms[j]
-		wParts := make([][]graph.Vertex, parts)
-		chunk := (len(lm.A) + parts - 1) / parts
-		alpha := make(map[graph.Vertex]int32, len(lm.A))
-		for idx, w := range lm.A {
-			pj := idx / chunk
-			wParts[pj] = append(wParts[pj], w)
-			alpha[w] = int32(pj)
-		}
+		wParts, alpha := s.partitionLandmarks(i, j)
 		s.alphaOf[j] = alpha
 		inter, err := core.NewInter(core.InterConfig{
 			Graph: g, Paths: paths, Vics: s.vcs[i].Vics,
@@ -212,27 +185,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 		s.inters[i] = inter
 	}
 
-	// Merged hash tables: for every i in {0..l}, every w in B_i(u) and every
-	// v in C_{L_{l-i}}(w), the pair (u, v) can route exactly through w. Each
-	// vertex owns its table; the (sum, w, level) tie-break makes the merged
-	// entry independent of iteration order.
-	s.hash = make([]map[graph.Vertex]via, n)
-	parallel.For(n, func(u int) {
-		h := make(map[graph.Vertex]via)
-		for i := 0; i <= l; i++ {
-			lm := s.lms[l-i]
-			for _, m := range s.vcs[i].Vics[u].Members() {
-				for _, cm := range lm.Cluster(m.V) {
-					sum := m.Dist + cm.Dist
-					if old, ok := h[cm.V]; !ok || sum < old.sum ||
-						(sum == old.sum && (m.V < old.w || (m.V == old.w && int8(i) < old.level))) {
-						h[cm.V] = via{w: m.V, level: int8(i), sum: sum}
-					}
-				}
-			}
-		}
-		s.hash[u] = h
-	})
+	s.buildHash()
 
 	// Labels: one entry per label level j in the image of kOf.
 	labelLevels := make([]int, 0, l)
@@ -272,6 +225,80 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 
 	s.buildTally()
 	return s, nil
+}
+
+// deriveGranularity computes q = n^{1/(2l-+1)} and the clamped powers
+// q^0..q^l - pure functions of (n, l, variant), shared by the build and
+// decode paths.
+func (s *Scheme) deriveGranularity() {
+	n := s.g.N()
+	l := s.params.L
+	denom := 2*l - 1
+	if s.params.Variant == Plus {
+		denom = 2*l + 1
+	}
+	q := int(math.Ceil(math.Pow(float64(n), 1/float64(denom))))
+	if q < 2 {
+		q = 2
+	}
+	s.q = q
+	s.qPow = make([]int, l+1)
+	p := 1
+	for i := 0; i <= l; i++ {
+		s.qPow[i] = p
+		if p < n {
+			p *= q
+		}
+		if s.qPow[i] > n {
+			s.qPow[i] = n
+		}
+	}
+}
+
+// partitionLandmarks chunks L_j into q^i equal parts - the partition W^j of
+// the Lemma 8 instance at level i - and returns the parts with the
+// landmark-to-part index. Deterministic in the landmark order, so the build
+// and decode paths derive identical partitions.
+func (s *Scheme) partitionLandmarks(i, j int) ([][]graph.Vertex, map[graph.Vertex]int32) {
+	parts := s.qPow[i]
+	lm := s.lms[j]
+	wParts := make([][]graph.Vertex, parts)
+	chunk := (len(lm.A) + parts - 1) / parts
+	alpha := make(map[graph.Vertex]int32, len(lm.A))
+	for idx, w := range lm.A {
+		pj := idx / chunk
+		wParts[pj] = append(wParts[pj], w)
+		alpha[w] = int32(pj)
+	}
+	return wParts, alpha
+}
+
+// buildHash merges the per-level intersection tables: for every i in
+// {0..l}, every w in B_i(u) and every v in C_{L_{l-i}}(w), the pair (u, v)
+// can route exactly through w. Each vertex owns its table; the (sum, w,
+// level) tie-break makes the merged entry independent of iteration order.
+func (s *Scheme) buildHash() {
+	n := s.g.N()
+	l := s.params.L
+	s.hash = make([]map[graph.Vertex]via, n)
+	parallel.For(n, func(u int) {
+		h := make(map[graph.Vertex]via)
+		for i := 0; i <= l; i++ {
+			lm := s.lms[l-i]
+			vic := s.vcs[i].Vics[u]
+			for j, c := 0, vic.Size(); j < c; j++ {
+				mv, md := vic.MemberV(j), vic.MemberDist(j)
+				for _, cm := range lm.Cluster(mv) {
+					sum := md + cm.Dist
+					if old, ok := h[cm.V]; !ok || sum < old.sum ||
+						(sum == old.sum && (mv < old.w || (mv == old.w && int8(i) < old.level))) {
+						h[cm.V] = via{w: mv, level: int8(i), sum: sum}
+					}
+				}
+			}
+		}
+		s.hash[u] = h
+	})
 }
 
 // buildTally charges storage: the top-level vicinity (lower levels are

@@ -96,11 +96,13 @@ func assembleVicinityColoring(q, l int, vics []*vicinity.Set, col *coloring.Colo
 			reps[c] = graph.NoVertex
 		}
 		found := 0
-		for _, m := range vics[u].Members() { // (dist, id) order: first is closest
-			c := col.Of(m.V)
+		vic := vics[u]
+		for i, sz := 0, vic.Size(); i < sz; i++ { // (dist, id) order: first is closest
+			mv := vic.MemberV(i)
+			c := col.Of(mv)
 			if int(c) < q && reps[c] == graph.NoVertex {
-				reps[c] = m.V
-				dists[c] = m.Dist
+				reps[c] = mv
+				dists[c] = vic.MemberDist(i)
 				if found++; found == q {
 					break
 				}
@@ -156,6 +158,47 @@ func BuildClusterForest(g *graph.Graph, l *cluster.Landmarks) (*ClusterForest, e
 		return nil, err
 	}
 	return f, nil
+}
+
+// RestoreClusterForest pairs decoded flat trees with a decoded landmark
+// structure. The v1 path rebuilt every tree from the cluster's parent links,
+// so forest and clusters agreed by construction; here the trees arrive
+// independently (aliased off the snapshot bytes) and are cross-checked
+// instead: one tree per non-empty cluster, rooted at the cluster's root,
+// spanning exactly its members.
+func RestoreClusterForest(l *cluster.Landmarks, trees []*treeroute.Tree, n int) (*ClusterForest, error) {
+	if len(trees) != n {
+		return nil, fmt.Errorf("schemeutil: snapshot forest has %d trees, want %d", len(trees), n)
+	}
+	if err := parallel.ForErr(n, func(wi int) error {
+		w := graph.Vertex(wi)
+		ms := l.Cluster(w)
+		tr := trees[wi]
+		if len(ms) == 0 {
+			if tr != nil {
+				return fmt.Errorf("schemeutil: snapshot has a tree over the empty cluster C_A(%d)", w)
+			}
+			return nil
+		}
+		if tr == nil {
+			return fmt.Errorf("schemeutil: snapshot is missing the tree of C_A(%d)", w)
+		}
+		if tr.Root() != w {
+			return fmt.Errorf("schemeutil: snapshot tree of C_A(%d) is rooted at %d", w, tr.Root())
+		}
+		if tr.Size() != len(ms) {
+			return fmt.Errorf("schemeutil: snapshot tree of C_A(%d) spans %d vertices, cluster has %d", w, tr.Size(), len(ms))
+		}
+		for _, m := range ms {
+			if !tr.Contains(m.V) {
+				return fmt.Errorf("schemeutil: snapshot tree of C_A(%d) is missing member %d", w, m.V)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return &ClusterForest{L: l, Trees: trees}, nil
 }
 
 // LabelAtRoot returns the tree label of v in the cluster tree rooted at w,

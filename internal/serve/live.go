@@ -41,6 +41,14 @@ type LiveOptions struct {
 	// Build rebuilds a scheme for the materialized effective graph; nil
 	// disables Rebuild.
 	Build BuildFunc
+	// Retire, when non-nil, runs exactly once after the initially-supplied
+	// scheme's generation has been swapped out by a rebuild AND every
+	// in-flight query on it has drained. It is how a scheme served straight
+	// off an mmap'd snapshot releases its mapping: the RCU generation
+	// refcount guarantees no query can still touch the aliased tables when
+	// the hook (typically munmap) fires. Rebuilt generations own ordinary
+	// heap schemes and carry no hook.
+	Retire func()
 }
 
 // ErrRebuildInFlight is returned by Rebuild while a rebuild is running.
@@ -48,9 +56,50 @@ var ErrRebuildInFlight = errors.New("serve: a rebuild is already in flight")
 
 // generation is one immutable (scheme, router) pair; the engine swaps whole
 // generations with an atomic pointer flip, so a query observes exactly one.
+//
+// Each generation is reference-counted: one owner reference held by the
+// engine's gen pointer plus one per in-flight query. The swap releases the
+// owner reference; when the count drains to zero the retire hook (if any)
+// runs exactly once - the deterministic munmap-after-drain point for
+// generations whose scheme aliases an mmap'd snapshot.
 type generation struct {
 	id     uint64
 	router *live.Router
+	refs   atomic.Int64
+	retire func()
+}
+
+// tryAcquire takes a query reference unless the generation has already
+// drained (refs hit zero), in which case the caller must reload the current
+// generation pointer - the zero check is what makes load-then-increment safe
+// against a concurrent swap + drain + retire.
+func (g *generation) tryAcquire() bool {
+	for {
+		r := g.refs.Load()
+		if r == 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference and fires the retire hook on the last one.
+func (g *generation) release() {
+	if g.refs.Add(-1) == 0 && g.retire != nil {
+		g.retire()
+	}
+}
+
+// acquireGen pins the current generation for one query.
+func (l *Live) acquireGen() *generation {
+	for {
+		g := l.gen.Load()
+		if g.tryAcquire() {
+			return g
+		}
+	}
 }
 
 // liveExtras is the churn-specific half of one shard's statistics.
@@ -120,7 +169,9 @@ func NewLiveWithOverlay(s simnet.Scheme, ov *live.Overlay, o LiveOptions) (*Live
 	for i := range l.shards {
 		l.shards[i] = &liveShard{}
 	}
-	l.gen.Store(&generation{id: 0, router: router})
+	gen0 := &generation{id: 0, router: router, retire: o.Retire}
+	gen0.refs.Store(1) // owner reference, released by the first swap
+	l.gen.Store(gen0)
 	l.start.Store(time.Now().UnixNano())
 	return l, nil
 }
@@ -165,7 +216,8 @@ func (l *Live) routeOn(sh *liveShard, src, dst graph.Vertex) live.Result {
 	// conservatively accounted as staleness, never as a false violation.
 	emptyBefore := l.ov.Empty()
 	vBefore := l.ov.Version()
-	gen := l.gen.Load()
+	gen := l.acquireGen()
+	defer gen.release()
 	res := gen.router.Route(src, dst)
 	clean := !res.Stale() && emptyBefore && l.ov.Version() == vBefore && l.gen.Load() == gen
 	sr := Result{Src: src, Dst: dst, Hops: res.Hops, HeaderWords: res.HeaderWords,
@@ -294,7 +346,13 @@ func (l *Live) Rebuild() error {
 	// check (generation re-read after routing) keeps out of the
 	// bound-verified statistics.
 	old := l.gen.Load()
-	l.gen.Store(&generation{id: old.id + 1, router: router})
+	next := &generation{id: old.id + 1, router: router}
+	next.refs.Store(1)
+	l.gen.Store(next)
+	// Drop the owner reference of the displaced generation; its retire hook
+	// (munmap for mapped snapshots) fires once the last in-flight query on
+	// it returns.
+	old.release()
 	if err := l.ov.Rebase(s.Graph()); err != nil {
 		l.rebuildErrs.Add(1)
 		return err

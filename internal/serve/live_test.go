@@ -142,11 +142,19 @@ func TestLiveServesThroughChurnAndSwap(t *testing.T) {
 
 // TestLiveSwapUnderLoad hot-swaps while queries hammer the engine from many
 // goroutines: no query may fail, block, or be dropped, and the final stats
-// must account every single query issued (none lost across the swap).
+// must account every single query issued (none lost across the swap). The
+// initial generation carries a Retire hook (the munmap point for mapped
+// snapshots): it must fire exactly once, and only after the swap has
+// replaced the generation and every in-flight query on it has drained.
 func TestLiveSwapUnderLoad(t *testing.T) {
 	const n, seed = 150, 7
-	l := newLiveEngine(t, n, 4*n, seed, serve.LiveOptions{Workers: 4, Verify: true})
+	var retired atomic.Int64
+	l := newLiveEngine(t, n, 4*n, seed, serve.LiveOptions{Workers: 4, Verify: true,
+		Retire: func() { retired.Add(1) }})
 	trace := live.DeletionTrace(l.Scheme().Graph(), 0.08, 5)
+	if got := retired.Load(); got != 0 {
+		t.Fatalf("retire hook fired %d times before any swap", got)
+	}
 
 	var issued atomic.Uint64
 	stop := make(chan struct{})
@@ -197,6 +205,12 @@ func TestLiveSwapUnderLoad(t *testing.T) {
 	}
 	if l.Generation() != 2 || st.Swaps != 2 {
 		t.Fatalf("generation %d, swaps %d, want 2/2", l.Generation(), st.Swaps)
+	}
+	// By now every Query call has returned, so every reference on the
+	// swapped-out initial generation has been released: the retire hook must
+	// have fired, and exactly once (later generations carry no hook).
+	if got := retired.Load(); got != 1 {
+		t.Fatalf("retire hook fired %d times after two swaps and full drain, want exactly 1", got)
 	}
 }
 

@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"compactroute/internal/graph"
 	"compactroute/internal/parallel"
@@ -33,22 +35,62 @@ type Member struct {
 }
 
 // Set is the vicinity B(u, l) of a single center vertex u.
+//
+// Members come in one of two storages: built (and v1-decoded) sets hold the
+// (dist, id)-ordered []Member slice; v2-decoded sets hold structure-of-array
+// views (ids, first-hop member indexes, distances) that alias the snapshot
+// bytes - for a served snapshot, a read-only mmap - and must never be
+// written. The indexed accessors (Size, MemberV, MemberDist, MemberFirst)
+// work on either storage without allocating; Members materializes a []Member
+// view on demand for the aliased form.
 type Set struct {
 	center  graph.Vertex
 	radius  float64  // r_u(l) of the paper
-	members []Member // (dist, id) order
+	members []Member // (dist, id) order; nil for v2-decoded sets
+	// SoA views of a v2-decoded set, (dist, id) order. Exactly one of
+	// memFirst/memFirst16 holds the member index of each first hop (Lemma 2:
+	// the first vertex of a shortest center-to-member path is itself a
+	// member); the encoder picks the narrowest width that fits the largest
+	// index. Exactly one of distU16/distU/distF is set likewise: small
+	// integral distances ride a uint16 array, large integral ones a uint32
+	// array, general ones a float64 array.
+	memV       []graph.Vertex
+	memFirst   []uint32
+	memFirst16 []uint16
+	distU      []uint32
+	distU16    []uint16
+	distF      []float64
 	// Open-addressed membership table (Fibonacci hash, linear probing, load
 	// factor <= 0.5). Each entry packs the hot fields of a member - the id the
 	// probe compares against plus the distance and first hop the forwarding
 	// loop asks for - so Contains/Dist/FirstHop usually resolve with a single
 	// cache-line fetch; a sorted-array binary search costs O(log l) scattered
 	// probes per hop, which dominated serving profiles at n = 10^4.
-	tbl   []vicEntry
-	shift uint32 // 32 - log2(len(tbl))
+	//
+	// Built and v1-decoded sets fill the table eagerly (construction already
+	// walks every member, and the insert probe doubles as their duplicate
+	// check). v2-decoded sets leave it nil and build it on first lookup - the
+	// index analogue of demand paging, and what keeps the mmap cold start
+	// free of per-member work: the strict (dist, id) member order checked at
+	// decode makes duplicates impossible, so the lazy build cannot fail and
+	// any racing builders produce identical tables (first CAS wins).
+	//
+	// The table is published as a pointer to its first slot plus the hash
+	// shift (table size is 1 << (32-shift)), both living in the Set struct
+	// itself: a lookup touches only the Set's cache line before the probed
+	// slot, with no intermediate table-descriptor object to chase. shift is
+	// stored before ent is published, so a reader that observes a non-nil ent
+	// also observes the matching shift; racing lazy builders store identical
+	// shift values, making the overlap harmless.
+	ent   atomic.Pointer[vicEntry]
+	shift atomic.Uint32 // 32 - log2(table size)
 }
 
+// vicEntry keys are stored as v+1 so the zero value marks an empty slot: a
+// freshly made (zeroed) table is ready for inserts without a sentinel fill
+// pass, which is what keeps the index rebuild cheap on snapshot load.
 type vicEntry struct {
-	v     graph.Vertex // graph.NoVertex marks an empty slot
+	v     graph.Vertex // member id + 1; 0 marks an empty slot
 	first graph.Vertex
 	dist  float64
 }
@@ -58,47 +100,138 @@ const fibMul = 2654435769
 
 // lookup returns the table entry of member v, or nil.
 func (s *Set) lookup(v graph.Vertex) *vicEntry {
-	if len(s.tbl) == 0 || v == graph.NoVertex {
+	if v < 0 {
 		return nil
 	}
-	mask := uint32(len(s.tbl) - 1)
-	i := uint32(v) * fibMul >> s.shift
+	p := s.ent.Load()
+	if p == nil {
+		p = s.buildTable()
+	}
+	shift := s.shift.Load()
+	tbl := unsafe.Slice(p, 1<<(32-shift))
+	mask := uint32(len(tbl) - 1)
+	key := v + 1
+	i := uint32(v) * fibMul >> shift
 	for {
-		e := &s.tbl[i]
-		if e.v == v {
+		e := &tbl[i]
+		if e.v == key {
 			return e
 		}
-		if e.v == graph.NoVertex {
+		if e.v == 0 {
 			return nil
 		}
 		i = (i + 1) & mask
 	}
 }
 
-// buildIndex fills the membership table from members. It reports the first
-// duplicated member vertex, or NoVertex when all members are distinct.
-func (s *Set) buildIndex() graph.Vertex {
+// tblSizeFor returns the power-of-two table size for c members (load factor
+// <= 0.5).
+func tblSizeFor(c int) int {
 	size := 4
-	for size < 2*len(s.members) {
+	for size < 2*c {
 		size <<= 1
 	}
-	s.tbl = make([]vicEntry, size)
-	s.shift = uint32(32 - bits.TrailingZeros(uint(size)))
-	for i := range s.tbl {
-		s.tbl[i].v = graph.NoVertex
-	}
+	return size
+}
+
+// buildIndex eagerly fills the membership table from the members slice. It
+// reports the first duplicated member vertex, or NoVertex when all members
+// are distinct.
+func (s *Set) buildIndex() graph.Vertex {
+	size := tblSizeFor(len(s.members))
+	shift := uint32(32 - bits.TrailingZeros(uint(size)))
+	entries := make([]vicEntry, size)
 	mask := uint32(size - 1)
 	for _, m := range s.members {
-		i := uint32(m.V) * fibMul >> s.shift
-		for s.tbl[i].v != graph.NoVertex {
-			if s.tbl[i].v == m.V {
+		i := uint32(m.V) * fibMul >> shift
+		for entries[i].v != 0 {
+			if entries[i].v == m.V+1 {
 				return m.V
 			}
 			i = (i + 1) & mask
 		}
-		s.tbl[i] = vicEntry{v: m.V, first: m.First, dist: m.Dist}
+		entries[i] = vicEntry{v: m.V + 1, first: m.First, dist: m.Dist}
 	}
+	s.shift.Store(shift)
+	s.ent.Store(&entries[0])
 	return graph.NoVertex
+}
+
+// buildTable builds the membership index of a v2-decoded set on first
+// lookup. The member views were validated at decode (strict (dist, id)
+// order, so no duplicates), making the build infallible; concurrent callers
+// may race, build identical tables and agree on whichever CAS publishes
+// first.
+func (s *Set) buildTable() *vicEntry {
+	c := len(s.memV)
+	size := tblSizeFor(c)
+	shift := uint32(32 - bits.TrailingZeros(uint(size)))
+	entries := make([]vicEntry, size)
+	mask := uint32(size - 1)
+	for i := 0; i < c; i++ {
+		v := s.memV[i]
+		ti := uint32(v) * fibMul >> shift
+		for entries[ti].v != 0 {
+			ti = (ti + 1) & mask
+		}
+		entries[ti] = vicEntry{v: v + 1, first: s.MemberFirst(i), dist: s.MemberDist(i)}
+	}
+	s.shift.Store(shift)
+	if s.ent.CompareAndSwap(nil, &entries[0]) {
+		return &entries[0]
+	}
+	return s.ent.Load()
+}
+
+// validateViews checks the SoA member views of a v2-decoded set in one fused
+// sequential pass: ids in [0,n), first hops in-range member indexes,
+// distances finite and non-negative, members in strictly increasing
+// (dist, id) order - the canonical order every encoder writes, which rules
+// out duplicates without touching a hash table - and the center present.
+// This pass is the only per-member work of the mmap load path; the
+// membership index itself is built on first lookup.
+func (s *Set) validateViews(n int) error {
+	c := len(s.memV)
+	centerSeen := false
+	prevD, prevV := 0.0, graph.Vertex(-1)
+	for i := 0; i < c; i++ {
+		v := s.memV[i]
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("member %d of B(%d) out of range", i, s.center)
+		}
+		var j int
+		if s.memFirst != nil {
+			j = int(s.memFirst[i])
+		} else {
+			j = int(s.memFirst16[i])
+		}
+		if j >= c {
+			return fmt.Errorf("first-hop index %d of member %d in B(%d) out of range", j, i, s.center)
+		}
+		var dist float64
+		switch {
+		case s.distU16 != nil:
+			dist = float64(s.distU16[i])
+		case s.distU != nil:
+			dist = float64(s.distU[i])
+		default:
+			dist = s.distF[i]
+		}
+		if math.IsNaN(dist) || dist < 0 {
+			return fmt.Errorf("member %d of B(%d) has invalid distance %v", v, s.center, dist)
+		}
+		if i > 0 && (dist < prevD || (dist == prevD && v <= prevV)) {
+			return fmt.Errorf("members of B(%d) not in (dist, id) order at %d (duplicate %d?)", s.center, i, v)
+		}
+		prevD, prevV = dist, v
+		if v == s.center {
+			centerSeen = true
+		}
+	}
+	if !centerSeen {
+		return fmt.Errorf("B(%d) does not contain its center", s.center)
+	}
+	return nil
 }
 
 // Build computes B(u, l). The result always contains u itself (at distance
@@ -200,7 +333,45 @@ func BuildAll(g *graph.Graph, l int) ([]*Set, error) {
 func (s *Set) Center() graph.Vertex { return s.center }
 
 // Size returns the number of members (including the center).
-func (s *Set) Size() int { return len(s.members) }
+func (s *Set) Size() int {
+	if s.members != nil {
+		return len(s.members)
+	}
+	return len(s.memV)
+}
+
+// MemberV returns the id of the i-th member in (dist, id) order.
+func (s *Set) MemberV(i int) graph.Vertex {
+	if s.members != nil {
+		return s.members[i].V
+	}
+	return s.memV[i]
+}
+
+// MemberDist returns the distance of the i-th member.
+func (s *Set) MemberDist(i int) float64 {
+	if s.members != nil {
+		return s.members[i].Dist
+	}
+	switch {
+	case s.distU16 != nil:
+		return float64(s.distU16[i])
+	case s.distU != nil:
+		return float64(s.distU[i])
+	}
+	return s.distF[i]
+}
+
+// MemberFirst returns the first hop stored for the i-th member.
+func (s *Set) MemberFirst(i int) graph.Vertex {
+	if s.members != nil {
+		return s.members[i].First
+	}
+	if s.memFirst != nil {
+		return s.memV[s.memFirst[i]]
+	}
+	return s.memV[s.memFirst16[i]]
+}
 
 // Radius returns r_u(l).
 func (s *Set) Radius() float64 { return s.radius }
@@ -227,21 +398,33 @@ func (s *Set) FirstHop(v graph.Vertex) (graph.Vertex, bool) {
 	return e.first, true
 }
 
-// Members returns the members in (dist, id) order. The returned slice is
-// owned by the Set; callers must not modify it.
-func (s *Set) Members() []Member { return s.members }
+// Members returns the members in (dist, id) order. For built and v1-decoded
+// sets the returned slice is owned by the Set and must not be modified; for
+// v2-decoded (snapshot-aliased) sets every call materializes a fresh slice,
+// so hot loops should use the indexed accessors instead.
+func (s *Set) Members() []Member {
+	if s.members != nil {
+		return s.members
+	}
+	ms := make([]Member, len(s.memV))
+	for i := range ms {
+		ms[i] = Member{V: s.memV[i], Dist: s.MemberDist(i), First: s.MemberFirst(i)}
+	}
+	return ms
+}
 
 // MaxDist returns the distance of the farthest member.
 func (s *Set) MaxDist() float64 {
-	if len(s.members) == 0 {
+	c := s.Size()
+	if c == 0 {
 		return 0
 	}
-	return s.members[len(s.members)-1].Dist
+	return s.MemberDist(c - 1)
 }
 
 // Words returns the space of the Lemma 2 table in words: one (vertex, first
 // edge, distance) triple per member.
-func (s *Set) Words() int { return 3 * len(s.members) }
+func (s *Set) Words() int { return 3 * s.Size() }
 
 // InflatedSize computes the paper's x-tilde = alpha * x * log n inflation,
 // clamped to [x, n]: the vicinity size used whenever the paper writes

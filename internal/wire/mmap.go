@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Mapping is the raw bytes of a snapshot file, either mmap'd read-only
+// straight from the page cache (so N serving processes share one physical
+// copy and a cold start costs page-table setup instead of a full read) or,
+// where mmap is unavailable, read into a private 64-byte-aligned buffer so
+// aligned sections stay aliasable either way.
+//
+// A decoded v2 scheme aliases table sections of these bytes: the Mapping
+// must stay alive - and must not be Closed - while the scheme is in use.
+// serve.Live retires old mappings only after their RCU generation drains.
+type Mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// Map opens the file at path as a read-only Mapping.
+func Map(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < 0 || size != int64(int(size)) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if data, ok := mapFile(f, size); ok {
+		return &Mapping{data: data, mapped: true}, nil
+	}
+	// Read-copy fallback: a private buffer whose base is 64-byte aligned, so
+	// the alias checks in the array decoders see the same alignment an mmap
+	// would give them.
+	buf := make([]byte, int(size)+SectionAlign)
+	shift := int(-uintptr(unsafe.Pointer(&buf[0])) & (SectionAlign - 1))
+	data := buf[shift : shift+int(size)]
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Bytes returns the mapped bytes. Callers must treat them as read-only: for
+// a real mapping they are hardware-protected (PROT_READ) and writing
+// through them faults.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the bytes are a true mmap (shared page cache)
+// rather than the read-copy fallback.
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. After Close every slice aliased from the
+// mapping is invalid; callers must guarantee no decoded scheme still serves
+// from it (see serve.Live's munmap-after-drain).
+func (m *Mapping) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data, mapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if !mapped {
+		return nil
+	}
+	return unmapFile(data)
+}

@@ -1,0 +1,11 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package wire
+
+import "os"
+
+// mapFile always falls back to the aligned read copy on platforms without a
+// (stdlib) mmap.
+func mapFile(*os.File, int64) ([]byte, bool) { return nil, false }
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package wire
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile mmaps size bytes of f read-only and shared. A false return means
+// the caller should fall back to reading the file; empty files take the
+// fallback too (zero-length mmap is an EINVAL on most kernels).
+func mapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

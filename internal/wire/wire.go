@@ -5,17 +5,27 @@
 //
 // # Format
 //
-// A snapshot is a single self-describing byte stream:
+// A snapshot is a single self-describing byte stream. The current (v2)
+// layout is
 //
-//	magic "CRSNAP01" | version u32 | kind string | graph fingerprint u64 |
-//	section count u32 | sections... | crc32c u32
+//	magic "CRSNAP01" | version u32 | total length u64 | kind string |
+//	graph fingerprint u64 | section count u32 | sections... | crc32c u32
 //
 // where every integer is little-endian, a string is a u32 length followed by
-// its bytes, and a section is a name string, a u64 payload length and the
-// payload bytes. The trailing checksum (CRC-32 Castagnoli) covers everything
-// before it. The kind string names the scheme's registered decoder; the
-// fingerprint ties the scheme sections to the exact graph stored in the
-// snapshot's "graph" section (see graph.Fingerprint).
+// its bytes, and a section is a name string, a u32 flags word, a u64 payload
+// length, a u32 pad length, pad zero bytes and the payload bytes. Sections
+// flagged SecAligned are padded so their payload starts at a stream offset
+// that is a multiple of 64; fixed-width arrays inside them (see ArrayHeader)
+// can then be aliased in place over an mmap'd file instead of copied out.
+// The total-length field lets a truncated file be rejected with ErrTruncated
+// before the checksum runs (and before any section is aliased); the trailing
+// checksum (CRC-32 Castagnoli) covers everything before it. The kind string
+// names the scheme's registered decoder; the fingerprint ties the scheme
+// sections to the exact graph stored in the snapshot's "graph" section (see
+// graph.Fingerprint).
+//
+// v1 streams (no total length, no section flags or padding) remain fully
+// decodable; WriteTo always emits v2.
 //
 // # Kind registry
 //
@@ -36,6 +46,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -48,8 +59,31 @@ import (
 // Magic identifies a compactroute snapshot stream.
 const Magic = "CRSNAP01"
 
-// Version is the current format version. Decoders reject other versions.
-const Version = 1
+// Version is the current format version, written by WriteTo. Parse reads
+// both VersionV1 and Version streams and rejects everything else.
+const (
+	VersionV1 = 1
+	Version   = 2
+)
+
+// SecAligned flags a section whose payload is padded to start at a stream
+// offset that is a multiple of SectionAlign, so fixed-width arrays inside it
+// stay aliasable over a page-aligned mapping of the file.
+const SecAligned = 1 << 0
+
+// SectionAlign is the stream alignment of SecAligned section payloads.
+const SectionAlign = 64
+
+// Typed decode failures. Errors returned by Parse (and everything layered on
+// it: Read, LoadScheme, LoadSchemeFile) match these with errors.Is, so a
+// caller can distinguish a file that is too short from one whose bytes were
+// damaged. A truncated v1 stream surfaces as ErrChecksum (the v1 header does
+// not record the total length); v2 streams report ErrTruncated before the
+// checksum - and before any section is aliased.
+var (
+	ErrChecksum  = errors.New("snapshot checksum mismatch")
+	ErrTruncated = errors.New("snapshot truncated")
+)
 
 // allocFactor bounds decode-time allocation: a snapshot of k bytes may
 // allocate at most allocFactor*k + allocFloor bytes through Decoder.Alloc.
@@ -351,9 +385,10 @@ func (d *Decoder) Alloc(bytes int64) bool {
 
 // section is one named, length-prefixed payload of a snapshot.
 type section struct {
-	name string
-	enc  Encoder // encode side
-	data []byte  // decode side
+	name  string
+	flags uint32
+	enc   Encoder // encode side
+	data  []byte  // decode side
 }
 
 // Snapshot is an in-memory snapshot being encoded or decoded: a scheme kind,
@@ -362,13 +397,14 @@ type section struct {
 type Snapshot struct {
 	Kind        string
 	Fingerprint uint64
+	Version     int
 	sections    []*section
 	budget      int64
 }
 
 // New starts an empty snapshot for encoding.
 func New(kind string, fingerprint uint64) *Snapshot {
-	return &Snapshot{Kind: kind, Fingerprint: fingerprint}
+	return &Snapshot{Kind: kind, Fingerprint: fingerprint, Version: Version}
 }
 
 // Section returns the encoder of the named section, creating it (in call
@@ -384,6 +420,20 @@ func (s *Snapshot) Section(name string) *Encoder {
 	return &sec.enc
 }
 
+// AlignedSection is Section with the SecAligned flag set: the section's
+// payload will be padded to a 64-byte stream offset by WriteTo, so the
+// fixed-width arrays written into it (ArrayHeader and friends) can be
+// aliased in place when the snapshot is decoded from an mmap'd file.
+func (s *Snapshot) AlignedSection(name string) *Encoder {
+	e := s.Section(name)
+	for _, sec := range s.sections {
+		if sec.name == name {
+			sec.flags |= SecAligned
+		}
+	}
+	return e
+}
+
 // Sections returns the section names in stream order.
 func (s *Snapshot) Sections() []string {
 	names := make([]string, len(s.sections))
@@ -393,11 +443,46 @@ func (s *Snapshot) Sections() []string {
 	return names
 }
 
-// WriteTo serializes the snapshot: header, sections, trailing checksum.
-// Section payloads are streamed from their encoder buffers (the checksum is
-// maintained incrementally), so writing never copies the snapshot into a
-// second contiguous buffer.
+// WriteTo serializes the snapshot in the v2 layout: header (with the total
+// stream length), sections (SecAligned payloads padded to 64-byte stream
+// offsets), trailing checksum. Section payloads are streamed from their
+// encoder buffers (the checksum is maintained incrementally), so writing
+// never copies the snapshot into a second contiguous buffer.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var hdr Encoder
+	hdr.buf = append(hdr.buf, Magic...)
+	hdr.Uint32(Version)
+	totalAt := hdr.Len()
+	hdr.Uint64(0) // total length, patched below
+	hdr.String(s.Kind)
+	hdr.Uint64(s.Fingerprint)
+	hdr.Uint32(uint32(len(s.sections)))
+	// Lay out the section headers against running stream offsets so aligned
+	// payloads land on 64-byte boundaries, then patch the total length.
+	off := int64(hdr.Len())
+	heads := make([][]byte, len(s.sections))
+	for i, sec := range s.sections {
+		var sh Encoder
+		sh.String(sec.name)
+		sh.Uint32(sec.flags)
+		sh.Uint64(uint64(len(sec.enc.buf)))
+		pad := int64(0)
+		if sec.flags&SecAligned != 0 {
+			at := off + int64(sh.Len()) + 4 // stream offset just past the pad-length field
+			pad = -at & (SectionAlign - 1)
+		}
+		sh.Uint32(uint32(pad))
+		for j := int64(0); j < pad; j++ {
+			sh.Byte(0)
+		}
+		heads[i] = sh.buf
+		off += int64(len(sh.buf)) + int64(len(sec.enc.buf))
+	}
+	total := uint64(off + 4) // + trailing crc
+	for i := 0; i < 8; i++ {
+		hdr.buf[totalAt+i] = byte(total >> (8 * i))
+	}
+
 	var written int64
 	var crc uint32
 	emit := func(b []byte) error {
@@ -406,20 +491,11 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 		written += int64(n)
 		return err
 	}
-	var hdr Encoder
-	hdr.buf = append(hdr.buf, Magic...)
-	hdr.Uint32(Version)
-	hdr.String(s.Kind)
-	hdr.Uint64(s.Fingerprint)
-	hdr.Uint32(uint32(len(s.sections)))
 	if err := emit(hdr.buf); err != nil {
 		return written, err
 	}
-	for _, sec := range s.sections {
-		var sh Encoder
-		sh.String(sec.name)
-		sh.Uint64(uint64(len(sec.enc.buf)))
-		if err := emit(sh.buf); err != nil {
+	for i, sec := range s.sections {
+		if err := emit(heads[i]); err != nil {
 			return written, err
 		}
 		if err := emit(sec.enc.buf); err != nil {
@@ -455,8 +531,11 @@ func PeekKind(prefix []byte) (string, error) {
 	}
 	d := NewDecoder("header", prefix[len(Magic):])
 	version := d.Uint32()
-	if d.err == nil && version != Version {
-		return "", fmt.Errorf("wire: unsupported snapshot version %d (this build reads %d)", version, Version)
+	if d.err == nil && version != VersionV1 && version != Version {
+		return "", fmt.Errorf("wire: unsupported snapshot version %d (this build reads %d and %d)", version, VersionV1, Version)
+	}
+	if version == Version {
+		d.Uint64() // total stream length
 	}
 	kind := d.String()
 	if d.err != nil {
@@ -465,27 +544,44 @@ func PeekKind(prefix []byte) (string, error) {
 	return kind, nil
 }
 
-// Parse is Read over bytes already in memory.
+// Parse is Read over bytes already in memory. Decoding a v2 snapshot keeps
+// references into data (aliased array sections), so the caller must not
+// mutate or unmap data while the decoded scheme is in use.
 func Parse(data []byte) (*Snapshot, error) {
-	if len(data) < len(Magic)+4+4 {
-		return nil, fmt.Errorf("wire: snapshot too short (%d bytes)", len(data))
+	if len(data) < len(Magic)+4 {
+		return nil, fmt.Errorf("wire: %w: %d bytes is too short for a header", ErrTruncated, len(data))
 	}
 	if string(data[:len(Magic)]) != Magic {
 		return nil, fmt.Errorf("wire: bad magic %q", data[:len(Magic)])
 	}
+	version := uint32(data[8]) | uint32(data[9])<<8 | uint32(data[10])<<16 | uint32(data[11])<<24
+	switch version {
+	case VersionV1:
+		return parseV1(data)
+	case Version:
+		return parseV2(data)
+	default:
+		return nil, fmt.Errorf("wire: unsupported snapshot version %d (this build reads %d and %d)", version, VersionV1, Version)
+	}
+}
+
+// parseV1 reads the legacy layout: no total length, no section flags or
+// padding. Truncation is indistinguishable from damage here, so both
+// surface as ErrChecksum.
+func parseV1(data []byte) (*Snapshot, error) {
+	if len(data) < len(Magic)+4+4 {
+		return nil, fmt.Errorf("wire: %w: snapshot too short (%d bytes)", ErrChecksum, len(data))
+	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
 	if got := crc32.Checksum(body, castagnoli); got != want {
-		return nil, fmt.Errorf("wire: checksum mismatch: stream says %08x, content is %08x", want, got)
+		return nil, fmt.Errorf("wire: %w: stream says %08x, content is %08x", ErrChecksum, want, got)
 	}
-	d := NewDecoder("header", body[len(Magic):])
-	version := d.Uint32()
-	if d.err == nil && version != Version {
-		return nil, fmt.Errorf("wire: unsupported snapshot version %d (this build reads %d)", version, Version)
-	}
+	d := NewDecoder("header", body[len(Magic)+4:])
 	snap := &Snapshot{
 		Kind:        d.String(),
 		Fingerprint: d.Uint64(),
+		Version:     VersionV1,
 		budget:      allocFactor*int64(len(data)) + allocFloor,
 	}
 	nsec := d.Count(12) // a section costs at least name len + payload len
@@ -501,6 +597,72 @@ func Parse(data []byte) (*Snapshot, error) {
 		}
 		payload := d.take(int(plen))
 		snap.sections = append(snap.sections, &section{name: name, data: payload})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// parseV2 reads the current layout. The total-length check runs first so a
+// truncated file is rejected as ErrTruncated before the checksum and before
+// any section bytes are referenced.
+func parseV2(data []byte) (*Snapshot, error) {
+	hdrLen := len(Magic) + 4 + 8 // magic, version, total length
+	if len(data) < hdrLen+4 {
+		return nil, fmt.Errorf("wire: %w: %d bytes is too short for a v2 header", ErrTruncated, len(data))
+	}
+	var total uint64
+	for i := 0; i < 8; i++ {
+		total |= uint64(data[len(Magic)+4+i]) << (8 * i)
+	}
+	if total < uint64(hdrLen+4) {
+		return nil, fmt.Errorf("wire: v2 header claims impossible total length %d", total)
+	}
+	if total > uint64(len(data)) {
+		return nil, fmt.Errorf("wire: %w: header says %d bytes, file has %d", ErrTruncated, total, len(data))
+	}
+	if total < uint64(len(data)) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after the %d-byte snapshot", uint64(len(data))-total, total)
+	}
+	body, tail := data[:total-4], data[total-4:total]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("wire: %w: stream says %08x, content is %08x", ErrChecksum, want, got)
+	}
+	d := NewDecoder("header", body[hdrLen:])
+	snap := &Snapshot{
+		Kind:        d.String(),
+		Fingerprint: d.Uint64(),
+		Version:     Version,
+		budget:      allocFactor*int64(len(data)) + allocFloor,
+	}
+	nsec := d.Count(16) // a section costs at least its header
+	for i := 0; i < nsec && d.err == nil; i++ {
+		name := d.String()
+		flags := d.Uint32()
+		plen := d.Uint64()
+		pad := d.Uint32()
+		if d.err != nil {
+			break
+		}
+		if pad >= SectionAlign {
+			d.Failf("section %q claims %d pad bytes", name, pad)
+			break
+		}
+		d.take(int(pad))
+		if flags&SecAligned != 0 {
+			if at := hdrLen + d.off; at%SectionAlign != 0 {
+				d.Failf("section %q flagged aligned but its payload starts at stream offset %d", name, at)
+				break
+			}
+		}
+		if plen > uint64(d.Remaining()) {
+			d.Failf("section %q claims %d bytes, only %d remain", name, plen, d.Remaining())
+			break
+		}
+		payload := d.take(int(plen))
+		snap.sections = append(snap.sections, &section{name: name, flags: flags, data: payload})
 	}
 	if err := d.Finish(); err != nil {
 		return nil, err

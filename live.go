@@ -150,6 +150,46 @@ func LoadLiveStateFile(path string, o LiveServeOptions) (*LiveEngine, error) {
 	return l, nil
 }
 
+// OpenLiveStateFile restores a live engine over a memory-mapped snapshot:
+// the initial generation serves straight off the mapping (zero-copy aliased
+// tables, pages shared across processes), and the engine munmaps it
+// automatically - via the RCU generation refcount - once a rebuild has
+// swapped in a fresh heap generation and every in-flight query on the
+// mapped one has drained. Any Retire hook already set in o is replaced.
+func OpenLiveStateFile(path string, o LiveServeOptions) (*LiveEngine, error) {
+	m, err := wire.Map(path)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*LiveEngine, error) {
+		m.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	snap, err := wire.Parse(m.Bytes())
+	if err != nil {
+		return fail(err)
+	}
+	s, err := decodeSnapshot(snap)
+	if err != nil {
+		return fail(err)
+	}
+	var ov *live.Overlay
+	if live.HasOverlay(snap) {
+		ov, err = live.DecodeOverlay(snap, s.Graph())
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		ov = live.NewOverlay(s.Graph())
+	}
+	o.Retire = func() { m.Close() }
+	l, err := serve.NewLiveWithOverlay(s, ov, o)
+	if err != nil {
+		return fail(err)
+	}
+	return l, nil
+}
+
 // lazyBuild is the default rebuild constructor factory used by the CLIs:
 // it reconstructs the same scheme family with a lazy path source.
 func lazyBuild(construct func(g *Graph, ps PathSource) (Scheme, error), budgetMiB int) BuildFunc {
@@ -164,13 +204,13 @@ func lazyBuild(construct func(g *Graph, ps PathSource) (Scheme, error), budgetMi
 // It returns an error for kinds with no registered rebuild recipe.
 func RebuildFuncFor(kind string, o Options, budgetMiB int) (BuildFunc, error) {
 	switch kind {
-	case "exact/v1":
+	case "exact/v1", "exact/v2":
 		return lazyBuild(func(g *Graph, _ PathSource) (Scheme, error) { return NewExact(g) }, budgetMiB), nil
-	case "tzroute/v1":
+	case "tzroute/v1", "tzroute/v2":
 		return lazyBuild(func(g *Graph, _ PathSource) (Scheme, error) { return NewThorupZwick(g, o) }, budgetMiB), nil
-	case "thm10/v1":
+	case "thm10/v1", "thm10/v2":
 		return lazyBuild(func(g *Graph, ps PathSource) (Scheme, error) { return NewTheorem10(g, ps, o) }, budgetMiB), nil
-	case "thm11/v1":
+	case "thm11/v1", "thm11/v2":
 		return lazyBuild(func(g *Graph, ps PathSource) (Scheme, error) { return NewTheorem11(g, ps, o) }, budgetMiB), nil
 	default:
 		return nil, fmt.Errorf("compactroute: no rebuild recipe for scheme kind %q", kind)

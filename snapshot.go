@@ -102,6 +102,58 @@ func PeekSnapshotKind(path string) (string, error) {
 	return kind, nil
 }
 
+// Typed snapshot-load failures, matchable with errors.Is. A checksum
+// mismatch means the bytes are all there but corrupt; a truncated file is
+// rejected by the v2 header's total-length check before any section is
+// parsed (and long before any table is aliased over the bytes).
+var (
+	ErrSnapshotChecksum  = wire.ErrChecksum
+	ErrSnapshotTruncated = wire.ErrTruncated
+)
+
+// SchemeFile is a scheme decoded straight over an mmap'd snapshot: the
+// fixed-width v2 sections (tree records, bunch arrays, port tables, labels)
+// alias the mapping, so loading costs page-cache faults plus index rebuilds
+// instead of a full decode, and the pages are shared between every process
+// serving the same file.
+//
+// The mapping must outlive the scheme: Close only after the scheme (and
+// anything derived from it) will never be used again. For serving with
+// hot-swap, prefer OpenLiveStateFile, which munmaps automatically once the
+// generation drains.
+type SchemeFile struct {
+	Scheme Scheme
+	m      *wire.Mapping
+}
+
+// Mapped reports whether the snapshot is truly memory-mapped (false on
+// platforms without mmap, where the file was read into an aligned buffer;
+// aliasing still works, page sharing does not).
+func (sf *SchemeFile) Mapped() bool { return sf.m.Mapped() }
+
+// Close releases the mapping. The scheme must not be used afterwards.
+func (sf *SchemeFile) Close() error { return sf.m.Close() }
+
+// OpenSchemeFile memory-maps the snapshot at path (read-only) and decodes
+// the scheme over the mapped bytes.
+func OpenSchemeFile(path string) (*SchemeFile, error) {
+	m, err := wire.Map(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := wire.Parse(m.Bytes())
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s, err := decodeSnapshot(snap)
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &SchemeFile{Scheme: s, m: m}, nil
+}
+
 // SaveSchemeFile is SaveScheme into a file created (truncated) at path.
 func SaveSchemeFile(path string, s Scheme) error {
 	f, err := os.Create(path)
@@ -115,16 +167,16 @@ func SaveSchemeFile(path string, s Scheme) error {
 	return f.Close()
 }
 
-// LoadSchemeFile is LoadScheme from the file at path.
+// LoadSchemeFile loads the snapshot at path through the mmap fast path: the
+// scheme's fixed-width tables alias the mapping, which is kept alive for the
+// life of the process (aliased slices are invisible to the garbage
+// collector, so there is no safe automatic unmap point). Use OpenSchemeFile
+// for an explicit handle, or OpenLiveStateFile for serving with
+// munmap-after-drain on hot swap.
 func LoadSchemeFile(path string) (Scheme, error) {
-	f, err := os.Open(path)
+	sf, err := OpenSchemeFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	s, err := LoadScheme(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return s, nil
+	return sf.Scheme, nil
 }

@@ -38,6 +38,12 @@ func snapshotRows() []snapRow {
 		{"warmup", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
 			return compactroute.NewWarmup3(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
 		}},
+		{"thm13-l2", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem13(g, ps, compactroute.Options{Eps: 0.5, L: 2, Seed: benchSeed})
+		}},
+		{"thm15-l2", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem15(g, ps, compactroute.Options{Eps: 0.5, L: 2, Seed: benchSeed})
+		}},
 	}
 }
 
@@ -46,7 +52,17 @@ func snapshotRows() []snapRow {
 // -save/-load row set and the hot-swap coverage of the live engine);
 // removing one is a compatibility break this test makes loud.
 func TestSnapshotRegistryKinds(t *testing.T) {
-	want := []string{"exact/v1", "scheme3/v1", "thm10/v1", "thm11/v1", "tzroute/v1"}
+	// The v1 kinds are decode-only compatibility (current encoders emit the
+	// mmap-friendly v2 layout); schemegl (Theorems 13/15) was born with v2
+	// and has no v1.
+	want := []string{
+		"exact/v1", "exact/v2",
+		"scheme3/v1", "scheme3/v2",
+		"schemegl/v2",
+		"thm10/v1", "thm10/v2",
+		"thm11/v1", "thm11/v2",
+		"tzroute/v1", "tzroute/v2",
+	}
 	got := compactroute.SnapshotKinds()
 	sort.Strings(got)
 	if !reflect.DeepEqual(got, want) {
@@ -196,15 +212,26 @@ func TestSnapshotKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind := compactroute.SnapshotKind(ex); kind != "exact/v1" {
+	if kind := compactroute.SnapshotKind(ex); kind != "exact/v2" {
 		t.Fatalf("exact kind = %q", kind)
 	}
 	warm, err := compactroute.NewWarmup3(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind := compactroute.SnapshotKind(warm); kind != "scheme3/v1" {
-		t.Fatalf("warmup3 kind = %q, want scheme3/v1", kind)
+	if kind := compactroute.SnapshotKind(warm); kind != "scheme3/v2" {
+		t.Fatalf("warmup3 kind = %q, want scheme3/v2", kind)
+	}
+	gu, err := compactroute.GNM(48, 192, benchSeed, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t13, err := compactroute.NewTheorem13(gu, compactroute.AllPairs(gu), compactroute.Options{Eps: 0.5, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := compactroute.SnapshotKind(t13); kind != "schemegl/v2" {
+		t.Fatalf("thm13 kind = %q, want schemegl/v2", kind)
 	}
 	t16, err := compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
 	if err != nil {
@@ -311,8 +338,12 @@ func TestSnapshotResealedCorruptionSweep(t *testing.T) {
 		schemes["warmup"] = s
 	}
 	if gu, err := compactroute.GNM(24, 96, benchSeed, false, 0); err == nil {
-		if s, err := compactroute.NewTheorem10(gu, compactroute.AllPairs(gu), compactroute.Options{Eps: 0.5, Seed: benchSeed}); err == nil {
+		psu := compactroute.AllPairs(gu)
+		if s, err := compactroute.NewTheorem10(gu, psu, compactroute.Options{Eps: 0.5, Seed: benchSeed}); err == nil {
 			schemes["thm10"] = s
+		}
+		if s, err := compactroute.NewTheorem13(gu, psu, compactroute.Options{Eps: 0.5, L: 2, Seed: benchSeed}); err == nil {
+			schemes["thm13"] = s
 		}
 	}
 	for name, s := range schemes {
