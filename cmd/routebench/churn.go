@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -9,7 +10,8 @@ import (
 	"compactroute"
 )
 
-// churnConfig parameterizes the -churn replay (experiment E14).
+// churnConfig parameterizes the -churn replay (experiment E14) and the
+// -churn -repair latency study (experiment E17).
 type churnConfig struct {
 	n         int
 	eps       float64
@@ -19,6 +21,9 @@ type churnConfig struct {
 	pairs     int
 	workers   int
 	budgetMiB int
+	repair    bool // -repair: incremental-repair mode (E17)
+	batch     int  // repair mode: trace ops applied per phase
+	phases    int  // repair mode: number of repair phases
 }
 
 // histLine renders the non-empty buckets of a stretch histogram.
@@ -193,5 +198,148 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 			refSt.MaxStretch, histLine(refSt.StretchHist))
 	}
 	fmt.Fprintf(out, "cross-check: post-swap histogram bit-identical to a from-scratch build on the churned graph\n")
+	return nil
+}
+
+// schemeBytes serializes a scheme snapshot for the bit-identity cross-check
+// of the repair mode.
+func schemeBytes(s compactroute.Scheme) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := compactroute.SaveScheme(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runChurnRepair is the measurement job behind experiment E17: apply the
+// deletion trace in batches of cfg.batch and, after each batch, repair the
+// serving scheme in place (dirty-set invalidation) instead of rebuilding it.
+// Every phase also times a from-scratch build on the same churned graph and
+// checks the repaired scheme is snapshot-bit-identical to it; the clean
+// post-repair serving pass must stay violation-free. Any divergence is a
+// hard error (non-zero exit). The per-phase lines report the repair and
+// full-rebuild latencies and the dirty-set footprint of the repair.
+func runChurnRepair(out io.Writer, cfg churnConfig) error {
+	g, err := compactroute.GNM(cfg.n, 4*cfg.n, cfg.seed, true, 32)
+	if err != nil {
+		return err
+	}
+	opts := compactroute.Options{Eps: cfg.eps, Seed: cfg.seed}
+	build, repairFn, err := compactroute.RepairFuncFor("thm11/v1", opts, cfg.budgetMiB)
+	if err != nil {
+		return err
+	}
+	// The reference builder is a separate RebuildFuncFor recipe: calling the
+	// coupled build again would re-arm the repair state on the reference
+	// scheme and detach it from the serving one.
+	refBuild, err := compactroute.RebuildFuncFor("thm11/v1", opts, cfg.budgetMiB)
+	if err != nil {
+		return err
+	}
+	buildStart := time.Now()
+	scheme, err := build(g)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(buildStart)
+	eng, err := compactroute.ServeLive(scheme, compactroute.LiveServeOptions{
+		Workers: cfg.workers, Verify: true, Build: build, Repair: repairFn,
+	})
+	if err != nil {
+		return err
+	}
+	trace := compactroute.DeletionTrace(g, cfg.frac, cfg.churnSeed)
+	batch := max(cfg.batch, 1)
+	phases := cfg.phases
+	if maxPhases := (len(trace) + batch - 1) / batch; phases <= 0 || phases > maxPhases {
+		phases = maxPhases
+	}
+	if phases == 0 {
+		return fmt.Errorf("churn: empty trace (frac %v of m=%d)", cfg.frac, g.M())
+	}
+	pairs := compactroute.SamplePairs(cfg.n, cfg.pairs, cfg.seed)
+	fmt.Fprintf(out, "# E17 repair-vs-rebuild: %s on G(n=%d, m=%d), batch=%d, %d phases, %d pairs/phase, build %s\n",
+		scheme.Name(), g.N(), g.M(), batch, phases, len(pairs), buildTime.Round(time.Millisecond))
+
+	var repairTotal, fullTotal time.Duration
+	escalations := 0
+	for phase := 0; phase < phases; phase++ {
+		lo := phase * batch
+		hi := min(lo+batch, len(trace))
+		if err := eng.ApplyUpdates(trace[lo:hi]); err != nil {
+			return err
+		}
+		repairStart := time.Now()
+		repairErr := eng.Repair()
+		mode := "repair"
+		if repairErr != nil {
+			// Escalation is allowed (the engine's Refresh would do the same)
+			// but worth surfacing: it means the dirty-set path gave up. The
+			// phase's recovery time then includes the fallback rebuild.
+			escalations++
+			mode = "escalated"
+			if err := eng.Rebuild(); err != nil {
+				return fmt.Errorf("churn: phase %d: repair (%v) and rebuild both failed: %w", phase+1, repairErr, err)
+			}
+		}
+		repairTime := time.Since(repairStart)
+		if !eng.Overlay().Empty() {
+			return fmt.Errorf("churn: phase %d: overlay still has %d entries after %s", phase+1, eng.Overlay().Len(), mode)
+		}
+		st := eng.Stats()
+		info := st.LastRepairInfo
+
+		// Reference: a timed from-scratch build on the same churned graph,
+		// and the E14 invariant - the repaired scheme must serialize to the
+		// exact same snapshot bytes.
+		churned := eng.Scheme().Graph()
+		fullStart := time.Now()
+		ref, err := refBuild(churned)
+		if err != nil {
+			return err
+		}
+		fullTime := time.Since(fullStart)
+		gotBytes, err := schemeBytes(eng.Scheme())
+		if err != nil {
+			return err
+		}
+		wantBytes, err := schemeBytes(ref)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			return fmt.Errorf("churn: phase %d: repaired scheme diverges from the from-scratch build (%d vs %d snapshot bytes)",
+				phase+1, len(gotBytes), len(wantBytes))
+		}
+
+		// Clean serving pass: the overlay is empty, so the proved bound must
+		// hold on the repaired generation.
+		eng.ResetStats()
+		for _, r := range eng.Query(pairs, nil) {
+			if r.Err != nil {
+				return fmt.Errorf("churn: phase %d dropped query %d->%d: %w", phase+1, r.Src, r.Dst, r.Err)
+			}
+		}
+		clean := eng.Stats()
+		if clean.BoundViolations != 0 || clean.StaleServed != 0 {
+			return fmt.Errorf("churn: phase %d: clean phase diverged (%d violations, %d stale-served)",
+				phase+1, clean.BoundViolations, clean.StaleServed)
+		}
+
+		repairTotal += repairTime
+		fullTotal += fullTime
+		speedup := float64(fullTime) / float64(max(repairTime, time.Microsecond))
+		dirty := fmt.Sprintf("dirty(vics=%d/%d clusters=%d seqs=%d labels=%d)",
+			info.ChangedVics, info.DirtyVics, info.DirtyClusters, info.DirtySeqs, info.DirtyLabels)
+		if mode == "escalated" {
+			dirty = "dirty(n/a: full rebuild)"
+		}
+		fmt.Fprintf(out, "phase %d: edges=%d %s=%s full=%s speedup=%.1fx %s max-stretch=%.3f\n",
+			phase+1, hi-lo, mode, repairTime.Round(10*time.Microsecond), fullTime.Round(10*time.Microsecond),
+			speedup, dirty, clean.MaxStretch)
+	}
+	fmt.Fprintf(out, "total: repair=%s full=%s speedup=%.1fx escalations=%d (every phase bit-identical to a from-scratch build)\n",
+		repairTotal.Round(10*time.Microsecond), fullTotal.Round(10*time.Microsecond),
+		float64(fullTotal)/float64(max(repairTotal, time.Microsecond)), escalations)
 	return nil
 }

@@ -10,7 +10,8 @@
 //	           [-pathsource dense|lazy] [-mem-budget 256] [-scaling]
 //	           [-cpuprofile file] [-memprofile file]
 //	           [-save prefix | -load prefix] [-schemes thm11,tz-k2]
-//	           [-churn [-churn-frac 0.10] [-churn-seed 1]]
+//	           [-churn [-churn-frac 0.10] [-churn-seed 1]
+//	           [-repair [-churn-batch 1] [-churn-phases 4]]]
 //
 // -save writes a snapshot of every snapshot-capable row (exact, tz-k2,
 // tz-k3, thm10, thm11) to <prefix>-<row>.snap after construction and
@@ -26,6 +27,15 @@
 // exit) on any dropped query, any bound violation in a clean phase, or a
 // post-swap stretch histogram that is not bit-identical to a from-scratch
 // build on the churned graph - the CI soak step runs exactly this.
+//
+// -churn -repair switches to the E17 incremental-repair study: the deletion
+// trace is applied in batches of -churn-batch and after each batch the
+// scheme is repaired in place (dirty-set invalidation) instead of rebuilt.
+// Each of the -churn-phases phases reports the repair latency, the latency
+// of a from-scratch build on the same churned graph, the speedup, and the
+// dirty-set footprint (vicinities, cluster trees, inter sequences, labels);
+// the repaired scheme must be snapshot-bit-identical to the from-scratch
+// build and the clean serving pass violation-free, or the run fails.
 //
 // -workers caps the worker count of both the parallel preprocessing phase
 // and the batched evaluation engine (0 = all cores). -pathsource selects how
@@ -103,7 +113,7 @@ func rows() []row {
 
 // snapshotRowNames lists the Table 1 rows whose schemes have registered
 // snapshot support (see internal/wire); -save/-load operate on these.
-var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm10", "thm11", "thm13-l3", "thm15-l2", "warmup"}
+var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm10", "thm11", "thm13-l3", "thm15-l2", "thm16-k4", "warmup"}
 
 func isSnapshotRow(name string) bool {
 	for _, s := range snapshotRowNames {
@@ -142,9 +152,12 @@ func run(args []string, out io.Writer) (err error) {
 		scaling    = fs.Bool("scaling", false, "also run the E2 space-scaling experiment")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
-		churn      = fs.Bool("churn", false, "run the E14 churn replay instead of the table: deterministic deletion trace, staleness-bounded serving, rebuild + hot-swap under load, bit-identity cross-check")
-		churnFrac  = fs.Float64("churn-frac", 0.10, "churn: fraction of edges the deletion trace removes")
-		churnSeed  = fs.Int64("churn-seed", 1, "churn: trace seed")
+		churn       = fs.Bool("churn", false, "run the E14 churn replay instead of the table: deterministic deletion trace, staleness-bounded serving, rebuild + hot-swap under load, bit-identity cross-check")
+		churnFrac   = fs.Float64("churn-frac", 0.10, "churn: fraction of edges the deletion trace removes")
+		churnSeed   = fs.Int64("churn-seed", 1, "churn: trace seed")
+		repair      = fs.Bool("repair", false, "with -churn: incremental-repair mode (E17) - repair the scheme in place after each batch, time it against a from-scratch build, check bit-identity")
+		churnBatch  = fs.Int("churn-batch", 1, "repair mode: trace ops applied per repair phase")
+		churnPhases = fs.Int("churn-phases", 4, "repair mode: number of repair phases (0 = replay the whole trace)")
 		save       = fs.String("save", "", "write snapshots of the snapshot-capable rows to <prefix>-<row>.snap after construction and evaluate only those rows")
 		load       = fs.String("load", "", "load the snapshot-capable rows from <prefix>-<row>.snap (written by -save) instead of constructing; the evaluation output is byte-identical to the -save run")
 		schemes    = fs.String("schemes", "", "comma-separated row filter (e.g. thm11,tz-k2); restricts construction and evaluation to the named rows")
@@ -155,16 +168,24 @@ func run(args []string, out io.Writer) (err error) {
 	if *save != "" && *load != "" {
 		return errors.New("-save and -load are mutually exclusive")
 	}
+	if *repair && !*churn {
+		return errors.New("-repair requires -churn")
+	}
 	if *churn {
 		if *save != "" || *load != "" || *scaling || *schemes != "" {
 			return errors.New("-churn cannot be combined with -save/-load/-scaling/-schemes")
 		}
 		compactroute.SetParallelism(*workers)
 		defer compactroute.SetParallelism(0)
-		return runChurn(out, churnConfig{
+		cfg := churnConfig{
 			n: *n, eps: *eps, seed: *seed, churnSeed: *churnSeed, frac: *churnFrac,
 			pairs: *pairs, workers: *workers, budgetMiB: *budget,
-		})
+			repair: *repair, batch: *churnBatch, phases: *churnPhases,
+		}
+		if *repair {
+			return runChurnRepair(out, cfg)
+		}
+		return runChurn(out, cfg)
 	}
 	snapMode := *save != "" || *load != ""
 	if snapMode && *scaling {

@@ -209,9 +209,18 @@ func TestSnapshotFlagsExclusive(t *testing.T) {
 		t.Fatal("-save with -scaling accepted")
 	}
 	// A snapshot-mode run filtered to a row without snapshot support would
-	// silently do nothing; it must be rejected up front.
-	if err := run([]string{"-save", "a", "-schemes", "thm16-k4"}, &out); err == nil {
-		t.Fatal("-save with a non-snapshot -schemes row accepted")
+	// silently do nothing; it must be rejected up front. Every Table 1 row
+	// currently has a codec (TestSnapshotRowNamesMatchRegistry pins the
+	// correspondence), so exercise the guard through isSnapshotRow directly.
+	if isSnapshotRow("no-such-row") {
+		t.Fatal("isSnapshotRow accepted an unknown row")
+	}
+	for _, r := range rows() {
+		if !isSnapshotRow(r.name) {
+			if err := run([]string{"-save", "a", "-schemes", r.name}, &out); err == nil {
+				t.Fatalf("-save with non-snapshot row %s accepted", r.name)
+			}
+		}
 	}
 	// -scaling has its own fixed row set; silently skipping it under
 	// -schemes would drop the experiment the user asked for.

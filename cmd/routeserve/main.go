@@ -27,6 +27,9 @@
 //	deledge U V     delete the edge {U, V}
 //	setw U V W      change the weight of {U, V} to W
 //	rebuild         rebuild the scheme for the churned graph and hot-swap
+//	repair          incrementally repair the scheme in place (dirty-set
+//	                invalidation; Theorem 11 schemes built by this process)
+//	refresh         policy-driven: repair small deltas, rebuild large ones
 //
 // Queries keep flowing during churn (dead edges are detoured around,
 // reported as measured staleness stretch in stats) and during a rebuild
@@ -140,8 +143,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if build, err := compactroute.RebuildFuncFor(kind,
-			compactroute.Options{Eps: *eps, Seed: *seed, K: *tzK}, *budget); err == nil {
+		schemeOpts := compactroute.Options{Eps: *eps, Seed: *seed, K: *tzK}
+		// Kinds with a repair recipe get the coupled build+repair pair (a
+		// rebuild through it re-arms in-place repair for later deltas);
+		// everything else falls back to the plain rebuild recipe.
+		if build, repair, err := compactroute.RepairFuncFor(kind, schemeOpts, *budget); err == nil {
+			opts.Build, opts.Repair = build, repair
+		} else if build, err := compactroute.RebuildFuncFor(kind, schemeOpts, *budget); err == nil {
 			opts.Build = build
 		}
 		l, err := compactroute.LoadLiveStateFile(*snapshot, opts)
@@ -370,14 +378,14 @@ func (s *server) serveCommand(w *bufio.Writer, enc *json.Encoder, fields []strin
 		} else {
 			fmt.Fprintf(w, "dist %d %d %g\n", u, v, d)
 		}
-	case "addedge", "deledge", "setw", "rebuild":
+	case "addedge", "deledge", "setw", "rebuild", "repair", "refresh":
 		if s.live == nil {
 			s.errLine(w, enc, cmd, errors.New("admin commands need -live"))
 			break
 		}
 		s.serveAdmin(w, enc, cmd, fields)
 	default:
-		s.errLine(w, enc, cmd, fmt.Errorf("unknown command (want route | dist | stats | addedge | deledge | setw | rebuild | quit)"))
+		s.errLine(w, enc, cmd, fmt.Errorf("unknown command (want route | dist | stats | addedge | deledge | setw | rebuild | repair | refresh | quit)"))
 	}
 	return false
 }
@@ -432,9 +440,16 @@ func (s *server) serveRoute(w *bufio.Writer, enc *json.Encoder, u, v compactrout
 func (s *server) serveAdmin(w *bufio.Writer, enc *json.Encoder, cmd string, fields []string) {
 	n := s.currentScheme().Graph().N()
 	switch cmd {
-	case "rebuild":
+	case "rebuild", "repair", "refresh":
+		run := s.live.Rebuild
+		switch cmd {
+		case "repair":
+			run = s.live.Repair
+		case "refresh":
+			run = s.live.Refresh
+		}
 		start := time.Now()
-		if err := s.live.Rebuild(); err != nil {
+		if err := run(); err != nil {
 			s.errLine(w, enc, cmd, err)
 			return
 		}
@@ -442,7 +457,7 @@ func (s *server) serveAdmin(w *bufio.Writer, enc *json.Encoder, cmd string, fiel
 		if s.jsonMode {
 			_ = enc.Encode(adminReply{Op: cmd, Generation: s.live.Generation(), TookSec: took.Seconds()})
 		} else {
-			fmt.Fprintf(w, "ok rebuild gen=%d took=%s\n", s.live.Generation(), took.Round(time.Millisecond))
+			fmt.Fprintf(w, "ok %s gen=%d took=%s\n", cmd, s.live.Generation(), took.Round(time.Millisecond))
 		}
 	case "addedge", "setw":
 		u, v, wt, err := parseEdgeWeight(fields, n)
@@ -485,12 +500,14 @@ func (s *server) writeStats(w *bufio.Writer, enc *json.Encoder) {
 			_ = enc.Encode(liveStatsSummary(st))
 		} else {
 			ov := st.Overlay
-			fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f) gen=%d overlay(del=%d add=%d setw=%d v=%d) stale(served=%d max=%.3f) detours=%d fallbacks=%d rebuilds=%d swaps=%d\n",
+			fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f) gen=%d overlay(del=%d add=%d setw=%d v=%d) stale(served=%d max=%.3f) detours=%d fallbacks=%d rebuilds=%d repairs=%d escalations=%d swaps=%d repair(last=%s vics=%d clusters=%d seqs=%d labels=%d)\n",
 				st.Queries, st.QPS, st.Errors, st.BoundViolations,
 				st.P50Hops, st.P99Hops, st.MeanHops, st.MaxStretch,
 				st.Generation, ov.Deleted, ov.Inserted, ov.Reweighted, st.OverlayVersion,
 				st.StaleServed, st.MaxStaleStretch, st.Detours, st.Fallbacks,
-				st.Rebuilds, st.Swaps)
+				st.Rebuilds, st.Repairs, st.Escalations, st.Swaps,
+				st.LastRepair.Round(time.Millisecond), st.LastRepairInfo.DirtyVics,
+				st.LastRepairInfo.DirtyClusters, st.LastRepairInfo.DirtySeqs, st.LastRepairInfo.DirtyLabels)
 		}
 		return
 	}
@@ -596,6 +613,14 @@ type liveStatsReply struct {
 	Fallbacks      uint64  `json:"fallbacks"`
 	Rebuilds       uint64  `json:"rebuilds"`
 	Swaps          uint64  `json:"swaps"`
+	Repairs        uint64  `json:"repairs"`
+	RepairErrors   uint64  `json:"repair_errors"`
+	Escalations    uint64  `json:"escalations"`
+	LastRepairSec  float64 `json:"last_repair_sec"`
+	RepairVics     int     `json:"repair_dirty_vicinities"`
+	RepairClusters int     `json:"repair_dirty_clusters"`
+	RepairSeqs     int     `json:"repair_dirty_seqs"`
+	RepairLabels   int     `json:"repair_dirty_labels"`
 }
 
 func statsSummary(st compactroute.ServeStats) statsReply {
@@ -619,6 +644,14 @@ func liveStatsSummary(st compactroute.LiveStats) liveStatsReply {
 		Fallbacks:      st.Fallbacks,
 		Rebuilds:       st.Rebuilds,
 		Swaps:          st.Swaps,
+		Repairs:        st.Repairs,
+		RepairErrors:   st.RepairErrors,
+		Escalations:    st.Escalations,
+		LastRepairSec:  st.LastRepair.Seconds(),
+		RepairVics:     st.LastRepairInfo.DirtyVics,
+		RepairClusters: st.LastRepairInfo.DirtyClusters,
+		RepairSeqs:     st.LastRepairInfo.DirtySeqs,
+		RepairLabels:   st.LastRepairInfo.DirtyLabels,
 	}
 }
 

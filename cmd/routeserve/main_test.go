@@ -148,6 +148,12 @@ func TestServeLiveAdminSession(t *testing.T) {
 		"rebuild",
 		"stats",
 		"route 3 41",
+		// The rebuild armed the repair state (RepairFuncFor), so the repair
+		// and refresh admin commands swap generations in place from here on
+		// (with an empty overlay both are deterministic no-op repairs).
+		"repair",
+		"refresh",
+		"stats",
 		"quit",
 	}, "\n"))
 	var out strings.Builder
@@ -162,7 +168,10 @@ func TestServeLiveAdminSession(t *testing.T) {
 		"err setw:",
 		"ok rebuild gen=1",
 		"gen=1",
-		"rebuilds=1 swaps=1",
+		"rebuilds=1",
+		"ok repair gen=2",
+		"ok refresh gen=3",
+		"repairs=2",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)

@@ -38,6 +38,7 @@ var higherIsBetter = map[string]bool{
 	"load_ms":        false,
 	"bytes_per_word": false,
 	"snapshot_bytes": false,
+	"repair_ms":      false,
 }
 
 // GatedMetrics lists the metric names Compare enforces, sorted.
@@ -97,6 +98,20 @@ type snapSizeRecord struct {
 	BytesPerWord  float64 `json:"bytes_per_word"`
 }
 
+// repairRecord mirrors one entry of the repair_sweep array (BENCH_pr8.json
+// onward): the mean per-phase latency of repairing the serving scheme in
+// place after a churn batch, against the mean from-scratch rebuild latency
+// on the same churned graphs. Only repair_ms is gated; the rebuild time and
+// the dirty-set footprint ride along as methodology context.
+type repairRecord struct {
+	Scheme      string  `json:"scheme"`
+	N           int     `json:"n"`
+	Batch       int     `json:"batch"`
+	RepairMs    float64 `json:"repair_ms"`
+	FullMs      float64 `json:"full_rebuild_ms,omitempty"`
+	Escalations int     `json:"escalations,omitempty"`
+}
+
 // benchFile is the superset schema of every BENCH_*.json in the repository.
 type benchFile struct {
 	PR           int              `json:"pr"`
@@ -105,6 +120,7 @@ type benchFile struct {
 	Benchmarks   []benchRecord    `json:"benchmarks"`
 	SnapshotLoad []snapLoadRecord `json:"snapshot_load"`
 	SnapshotSize []snapSizeRecord `json:"snapshot_size"`
+	RepairSweep  []repairRecord   `json:"repair_sweep"`
 }
 
 // QPSKey is the trajectory key of a serving-throughput record. Keys are the
@@ -127,6 +143,13 @@ func LoadKey(scheme string, n int, mode string) string {
 // SizeKey is the trajectory key of a snapshot-footprint measurement.
 func SizeKey(scheme string, n int) string {
 	return fmt.Sprintf("bytes/%s/n=%d", scheme, n)
+}
+
+// RepairKey is the trajectory key of an incremental-repair latency
+// measurement: scheme repaired in place after a churn batch of the given
+// size.
+func RepairKey(scheme string, n, batch int) string {
+	return fmt.Sprintf("repairms/%s/n=%d/batch=%d", scheme, n, batch)
 }
 
 // Parse reads one BENCH_*.json document. Unknown top-level fields are
@@ -186,6 +209,18 @@ func Parse(data []byte, file string) (*Trajectory, error) {
 		}
 		m := map[string]float64{"snapshot_bytes": r.SnapshotBytes, "bytes_per_word": r.BytesPerWord}
 		if err := add(SizeKey(r.Scheme, r.N), m); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range bf.RepairSweep {
+		if r.Scheme == "" {
+			return nil, fmt.Errorf("benchtrack: %s: repair_sweep record without scheme", file)
+		}
+		m := map[string]float64{"repair_ms": r.RepairMs}
+		if r.FullMs != 0 {
+			m["full_rebuild_ms"] = r.FullMs // informational, never gated
+		}
+		if err := add(RepairKey(r.Scheme, r.N, r.Batch), m); err != nil {
 			return nil, err
 		}
 	}

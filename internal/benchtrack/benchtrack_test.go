@@ -135,6 +135,56 @@ func TestParseSnapshotTrajectories(t *testing.T) {
 	}
 }
 
+const repairJSON = `{
+  "pr": 8,
+  "repair_sweep": [
+    {"scheme": "thm11", "n": 10000, "batch": 1, "repair_ms": 3125.0, "full_rebuild_ms": 79938.0, "escalations": 0},
+    {"scheme": "thm11", "n": 1000, "batch": 1, "repair_ms": 194.0, "full_rebuild_ms": 500.0, "escalations": 1}
+  ]
+}`
+
+func TestParseRepairSweep(t *testing.T) {
+	tr, err := Parse([]byte(repairJSON), "BENCH_pr8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 2 {
+		t.Fatalf("got %d points (%v), want 2", len(tr.Points), tr.Keys())
+	}
+	p, ok := tr.Points[RepairKey("thm11", 10000, 1)]
+	if !ok {
+		t.Fatalf("missing repair point; keys: %v", tr.Keys())
+	}
+	if p.Metrics["repair_ms"] != 3125.0 {
+		t.Fatalf("repair_ms = %v, want 3125", p.Metrics["repair_ms"])
+	}
+
+	// repair_ms gates lower-is-better; the rebuild reference rides along
+	// as context and never gates.
+	slower := traj(t, "slower", `{"repair_sweep": [
+	  {"scheme": "thm11", "n": 10000, "batch": 1, "repair_ms": 9000.0, "full_rebuild_ms": 999999.0}]}`)
+	regs, compared, err := Compare(tr, slower, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "repair_ms" {
+		t.Fatalf("regs = %v, want exactly the repair_ms regression", regs)
+	}
+	if compared != 1 {
+		t.Fatalf("compared %d metrics, want 1 (full_rebuild_ms must not gate)", compared)
+	}
+	faster := traj(t, "faster", `{"repair_sweep": [
+	  {"scheme": "thm11", "n": 10000, "batch": 1, "repair_ms": 100.0}]}`)
+	if regs, _, err := Compare(tr, faster, 0.5); err != nil || len(regs) != 0 {
+		t.Fatalf("improvement flagged: regs=%v err=%v", regs, err)
+	}
+
+	if _, err := Parse([]byte(`{"repair_sweep": [
+	  {"n": 1, "batch": 1, "repair_ms": 1}]}`), "bad.json"); err == nil {
+		t.Fatal("repair record without scheme must not parse")
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := Parse([]byte(`{"pr": 1}`), "empty.json"); err == nil {
 		t.Fatal("file without gateable points must not parse")

@@ -247,10 +247,37 @@ func (l *Landmarks) MaxClusterSize() int {
 // step promotes any stragglers to landmarks (a landmark's cluster is just
 // itself), so the returned set always satisfies the bound.
 func CenterCover(g *graph.Graph, s int, seed int64) (*Landmarks, error) {
+	l, _, err := CenterCoverTrace(g, s, seed)
+	return l, err
+}
+
+// CoverRound records one effective sampling round of CenterCover: how many
+// landmarks (in sampling order) were in A after the round's draws, and which
+// roots' clusters still exceeded the bound under that intermediate set.
+type CoverRound struct {
+	ALen      int
+	Oversized []graph.Vertex
+}
+
+// CoverTrace records the randomized trajectory of one CenterCover run. The
+// sampling decisions are a pure function of the seed and of the sequence of
+// oversized sets, so a run on a different graph produces the same landmark
+// set if and only if every recorded round's oversized set is reproduced
+// there - the check VerifyCoverTrace performs for the incremental repair
+// path.
+type CoverTrace struct {
+	S      int
+	Bound  int
+	Order  []graph.Vertex // the final A in sampling order (prefixes = rounds)
+	Rounds []CoverRound
+}
+
+// CenterCoverTrace is CenterCover recording the sampling trajectory.
+func CenterCoverTrace(g *graph.Graph, s int, seed int64) (*Landmarks, *CoverTrace, error) {
 	const boundFactor = 4
 	n := g.N()
 	if s < 1 {
-		return nil, fmt.Errorf("cluster: need s >= 1, got %d", s)
+		return nil, nil, fmt.Errorf("cluster: need s >= 1, got %d", s)
 	}
 	if s > n {
 		s = n
@@ -259,6 +286,7 @@ func CenterCover(g *graph.Graph, s int, seed int64) (*Landmarks, error) {
 	if bound < 1 {
 		bound = 1
 	}
+	trace := &CoverTrace{S: s, Bound: bound}
 	r := rand.New(rand.NewSource(seed))
 	inA := make([]bool, n)
 	var a []graph.Vertex
@@ -287,13 +315,19 @@ func CenterCover(g *graph.Graph, s int, seed int64) (*Landmarks, error) {
 		var err error
 		l, err = New(g, a)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		oversized = oversized[:0]
 		for w := 0; w < n; w++ {
 			if len(l.clusters[w]) > bound {
 				oversized = append(oversized, graph.Vertex(w))
 			}
+		}
+		if grew {
+			trace.Rounds = append(trace.Rounds, CoverRound{
+				ALen:      len(a),
+				Oversized: append([]graph.Vertex(nil), oversized...),
+			})
 		}
 	}
 	if len(oversized) > 0 || l == nil {
@@ -308,13 +342,14 @@ func CenterCover(g *graph.Graph, s int, seed int64) (*Landmarks, error) {
 		var err error
 		l, err = New(g, a)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if got := l.MaxClusterSize(); got > bound {
-			return nil, fmt.Errorf("cluster: center cover failed, max cluster %d > bound %d", got, bound)
+			return nil, nil, fmt.Errorf("cluster: center cover failed, max cluster %d > bound %d", got, bound)
 		}
 	}
-	return l, nil
+	trace.Order = append([]graph.Vertex(nil), a...)
+	return l, trace, nil
 }
 
 func log2(n int) int {

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/parallel"
+	"compactroute/internal/vicinity"
+)
+
+// InterRepairConfig carries the inputs of an incremental Lemma 8 repair
+// after edge updates. The partitions (U and W) are those of the original
+// build and must be unchanged - the caller escalates to a full rebuild when
+// the coloring or the landmark set moved.
+type InterRepairConfig struct {
+	Graph *graph.Graph     // the updated graph
+	Paths graph.PathSource // canonical shortest paths over the updated graph
+	// Vics are the repaired vicinities (same q-tilde as the original build;
+	// clean sets may be shared with the old family).
+	Vics []*vicinity.Set
+	// VicDirty[x] reports that B(x) changed, which dirties the relay
+	// representatives of x and every sequence whose construction walked
+	// through x.
+	VicDirty []bool
+	// SeqDirty reports that the stored sequence u->w must be rebuilt for a
+	// reason the waypoint scan cannot see: the caller's geodesic analysis
+	// found an updated edge on (or newly on) a canonical path the sequence
+	// construction consulted. It is called concurrently and must be
+	// read-only. nil means no extra dirtiness.
+	SeqDirty func(u, w graph.Vertex, waypoints []graph.Vertex) bool
+}
+
+// Repair returns a new Inter over the updated graph that is bit-identical
+// to NewInter on the same inputs, rebuilding only the sequences the config
+// marks dirty (directly via SeqDirty, or transitively via a dirty vicinity
+// or changed relay representative at the source or any stored waypoint -
+// every vertex whose tables the sequence construction consulted is one of
+// those). Clean sources share their whole sequence map with the old
+// structure. The second return value is the number of rebuilt sequences.
+//
+// Errors mean the repair preconditions do not hold (snapshot-aliased
+// sequences, a changed doubling unit, a part that no longer intersects a
+// dirty vicinity, an unreachable dirty pair); the caller escalates to a
+// full rebuild.
+func (in *Inter) Repair(cfg InterRepairConfig) (*Inter, int, error) {
+	if in.flat != nil {
+		return nil, 0, fmt.Errorf("core: snapshot-aliased sequences are not repairable in place")
+	}
+	n := cfg.Graph.N()
+	if n != in.g.N() || len(cfg.Vics) != n || len(cfg.VicDirty) != n {
+		return nil, 0, fmt.Errorf("core: repair config arrays must have length n=%d", in.g.N())
+	}
+	if sc := minEdgeWeight(cfg.Graph); sc != in.scale {
+		// The doubling thresholds of every stored sequence are multiples of
+		// scale/b; a changed minimum edge weight re-seeds all of them.
+		return nil, 0, fmt.Errorf("core: minimum edge weight changed %v -> %v", in.scale, sc)
+	}
+	out := &Inter{
+		g:       cfg.Graph,
+		vics:    cfg.Vics,
+		uPartOf: in.uPartOf,
+		wPartOf: in.wPartOf,
+		b:       in.b,
+		eps:     in.eps,
+		scale:   in.scale,
+		// maxDist is what a from-scratch build would compute on the new
+		// graph; it only sizes the runaway guard of buildSequence, so clean
+		// sequences stay valid.
+		maxDist:  maxDistBound(cfg.Paths),
+		relayRep: make([][]graph.Vertex, n),
+		seqs:     make([]map[graph.Vertex]interSeq, n),
+	}
+	// Relay representatives are a pure function of the vicinity and the U
+	// partition: recompute them for dirty vicinities, share the rest.
+	relayChanged := make([]bool, n)
+	if err := parallel.ForErr(n, func(u int) error {
+		if !cfg.VicDirty[u] {
+			out.relayRep[u] = in.relayRep[u]
+			return nil
+		}
+		q := len(in.relayRep[u])
+		reps := make([]graph.Vertex, q)
+		for j := range reps {
+			reps[j] = graph.NoVertex
+		}
+		found := 0
+		vic := cfg.Vics[u]
+		for i, c := 0, vic.Size(); i < c && found < q; i++ { // (dist, id) order
+			mv := vic.MemberV(i)
+			j := in.uPartOf[mv]
+			if int(j) >= 0 && int(j) < q && reps[j] == graph.NoVertex {
+				reps[j] = mv
+				found++
+			}
+		}
+		for j := range reps {
+			if reps[j] == graph.NoVertex {
+				return fmt.Errorf("core: U_%d no longer intersects B(%d) (hitting precondition of Lemma 8 violated)", j, u)
+			}
+		}
+		for j := range reps {
+			if reps[j] != in.relayRep[u][j] {
+				relayChanged[u] = true
+				break
+			}
+		}
+		out.relayRep[u] = reps
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	rebuiltPer := make([]int, n)
+	if err := parallel.ForErr(n, func(ui int) error {
+		u := graph.Vertex(ui)
+		old := in.seqs[ui]
+		if old == nil {
+			return nil // part beyond W: no targets
+		}
+		j := in.uPartOf[ui]
+		// A dirty vicinity or changed relay at the source invalidates every
+		// sequence of the source (the B(u) shortcut and the first hops are
+		// consulted for all of them).
+		selfDirty := cfg.VicDirty[ui] || relayChanged[ui]
+		var dirty []graph.Vertex
+		for w, sq := range old {
+			d := selfDirty
+			if !d {
+				for _, wp := range sq.waypoints {
+					if cfg.VicDirty[wp] || relayChanged[wp] {
+						d = true
+						break
+					}
+				}
+			}
+			if !d && cfg.SeqDirty != nil {
+				d = cfg.SeqDirty(u, w, sq.waypoints)
+			}
+			if d {
+				dirty = append(dirty, w)
+			}
+		}
+		if len(dirty) == 0 {
+			out.seqs[ui] = old // COW: clean source shares the old map
+			return nil
+		}
+		m := make(map[graph.Vertex]interSeq, len(old))
+		for w, sq := range old {
+			m[w] = sq
+		}
+		for _, w := range dirty {
+			sq, err := out.buildSequence(cfg.Paths, u, w, j)
+			if err != nil {
+				return fmt.Errorf("core: inter repair %d->%d: %w", u, w, err)
+			}
+			m[w] = sq
+		}
+		out.seqs[ui] = m
+		rebuiltPer[ui] = len(dirty)
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	rebuilt := 0
+	for _, c := range rebuiltPer {
+		rebuilt += c
+	}
+	return out, rebuilt, nil
+}

@@ -75,16 +75,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	if err != nil {
 		return nil, fmt.Errorf("scheme4k: %w", err)
 	}
-	// W: arbitrary partition of A_{k-2} into q parts.
-	ak2 := h.Levels[params.K-2]
-	wParts := make([][]graph.Vertex, q)
-	chunk := (len(ak2) + q - 1) / q
-	alphaOf := make(map[graph.Vertex]int32, len(ak2))
-	for i, w := range ak2 {
-		j := i / chunk
-		wParts[j] = append(wParts[j], w)
-		alphaOf[w] = int32(j)
-	}
+	wParts, alphaOf := landmarkParts(h.Levels[params.K-2], q)
 	inter, err := core.NewInter(core.InterConfig{
 		Graph: g, Paths: paths, Vics: vc.Vics,
 		UPartOf: vc.PartOf, WParts: wParts, Eps: params.Eps,
@@ -103,6 +94,25 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	vc.AddWords(s.tally)
 	inter.AddTableWords(s.tally)
 	return s, nil
+}
+
+// landmarkParts is the W partition of Theorem 16: an arbitrary (but fixed)
+// split of A_{k-2} into q chunks in level order, with the part index
+// alpha(w) of every landmark. It is a pure function of (A_{k-2}, q), so the
+// snapshot restore path re-derives it instead of storing it.
+func landmarkParts(ak2 []graph.Vertex, q int) ([][]graph.Vertex, map[graph.Vertex]int32) {
+	wParts := make([][]graph.Vertex, q)
+	chunk := (len(ak2) + q - 1) / q
+	if chunk < 1 {
+		chunk = 1
+	}
+	alphaOf := make(map[graph.Vertex]int32, len(ak2))
+	for i, w := range ak2 {
+		j := i / chunk
+		wParts[j] = append(wParts[j], w)
+		alphaOf[w] = int32(j)
+	}
+	return wParts, alphaOf
 }
 
 type phase int8

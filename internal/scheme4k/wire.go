@@ -1,0 +1,154 @@
+package scheme4k
+
+import (
+	"fmt"
+
+	"compactroute/internal/coloring"
+	"compactroute/internal/core"
+	"compactroute/internal/graph"
+	"compactroute/internal/schemeutil"
+	"compactroute/internal/simnet"
+	"compactroute/internal/space"
+	"compactroute/internal/tzroute"
+	"compactroute/internal/vicinity"
+	"compactroute/internal/wire"
+)
+
+// WireKindNameV2 is the registered snapshot kind of the Theorem 16 scheme.
+// The scheme was born with the v2 layout (there is no v1): the embedded
+// Thorup-Zwick hierarchy reuses the tzroute/v2 section bytes under thm16/*
+// names, and the vicinity, coloring and Lemma 8 sections follow the Theorem
+// 11 layout. Labels and the W partition are pure functions of the decoded
+// hierarchy, so the snapshot stores neither.
+const WireKindNameV2 = "scheme4k/v2"
+
+func init() {
+	wire.Register(WireKindNameV2, decodeSnapshotV2)
+}
+
+// Section names of the Theorem 16 snapshot.
+const (
+	secParams     = "thm16/params"
+	secLevels     = "thm16/levels"
+	secNearest    = "thm16/nearest"
+	secTrees      = "thm16/trees"
+	secBunches    = "thm16/bunches"
+	secVicinities = "thm16/vicinities"
+	secColoring   = "thm16/coloring"
+	secInter      = "thm16/inter"
+)
+
+// WireKind implements wire.Encodable.
+func (s *Scheme) WireKind() string { return WireKindNameV2 }
+
+// EncodeSnapshot implements wire.Encodable. Small decode-time-only sections
+// (params, levels, coloring) are varint compressed; the bulk tables - the
+// nearest tables, cluster trees and bunch transpose of the hierarchy, the
+// vicinities and the Lemma 8 sequences - are aligned fixed-width sections
+// that decode as zero-copy aliases over a mapped file.
+func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
+	p := snap.Section(secParams)
+	p.Uvarint(uint64(s.k))
+	p.Float64(s.eps)
+	p.Uvarint(uint64(s.vc.Q))
+	p.Uvarint(uint64(s.vc.L))
+	s.h.EncodeWireV2(snap.Section(secLevels), snap.AlignedSection(secNearest),
+		snap.AlignedSection(secTrees), snap.AlignedSection(secBunches))
+	if err := vicinity.EncodeSetsV2(snap.AlignedSection(secVicinities), s.vc.Vics); err != nil {
+		return err
+	}
+	s.vc.Col.EncodeWireV2(snap.Section(secColoring))
+	s.inter.EncodeWireV2(snap.AlignedSection(secInter))
+	return nil
+}
+
+// decodeSnapshotV2 rebuilds a Theorem 16 scheme over the decoded graph. The
+// result is behaviorally identical to the encoded scheme: the hierarchy
+// decodes through the shared tzroute validator, the W partition and the
+// per-vertex labels are re-derived from it, and every derived lookup that a
+// corrupt snapshot could break (a p_{k-2} outside A_{k-2}) fails with an
+// error instead of indexing garbage.
+func decodeSnapshotV2(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error) {
+	n := g.N()
+	pd, err := snap.Decoder(secParams)
+	if err != nil {
+		return nil, err
+	}
+	k := int(pd.Uvarint())
+	eps := pd.Float64()
+	q := int(pd.Uvarint())
+	l := int(pd.Uvarint())
+	if err := pd.Finish(); err != nil {
+		return nil, err
+	}
+	if k < 3 || k > 64 {
+		return nil, fmt.Errorf("scheme4k: snapshot k=%d outside [3,64]", k)
+	}
+	if q < 1 || q > n {
+		return nil, fmt.Errorf("scheme4k: snapshot q=%d outside [1,%d]", q, n)
+	}
+
+	h, err := tzroute.DecodeHierarchyV2(g, k, snap, secLevels, secNearest, secTrees, secBunches)
+	if err != nil {
+		return nil, err
+	}
+
+	vd, err := snap.Decoder(secVicinities)
+	if err != nil {
+		return nil, err
+	}
+	vics, err := vicinity.DecodeSetsV2(vd, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := vd.Finish(); err != nil {
+		return nil, err
+	}
+
+	cd, err := snap.Decoder(secColoring)
+	if err != nil {
+		return nil, err
+	}
+	col, err := coloring.DecodeWireV2(cd, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := cd.Finish(); err != nil {
+		return nil, err
+	}
+	vc, err := schemeutil.RestoreVicinityColoring(q, l, vics, col)
+	if err != nil {
+		return nil, err
+	}
+
+	wParts, alphaOf := landmarkParts(h.Levels[k-2], q)
+	id, err := snap.Decoder(secInter)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := core.RestoreInterV2(core.InterConfig{
+		Graph: g, Vics: vc.Vics, UPartOf: vc.PartOf, WParts: wParts, Eps: eps,
+	}, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := id.Finish(); err != nil {
+		return nil, err
+	}
+
+	s := &Scheme{g: g, k: k, eps: eps, h: h, vc: vc, inter: inter,
+		labels: make([]label, n)}
+	for v := 0; v < n; v++ {
+		tl := h.LabelOf(graph.Vertex(v))
+		a, ok := alphaOf[tl.P[k-2]]
+		if !ok {
+			return nil, fmt.Errorf("scheme4k: snapshot p_%d(%d)=%d is not an A_%d landmark", k-2, v, tl.P[k-2], k-2)
+		}
+		s.labels[v] = label{tz: tl, alpha: a}
+	}
+	s.tally = space.NewTally(n)
+	h.AddWords(s.tally)
+	vc.AddWords(s.tally)
+	inter.AddTableWords(s.tally)
+	return s, nil
+}

@@ -32,6 +32,7 @@ import (
 	"compactroute/internal/simnet"
 	"compactroute/internal/space"
 	"compactroute/internal/treeroute"
+	"compactroute/internal/vicinity"
 )
 
 // Params configures the scheme.
@@ -70,21 +71,39 @@ var _ simnet.ReusableScheme = (*Scheme)(nil)
 
 // New runs the preprocessing phase.
 func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error) {
+	s, _, _, err := build(g, paths, params, false)
+	return s, err
+}
+
+// build is the shared preprocessing body of New and NewRepairable; withTouch
+// additionally records the reverse touch index of the vicinity family and
+// the center-cover sampling trajectory (the repair path's dirty-set source
+// and landmark-drift check).
+func build(g *graph.Graph, paths graph.PathSource, params Params, withTouch bool) (*Scheme, *vicinity.Touch, *cluster.CoverTrace, error) {
 	params.fill()
 	n := g.N()
 	q := int(math.Ceil(math.Cbrt(float64(n))))
-	vc, err := schemeutil.BuildVicinityColoring(g, q, params.VicinityFactor, params.Seed)
+	var (
+		vc    *schemeutil.VicinityColoring
+		touch *vicinity.Touch
+		err   error
+	)
+	if withTouch {
+		vc, touch, err = schemeutil.BuildVicinityColoringTouch(g, q, params.VicinityFactor, params.Seed)
+	} else {
+		vc, err = schemeutil.BuildVicinityColoring(g, q, params.VicinityFactor, params.Seed)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("scheme5: %w", err)
+		return nil, nil, nil, fmt.Errorf("scheme5: %w", err)
 	}
 	sTarget := int(math.Ceil(math.Pow(float64(n), 2.0/3.0)))
-	lms, err := cluster.CenterCover(g, sTarget, params.Seed+37)
+	lms, trace, err := cluster.CenterCoverTrace(g, sTarget, params.Seed+37)
 	if err != nil {
-		return nil, fmt.Errorf("scheme5: %w", err)
+		return nil, nil, nil, fmt.Errorf("scheme5: %w", err)
 	}
 	fores, err := schemeutil.BuildClusterForest(g, lms)
 	if err != nil {
-		return nil, fmt.Errorf("scheme5: %w", err)
+		return nil, nil, nil, fmt.Errorf("scheme5: %w", err)
 	}
 	wParts, alphaOf := landmarkParts(lms.A, q)
 	inter, err := core.NewInter(core.InterConfig{
@@ -92,7 +111,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 		UPartOf: vc.PartOf, WParts: wParts, Eps: params.Eps,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("scheme5: %w", err)
+		return nil, nil, nil, fmt.Errorf("scheme5: %w", err)
 	}
 	s := &Scheme{g: g, eps: params.Eps, vc: vc, lms: lms, fores: fores, inter: inter,
 		labels: make([]label, n)}
@@ -103,7 +122,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 			z := paths.First(pa, graph.Vertex(v))
 			lbl.paPort = g.PortTo(pa, z)
 			if lbl.paPort == graph.NoPort {
-				return nil, fmt.Errorf("scheme5: first edge (%d,%d) missing", pa, z)
+				return nil, nil, nil, fmt.Errorf("scheme5: first edge (%d,%d) missing", pa, z)
 			}
 		}
 		s.labels[v] = lbl
@@ -112,7 +131,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	vc.AddWords(s.tally)
 	fores.AddWords(s.tally, "cluster-trees")
 	inter.AddTableWords(s.tally)
-	return s, nil
+	return s, touch, trace, nil
 }
 
 // landmarkParts is the W partition of Theorem 11: an arbitrary (but fixed)

@@ -44,20 +44,52 @@ func BuildVicinityColoring(g *graph.Graph, q int, factor float64, seed int64) (*
 	if err != nil {
 		return nil, fmt.Errorf("schemeutil: vicinities: %w", err)
 	}
-	sets := make([][]graph.Vertex, n)
-	for u := range sets {
-		ms := vics[u].Members()
-		s := make([]graph.Vertex, len(ms))
-		for i, m := range ms {
-			s[i] = m.V
-		}
-		sets[u] = s
-	}
-	col, err := coloring.New(n, q, sets, seed)
+	col, err := coloring.New(n, q, MemberSets(vics), seed)
 	if err != nil {
 		return nil, fmt.Errorf("schemeutil: coloring: %w", err)
 	}
 	return assembleVicinityColoring(q, l, vics, col)
+}
+
+// BuildVicinityColoringTouch is BuildVicinityColoring plus the reverse touch
+// index of the vicinity family (see vicinity.Touch): same vicinities, same
+// coloring, same representative tables, with the per-center settled sets
+// recorded for the incremental repair path.
+func BuildVicinityColoringTouch(g *graph.Graph, q int, factor float64, seed int64) (*VicinityColoring, *vicinity.Touch, error) {
+	n := g.N()
+	if q < 1 {
+		return nil, nil, fmt.Errorf("schemeutil: need q >= 1, got %d", q)
+	}
+	l := vicinity.InflatedSize(q, n, factor)
+	vics, touch, err := vicinity.BuildAllTouch(g, l)
+	if err != nil {
+		return nil, nil, fmt.Errorf("schemeutil: vicinities: %w", err)
+	}
+	sets := MemberSets(vics)
+	col, err := coloring.New(n, q, sets, seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("schemeutil: coloring: %w", err)
+	}
+	vc, err := assembleVicinityColoring(q, l, vics, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vc, touch, nil
+}
+
+// MemberSets extracts the member-id set of each vicinity (coloring.New input
+// form).
+func MemberSets(vics []*vicinity.Set) [][]graph.Vertex {
+	sets := make([][]graph.Vertex, len(vics))
+	for u := range sets {
+		vic := vics[u]
+		s := make([]graph.Vertex, vic.Size())
+		for i := range s {
+			s[i] = vic.MemberV(i)
+		}
+		sets[u] = s
+	}
+	return sets
 }
 
 // RestoreVicinityColoring rebuilds the bundle from decoded vicinities and a
@@ -116,6 +148,52 @@ func assembleVicinityColoring(q, l int, vics []*vicinity.Set, col *coloring.Colo
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	return vc, nil
+}
+
+// RepairVicinityColoring produces the bundle over a repaired vicinity family
+// in which only the centers listed in dirty changed, keeping the verified
+// coloring (the caller must have checked that the coloring is still valid
+// for the new family): representative tables of clean centers are shared
+// with the old bundle, dirty ones recomputed with the same first-member-per-
+// color loop the build path uses.
+func RepairVicinityColoring(old *VicinityColoring, vics []*vicinity.Set, dirty []graph.Vertex) (*VicinityColoring, error) {
+	n := len(vics)
+	vc := &VicinityColoring{
+		Q:       old.Q,
+		L:       old.L,
+		Vics:    vics,
+		Col:     old.Col,
+		PartOf:  old.PartOf,
+		Reps:    make([][]graph.Vertex, n),
+		RepDist: make([][]float64, n),
+	}
+	copy(vc.Reps, old.Reps)
+	copy(vc.RepDist, old.RepDist)
+	q, col := old.Q, old.Col
+	for _, u := range dirty {
+		reps := make([]graph.Vertex, q)
+		dists := make([]float64, q)
+		for c := range reps {
+			reps[c] = graph.NoVertex
+		}
+		found := 0
+		vic := vics[u]
+		for i, sz := 0, vic.Size(); i < sz && found < q; i++ { // (dist, id) order
+			mv := vic.MemberV(i)
+			c := col.Of(mv)
+			if int(c) < q && reps[c] == graph.NoVertex {
+				reps[c] = mv
+				dists[c] = vic.MemberDist(i)
+				found++
+			}
+		}
+		if found != q {
+			return nil, fmt.Errorf("schemeutil: B(%d) lost colors after repair", u)
+		}
+		vc.Reps[u] = reps
+		vc.RepDist[u] = dists
 	}
 	return vc, nil
 }

@@ -21,6 +21,51 @@ import (
 // internal/parallel pool) is what makes rebuilds fast.
 type BuildFunc func(g *graph.Graph) (simnet.Scheme, error)
 
+// RepairInfo reports the dirty-set footprint of one incremental repair -
+// how much of the scheme the churn actually invalidated.
+type RepairInfo struct {
+	Edges         int // edge updates covered by the repair
+	DirtyVics     int // vicinities recomputed
+	ChangedVics   int // recomputed vicinities that actually differed
+	DirtyClusters int // cluster trees recomputed
+	DirtySeqs     int // inter-routing sequences rebuilt
+	DirtyLabels   int // labels recomputed
+}
+
+// RepairFunc incrementally repairs a scheme for the effective graph g (the
+// materialization of old's graph plus the overlay entries). The returned
+// scheme must be preprocessed for exactly g and bit-identical to what
+// LiveOptions.Build would produce on g; an error means the repair path
+// cannot guarantee that (the engine escalates to a full rebuild).
+type RepairFunc func(old simnet.Scheme, g *graph.Graph, entries []live.Entry) (simnet.Scheme, RepairInfo, error)
+
+// RepairPolicy decides when Refresh may serve a churn batch with an
+// incremental repair instead of a full rebuild. Zero limits fall back to
+// DefaultRepairPolicy for MaxRepairEntries and mean "no limit" for the
+// other two.
+type RepairPolicy struct {
+	// MaxRepairEntries is the largest overlay (delta) size a repair may
+	// absorb; larger deltas force a full rebuild.
+	MaxRepairEntries int
+	// MaxStaleServed forces a full rebuild once more than this many
+	// deliveries were served degraded since the last generation swap.
+	MaxStaleServed uint64
+	// MaxRepairInterval forces a full rebuild when the last one is older
+	// than this, bounding how long repaired generations may compound.
+	MaxRepairInterval time.Duration
+}
+
+// DefaultRepairPolicy is the policy Refresh uses when LiveOptions.Policy is
+// the zero value.
+var DefaultRepairPolicy = RepairPolicy{MaxRepairEntries: 64}
+
+func (p RepairPolicy) filled() RepairPolicy {
+	if p.MaxRepairEntries <= 0 {
+		p.MaxRepairEntries = DefaultRepairPolicy.MaxRepairEntries
+	}
+	return p
+}
+
 // LiveOptions configures a live (churn-tolerant) serving engine.
 type LiveOptions struct {
 	// Workers is the number of serving shards; <= 0 selects the package
@@ -41,6 +86,12 @@ type LiveOptions struct {
 	// Build rebuilds a scheme for the materialized effective graph; nil
 	// disables Rebuild.
 	Build BuildFunc
+	// Repair incrementally repairs the serving scheme for the effective
+	// graph; nil disables Repair (Refresh always rebuilds).
+	Repair RepairFunc
+	// Policy governs Refresh's repair-vs-rebuild decision; the zero value
+	// selects DefaultRepairPolicy.
+	Policy RepairPolicy
 	// Retire, when non-nil, runs exactly once after the initially-supplied
 	// scheme's generation has been swapped out by a rebuild AND every
 	// in-flight query on it has drained. It is how a scheme served straight
@@ -144,6 +195,27 @@ type Live struct {
 	rebuildErrs atomic.Uint64
 	swaps       atomic.Uint64
 	lastRebuild atomic.Int64 // nanoseconds of the last successful rebuild
+	lastFullAt  atomic.Int64 // unix nanos of the last full rebuild (or engine start)
+
+	repairs        atomic.Uint64
+	repairErrs     atomic.Uint64
+	escalations    atomic.Uint64 // policy chose repair, repair failed, rebuild ran
+	pendingDropped atomic.Uint64 // quiesced updates rejected at drain
+	lastRepair     atomic.Int64  // nanoseconds of the last successful repair
+	staleAtSwap    atomic.Uint64 // StaleServed total at the last generation swap
+	lastInfoMu     sync.Mutex
+	lastInfo       RepairInfo
+
+	// pendMu orders updates against the swap+rebase critical window: while
+	// quiescing (a rebuild or repair is between reading the overlay and
+	// rebasing it), ApplyUpdates parks updates in pending instead of
+	// mutating the overlay. Without it an update that restores an edge to
+	// its *old*-base state is normalized away by the overlay (no entry) and
+	// then silently lost when the overlay is rebased onto the new graph -
+	// the new base still carries the churned weight the update undid.
+	pendMu    sync.Mutex
+	quiescing bool
+	pending   []live.Update
 }
 
 // NewLive builds a live engine serving s over a fresh (empty) overlay.
@@ -172,7 +244,9 @@ func NewLiveWithOverlay(s simnet.Scheme, ov *live.Overlay, o LiveOptions) (*Live
 	gen0 := &generation{id: 0, router: router, retire: o.Retire}
 	gen0.refs.Store(1) // owner reference, released by the first swap
 	l.gen.Store(gen0)
-	l.start.Store(time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	l.start.Store(now)
+	l.lastFullAt.Store(now)
 	return l, nil
 }
 
@@ -196,14 +270,45 @@ func (l *Live) Workers() int { return len(l.shards) }
 
 // ApplyUpdates applies edge updates in order. On the first invalid update
 // it stops and returns the error; earlier updates stay applied (each update
-// is atomic, the batch is not).
+// is atomic, the batch is not). While a rebuild or repair is inside its
+// swap window the batch is queued instead and drained - in arrival order -
+// right after the overlay is rebased onto the new generation's graph;
+// updates that fail at drain time are counted in LiveStats.PendingDropped.
 func (l *Live) ApplyUpdates(ups []live.Update) error {
+	l.pendMu.Lock()
+	defer l.pendMu.Unlock()
+	if l.quiescing {
+		l.pending = append(l.pending, ups...)
+		return nil
+	}
 	for i, up := range ups {
 		if err := l.ov.Apply(up); err != nil {
 			return fmt.Errorf("serve: update %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// beginQuiesce opens the swap window: subsequent ApplyUpdates batches park
+// in pending until endQuiesce.
+func (l *Live) beginQuiesce() {
+	l.pendMu.Lock()
+	l.quiescing = true
+	l.pendMu.Unlock()
+}
+
+// endQuiesce closes the swap window and drains the parked updates against
+// the (now possibly rebased) overlay.
+func (l *Live) endQuiesce() {
+	l.pendMu.Lock()
+	defer l.pendMu.Unlock()
+	for _, up := range l.pending {
+		if err := l.ov.Apply(up); err != nil {
+			l.pendingDropped.Add(1)
+		}
+	}
+	l.pending = nil
+	l.quiescing = false
 }
 
 // routeOn serves one query on the given shard.
@@ -317,6 +422,13 @@ func (l *Live) Rebuild() error {
 	}
 	defer l.rebuilding.Store(false)
 	start := time.Now()
+	// Quiesce updates from the overlay read until after the rebase: an
+	// update landing in between could be normalized against the old base
+	// and lost by the rebase (see pendMu). The drain runs in the deferred
+	// endQuiesce, after the rebase (or on the error paths, against the
+	// untouched overlay).
+	l.beginQuiesce()
+	defer l.endQuiesce()
 	g, err := l.ov.Materialize()
 	if err != nil {
 		l.rebuildErrs.Add(1)
@@ -327,13 +439,25 @@ func (l *Live) Rebuild() error {
 		l.rebuildErrs.Add(1)
 		return fmt.Errorf("serve: rebuild scheme: %w", err)
 	}
-	if s.Graph().N() != g.N() || s.Graph().Fingerprint() != g.Fingerprint() {
+	if err := l.swapTo(s, g); err != nil {
 		l.rebuildErrs.Add(1)
-		return errors.New("serve: Build returned a scheme preprocessed for a different graph")
+		return err
+	}
+	l.rebuilds.Add(1)
+	l.lastRebuild.Store(int64(time.Since(start)))
+	l.lastFullAt.Store(time.Now().UnixNano())
+	return nil
+}
+
+// swapTo installs a scheme preprocessed for the effective graph g as the
+// next serving generation. Callers hold the rebuilding gate and the quiesce
+// window.
+func (l *Live) swapTo(s simnet.Scheme, g *graph.Graph) error {
+	if s.Graph().N() != g.N() || s.Graph().Fingerprint() != g.Fingerprint() {
+		return errors.New("serve: scheme preprocessed for a different graph than the effective one")
 	}
 	router, err := live.NewRouter(s, l.ov, l.opts.DetourBudget, l.opts.MaxHops)
 	if err != nil {
-		l.rebuildErrs.Add(1)
 		return err
 	}
 	// The swap: flip the generation pointer first, then rebase the overlay
@@ -354,13 +478,104 @@ func (l *Live) Rebuild() error {
 	// it returns.
 	old.release()
 	if err := l.ov.Rebase(s.Graph()); err != nil {
-		l.rebuildErrs.Add(1)
 		return err
 	}
-	l.rebuilds.Add(1)
 	l.swaps.Add(1)
-	l.lastRebuild.Store(int64(time.Since(start)))
+	l.staleAtSwap.Store(l.staleTotal())
 	return nil
+}
+
+// Repair incrementally repairs the serving scheme for the current effective
+// graph with LiveOptions.Repair and hot-swaps the generation exactly like
+// Rebuild (same in-flight gate, same RCU swap, same quiesce window). On any
+// repair error the scheme keeps serving unchanged and the caller decides
+// whether to escalate (Refresh does so automatically).
+func (l *Live) Repair() error {
+	if l.opts.Repair == nil {
+		return errors.New("serve: live engine has no Repair function")
+	}
+	if !l.rebuilding.CompareAndSwap(false, true) {
+		return ErrRebuildInFlight
+	}
+	defer l.rebuilding.Store(false)
+	start := time.Now()
+	l.beginQuiesce()
+	defer l.endQuiesce()
+	entries := l.ov.Entries()
+	g, err := l.ov.Materialize()
+	if err != nil {
+		l.repairErrs.Add(1)
+		return fmt.Errorf("serve: materialize effective graph: %w", err)
+	}
+	s, info, err := l.opts.Repair(l.gen.Load().router.Scheme(), g, entries)
+	if err != nil {
+		l.repairErrs.Add(1)
+		return fmt.Errorf("serve: repair scheme: %w", err)
+	}
+	if err := l.swapTo(s, g); err != nil {
+		l.repairErrs.Add(1)
+		return err
+	}
+	l.repairs.Add(1)
+	l.lastRepair.Store(int64(time.Since(start)))
+	l.lastInfoMu.Lock()
+	l.lastInfo = info
+	l.lastInfoMu.Unlock()
+	return nil
+}
+
+// staleTotal sums the degraded-delivery counter across shards.
+func (l *Live) staleTotal() uint64 {
+	var total uint64
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		total += sh.lv.stale
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// shouldRepair applies the policy: repair only when a repair function
+// exists, the delta is small, not too many queries were already served
+// degraded, and a full rebuild ran recently enough.
+func (l *Live) shouldRepair() bool {
+	if l.opts.Repair == nil {
+		return false
+	}
+	p := l.opts.Policy.filled()
+	if l.ov.Len() > p.MaxRepairEntries {
+		return false
+	}
+	if p.MaxStaleServed > 0 && l.staleTotal()-l.staleAtSwap.Load() > p.MaxStaleServed {
+		return false
+	}
+	if p.MaxRepairInterval > 0 && time.Since(time.Unix(0, l.lastFullAt.Load())) > p.MaxRepairInterval {
+		return false
+	}
+	return true
+}
+
+// Refresh folds the current overlay into a fresh serving generation the
+// cheapest safe way: an incremental repair when the policy allows it, a
+// full rebuild otherwise or whenever the repair fails (counted as an
+// escalation). It is the call sites' one-stop "absorb the churn" entry.
+func (l *Live) Refresh() error {
+	if l.shouldRepair() {
+		err := l.Repair()
+		if err == nil || errors.Is(err, ErrRebuildInFlight) {
+			return err
+		}
+		l.escalations.Add(1)
+	}
+	return l.Rebuild()
+}
+
+// RefreshAsync starts Refresh in a background goroutine and returns a
+// channel that receives its result (buffered; the goroutine never leaks).
+func (l *Live) RefreshAsync() <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- l.Refresh() }()
+	return ch
 }
 
 // RebuildAsync starts Rebuild in a background goroutine and returns a
@@ -401,6 +616,16 @@ type LiveStats struct {
 	Swaps           uint64
 	LastRebuild     time.Duration
 	Rebuilding      bool
+	// Repair-path counters: successful incremental repairs, repair attempts
+	// that errored, Refresh calls that fell back from repair to a full
+	// rebuild, quiesced updates rejected at drain time, the duration of the
+	// last successful repair, and its dirty-set footprint.
+	Repairs        uint64
+	RepairErrors   uint64
+	Escalations    uint64
+	PendingDropped uint64
+	LastRepair     time.Duration
+	LastRepairInfo RepairInfo
 }
 
 // Stats merges the shard counters into one snapshot.
@@ -440,7 +665,15 @@ func (l *Live) Stats() LiveStats {
 		Swaps:           l.swaps.Load(),
 		LastRebuild:     time.Duration(l.lastRebuild.Load()),
 		Rebuilding:      l.rebuilding.Load(),
+		Repairs:         l.repairs.Load(),
+		RepairErrors:    l.repairErrs.Load(),
+		Escalations:     l.escalations.Load(),
+		PendingDropped:  l.pendingDropped.Load(),
+		LastRepair:      time.Duration(l.lastRepair.Load()),
 	}
+	l.lastInfoMu.Lock()
+	st.LastRepairInfo = l.lastInfo
+	l.lastInfoMu.Unlock()
 	return st
 }
 

@@ -252,6 +252,208 @@ func TestLiveRebuildExclusive(t *testing.T) {
 	}
 }
 
+// TestLiveUpdateDuringRebuildNotLost is the regression test for the
+// rebuild/update race: an update that lands while a rebuild is between
+// materializing the effective graph and rebasing the overlay, and that
+// restores an edge to its *old*-base weight, used to be normalized to "no
+// overlay entry" and then silently swallowed by the rebase - the new base
+// kept the churned weight the update had just undone. The engine must
+// quiesce such updates and drain them after the swap.
+func TestLiveUpdateDuringRebuildNotLost(t *testing.T) {
+	const n, seed = 120, 4
+	g := testutil.MustGNM(t, n, 4*n, seed, gen.UniformInt)
+	s, err := buildThm11(seed)(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	l, err := serve.NewLive(s, serve.LiveOptions{Workers: 2, Build: func(g *graph.Graph) (simnet.Scheme, error) {
+		once.Do(func() { close(entered) })
+		<-gate
+		return buildThm11(seed)(g)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A base edge and its original weight.
+	var eu, ev graph.Vertex
+	var w0 float64
+	g.Neighbors(0, func(_ graph.Port, v graph.Vertex, w float64) bool {
+		eu, ev, w0 = 0, v, w
+		return false
+	})
+	if err := l.ApplyUpdates([]live.Update{live.SetWeight(eu, ev, w0 + 5)}); err != nil {
+		t.Fatal(err)
+	}
+	done := l.RebuildAsync()
+	<-entered // the rebuild has materialized the w0+5 graph and is building
+	if err := l.ApplyUpdates([]live.Update{live.SetWeight(eu, ev, w0)}); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if w, alive := l.Overlay().EdgeState(eu, ev); !alive || w != w0 {
+		t.Fatalf("update during rebuild lost: edge {%d,%d} serves weight %v alive=%v, want %v", eu, ev, w, alive, w0)
+	}
+	if st := l.Stats(); st.PendingDropped != 0 {
+		t.Fatalf("drain dropped %d valid updates", st.PendingDropped)
+	}
+	// The restored weight differs from the rebuilt base (w0+5), so it must
+	// live on as an overlay entry.
+	if l.Overlay().Empty() {
+		t.Fatal("overlay empty: the restoring update was normalized away")
+	}
+}
+
+// repairPair builds the coupled (build, repair) functions of the Theorem 11
+// repair path for the live tests - the internal mirror of the public
+// RepairFuncFor.
+func repairPair(seed int64) (serve.BuildFunc, serve.RepairFunc) {
+	params := scheme5.Params{Eps: 0.5, Seed: seed}
+	var mu sync.Mutex
+	var cur *scheme5.Repairable
+	build := func(g *graph.Graph) (simnet.Scheme, error) {
+		r, err := scheme5.NewRepairable(g, graph.NewLazyAPSP(g, graph.LazyConfig{}), params)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		cur = r
+		mu.Unlock()
+		return r.Scheme(), nil
+	}
+	repair := func(old simnet.Scheme, g *graph.Graph, entries []live.Entry) (simnet.Scheme, serve.RepairInfo, error) {
+		var info serve.RepairInfo
+		mu.Lock()
+		r := cur
+		mu.Unlock()
+		if r == nil || old != simnet.Scheme(r.Scheme()) {
+			return nil, info, scheme5.ErrNotRepairable
+		}
+		edges := make([][2]graph.Vertex, len(entries))
+		for i, e := range entries {
+			edges[i] = [2]graph.Vertex{e.U, e.V}
+		}
+		next, st, err := r.Repair(g, graph.NewLazyAPSP(g, graph.LazyConfig{}), edges)
+		if err != nil {
+			return nil, info, err
+		}
+		mu.Lock()
+		cur = next
+		mu.Unlock()
+		return next.Scheme(), serve.RepairInfo{Edges: st.Edges, DirtyVics: st.DirtyVics,
+			DirtyClusters: st.DirtyClusters, DirtySeqs: st.DirtySeqs, DirtyLabels: st.DirtyLabels}, nil
+	}
+	return build, repair
+}
+
+// TestLiveRefreshRepairsThenEscalates drives the policy: a small delta is
+// absorbed by an in-place repair (no rebuild), a delta over the policy limit
+// forces a full rebuild, and serving stays correct throughout.
+func TestLiveRefreshRepairsThenEscalates(t *testing.T) {
+	const n, seed = 160, 2015
+	g := testutil.MustGNM(t, n, 4*n, seed, gen.UniformInt)
+	build, repair := repairPair(seed)
+	s, err := build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := serve.NewLive(s, serve.LiveOptions{Workers: 2, Verify: true,
+		Build: build, Repair: repair, Policy: serve.RepairPolicy{MaxRepairEntries: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := live.DeletionTrace(g, 0.10, 13)
+	if len(trace) < 8 {
+		t.Fatalf("trace too short: %d", len(trace))
+	}
+
+	// Small delta: policy selects repair.
+	if err := l.ApplyUpdates(trace[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Repairs != 1 || st.Rebuilds != 0 || st.Escalations != 0 {
+		t.Fatalf("small delta: repairs=%d rebuilds=%d escalations=%d, want 1/0/0 (%+v)",
+			st.Repairs, st.Rebuilds, st.Escalations, st.LastRepairInfo)
+	}
+	if st.LastRepairInfo.Edges == 0 || st.LastRepairInfo.DirtyVics == 0 {
+		t.Fatalf("repair info not recorded: %+v", st.LastRepairInfo)
+	}
+	if l.Generation() != 1 || !l.Overlay().Empty() {
+		t.Fatalf("repair did not swap/absorb: gen=%d overlay=%d", l.Generation(), l.Overlay().Len())
+	}
+	for _, r := range l.Query(testutil.Pairs(n, 7, 11), nil) {
+		if r.Err != nil {
+			t.Fatalf("after repair: %v", r.Err)
+		}
+	}
+
+	// Large delta: policy escalates to a full rebuild.
+	if err := l.ApplyUpdates(trace[2:8]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st = l.Stats()
+	if st.Repairs != 1 || st.Rebuilds != 1 {
+		t.Fatalf("large delta: repairs=%d rebuilds=%d, want 1/1", st.Repairs, st.Rebuilds)
+	}
+	if l.Generation() != 2 || !l.Overlay().Empty() {
+		t.Fatalf("rebuild did not swap/absorb: gen=%d overlay=%d", l.Generation(), l.Overlay().Len())
+	}
+
+	// A third small delta repairs again - the full rebuild re-armed the
+	// repair state for the new base.
+	if err := l.ApplyUpdates(trace[8:9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if st = l.Stats(); st.Repairs != 2 || st.Rebuilds != 1 || st.Escalations != 0 {
+		t.Fatalf("re-armed delta: repairs=%d rebuilds=%d escalations=%d, want 2/1/0", st.Repairs, st.Rebuilds, st.Escalations)
+	}
+}
+
+// TestLiveRefreshEscalatesWithoutRepairState: when the serving scheme was
+// not produced by the paired build function (e.g. restored from a snapshot,
+// which carries no touch index), Refresh tries the repair, counts the
+// escalation, and falls back to a full rebuild.
+func TestLiveRefreshEscalatesWithoutRepairState(t *testing.T) {
+	const n, seed = 100, 6
+	g := testutil.MustGNM(t, n, 4*n, seed, gen.UniformInt)
+	s, err := buildThm11(seed)(g) // foreign to the repair pair below
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, repair := repairPair(seed)
+	l, err := serve.NewLive(s, serve.LiveOptions{Workers: 2, Build: build, Repair: repair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := live.DeletionTrace(g, 0.05, 3)
+	if err := l.ApplyUpdates(trace[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Repairs != 0 || st.RepairErrors != 1 || st.Escalations != 1 || st.Rebuilds != 1 {
+		t.Fatalf("foreign scheme: repairs=%d repairErrs=%d escalations=%d rebuilds=%d, want 0/1/1/1",
+			st.Repairs, st.RepairErrors, st.Escalations, st.Rebuilds)
+	}
+}
+
 // TestLiveUpdateErrors: invalid updates are rejected with the failing index
 // and leave serving intact.
 func TestLiveUpdateErrors(t *testing.T) {

@@ -48,11 +48,22 @@ func (s *Scheme) WireKind() string { return WireKindNameV2 }
 // probe of Prepare - then runs straight off the mapped file, and decode
 // rebuilds nothing but the per-tree position indexes.
 func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
-	h := s.h
-	n := h.G.N()
 	p := snap.Section(secParams)
-	p.Uvarint(uint64(h.K))
-	lv := snap.Section(secLevels)
+	p.Uvarint(uint64(s.h.K))
+	s.h.EncodeWireV2(snap.Section(secLevels), snap.AlignedSection(secNearest),
+		snap.AlignedSection(secTrees), snap.AlignedSection(secBunches))
+	return nil
+}
+
+// EncodeWireV2 writes the hierarchy's v2 wire form into the four caller-named
+// sections: the sampled levels as uvarint deltas (A_0 = V stays implicit),
+// the nearest-landmark tables as aliased vertex arrays with compressed
+// distances, the cluster trees in the flat aligned format, and the bunch
+// transpose as three aliased arrays (prefix offsets, roots, distances). The
+// baseline's own snapshot and every scheme embedding a hierarchy (Theorem 16)
+// share this byte layout; only the section names differ.
+func (h *Hierarchy) EncodeWireV2(lv, nr, tr, bu *wire.Encoder) {
+	n := h.G.N()
 	for i := 1; i < h.K; i++ { // A_0 = V is implicit
 		lv.Uvarint(uint64(len(h.Levels[i])))
 		prev := graph.Vertex(0)
@@ -61,13 +72,11 @@ func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
 			prev = v
 		}
 	}
-	nr := snap.AlignedSection(secNearest)
 	for i := 0; i < h.K; i++ {
 		nr.VertexArray(h.P[i])
 		nr.FloatSeq(h.D[i])
 	}
-	treeroute.EncodeFlatForest(snap.AlignedSection(secTrees), h.Trees)
-	bu := snap.AlignedSection(secBunches)
+	treeroute.EncodeFlatForest(tr, h.Trees)
 	offs := make([]uint32, n+1)
 	total := 0
 	for u := 0; u < n; u++ {
@@ -84,7 +93,6 @@ func (s *Scheme) EncodeSnapshot(snap *wire.Snapshot) error {
 	bu.Uint32Array(offs)
 	bu.VertexArray(bunchW)
 	bu.Float64Array(bunchD)
-	return nil
 }
 
 func decodeSnapshot(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error) {
@@ -193,14 +201,39 @@ func decodeSnapshotV2(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error
 	if k < 2 || k > 64 {
 		return nil, fmt.Errorf("tzroute: snapshot k=%d outside [2,64]", k)
 	}
+	h, err := decodeHierarchySections(g, k, snap, secLevels, secNearest, secTrees, secBunches)
+	if err != nil {
+		return nil, err
+	}
 
+	s := &Scheme{h: h, k: k, labels: make([]Label, n)}
+	parallel.For(n, func(v int) {
+		s.labels[v] = h.LabelOf(graph.Vertex(v))
+	})
+	s.tally = space.NewTally(n)
+	h.AddWords(s.tally)
+	return s, nil
+}
+
+// DecodeHierarchyV2 reads a hierarchy back from the four sections
+// EncodeWireV2 wrote (looked up under the caller's names) and validates it
+// against the graph: levels sorted and unique, nearest tables in range,
+// cluster trees rooted correctly, and every bunch entry backed by the tree it
+// names. k must already be validated by the caller (it lives in the caller's
+// params section).
+func DecodeHierarchyV2(g *graph.Graph, k int, snap *wire.Snapshot, levels, nearest, trees, bunches string) (*Hierarchy, error) {
+	return decodeHierarchySections(g, k, snap, levels, nearest, trees, bunches)
+}
+
+func decodeHierarchySections(g *graph.Graph, k int, snap *wire.Snapshot, secLv, secNr, secTr, secBu string) (*Hierarchy, error) {
+	n := g.N()
 	h := &Hierarchy{G: g, K: k, Levels: make([][]graph.Vertex, k), level: make([]int32, n)}
 	all := make([]graph.Vertex, n)
 	for i := range all {
 		all[i] = graph.Vertex(i)
 	}
 	h.Levels[0] = all
-	lv, err := snap.Decoder(secLevels)
+	lv, err := snap.Decoder(secLv)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +274,7 @@ func decodeSnapshotV2(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error
 		}
 	}
 
-	nr, err := snap.Decoder(secNearest)
+	nr, err := snap.Decoder(secNr)
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +309,7 @@ func decodeSnapshotV2(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error
 		return nil, err
 	}
 
-	td, err := snap.Decoder(secTrees)
+	td, err := snap.Decoder(secTr)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +335,7 @@ func decodeSnapshotV2(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error
 	}
 	h.Trees = trees
 
-	bd, err := snap.Decoder(secBunches)
+	bd, err := snap.Decoder(secBu)
 	if err != nil {
 		return nil, err
 	}
@@ -367,14 +400,7 @@ func decodeSnapshotV2(g *graph.Graph, snap *wire.Snapshot) (simnet.Scheme, error
 	if err := bd.Finish(); err != nil {
 		return nil, err
 	}
-
-	s := &Scheme{h: h, k: k, labels: make([]Label, n)}
-	parallel.For(n, func(v int) {
-		s.labels[v] = h.LabelOf(graph.Vertex(v))
-	})
-	s.tally = space.NewTally(n)
-	h.AddWords(s.tally)
-	return s, nil
+	return h, nil
 }
 
 // restoreClusters rebuilds every cluster tree from decoded parent links and

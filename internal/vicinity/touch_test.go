@@ -1,0 +1,146 @@
+package vicinity_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/live"
+	"compactroute/internal/testutil"
+	"compactroute/internal/vicinity"
+)
+
+// edgeList collects the undirected edges of g as (u < v) pairs.
+func edgeList(g *graph.Graph) [][2]graph.Vertex {
+	var es [][2]graph.Vertex
+	for u := 0; u < g.N(); u++ {
+		g.Neighbors(graph.Vertex(u), func(_ graph.Port, v graph.Vertex, _ float64) bool {
+			if graph.Vertex(u) < v {
+				es = append(es, [2]graph.Vertex{graph.Vertex(u), v})
+			}
+			return true
+		})
+	}
+	return es
+}
+
+func setsEqual(a, b *vicinity.Set) bool {
+	if a.Size() != b.Size() || a.Radius() != b.Radius() {
+		return false
+	}
+	for i := 0; i < a.Size(); i++ {
+		if a.MemberV(i) != b.MemberV(i) || a.MemberDist(i) != b.MemberDist(i) ||
+			a.MemberFirst(i) != b.MemberFirst(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTouchDirtySupersetProperty checks the soundness contract of the touch
+// index: for a random edge delete, every vicinity that actually changes must
+// be in the dirty set DirtyCenters computes for the edge's endpoints.
+func TestTouchDirtySupersetProperty(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		g := testutil.MustGNM(t, 120, 360, seed, gen.UniformInt)
+		const l = 12
+		oldSets, touch, err := vicinity.BuildAllTouch(g, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		edges := edgeList(g)
+		for trial := 0; trial < 8; trial++ {
+			e := edges[r.Intn(len(edges))]
+			ov := live.NewOverlay(g)
+			if err := ov.Apply(live.DelEdge(e[0], e[1])); err != nil {
+				t.Fatal(err)
+			}
+			ng, err := ov.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			newSets, err := vicinity.BuildAll(ng, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dirty := make(map[graph.Vertex]bool)
+			for _, u := range touch.DirtyCenters(e[:]) {
+				dirty[u] = true
+			}
+			changed := 0
+			for u := 0; u < g.N(); u++ {
+				if setsEqual(oldSets[u], newSets[u]) {
+					continue
+				}
+				changed++
+				if !dirty[graph.Vertex(u)] {
+					t.Fatalf("seed %d: delete {%d,%d} changed B(%d) but the dirty set misses it",
+						seed, e[0], e[1], u)
+				}
+			}
+			if len(dirty) >= g.N() {
+				t.Fatalf("seed %d: dirty set covers every vertex; the index prunes nothing", seed)
+			}
+			t.Logf("seed %d delete {%d,%d}: %d dirty, %d actually changed", seed, e[0], e[1], len(dirty), changed)
+		}
+	}
+}
+
+// TestTouchUpdatedMatchesRebuild checks that the COW update path of the
+// index (shared clean lists, replaced dirty ones, transpose rebuilt) equals
+// a from-scratch BuildAllTouch on the new graph.
+func TestTouchUpdatedMatchesRebuild(t *testing.T) {
+	g := testutil.MustGNM(t, 100, 300, 21, gen.UniformInt)
+	const l = 10
+	_, touch, err := vicinity.BuildAllTouch(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := edgeList(g)[17]
+	ov := live.NewOverlay(g)
+	if err := ov.Apply(live.DelEdge(e[0], e[1])); err != nil {
+		t.Fatal(err)
+	}
+	ng, err := ov.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := make(map[graph.Vertex][]graph.Vertex)
+	for _, u := range touch.DirtyCenters(e[:]) {
+		_, settled, err := vicinity.BuildTouch(ng, u, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl[u] = settled
+	}
+	got := touch.Updated(repl)
+	_, want, err := vicinity.BuildAllTouch(ng, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.TouchedWords() != want.TouchedWords() {
+		t.Fatalf("index shape mismatch: n=%d/%d words=%d/%d", got.N(), want.N(), got.TouchedWords(), want.TouchedWords())
+	}
+	for v := 0; v < got.N(); v++ {
+		gs, ws := got.Settled(graph.Vertex(v)), want.Settled(graph.Vertex(v))
+		if len(gs) != len(ws) {
+			t.Fatalf("settled(%d) length %d != %d", v, len(gs), len(ws))
+		}
+		for i := range gs {
+			if gs[i] != ws[i] {
+				t.Fatalf("settled(%d)[%d] = %d != %d", v, i, gs[i], ws[i])
+			}
+		}
+		gc, wc := got.CentersOf(graph.Vertex(v)), want.CentersOf(graph.Vertex(v))
+		if len(gc) != len(wc) {
+			t.Fatalf("centersOf(%d) length %d != %d", v, len(gc), len(wc))
+		}
+		for i := range gc {
+			if gc[i] != wc[i] {
+				t.Fatalf("centersOf(%d)[%d] = %d != %d", v, i, gc[i], wc[i])
+			}
+		}
+	}
+}

@@ -237,8 +237,25 @@ func (s *Set) validateViews(n int) error {
 // Build computes B(u, l). The result always contains u itself (at distance
 // 0), so l must be at least 1.
 func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
+	s, _, err := build(g, u, l, false)
+	return s, err
+}
+
+// BuildTouch computes B(u, l) exactly like Build and additionally returns
+// the settled set of the truncated search: every vertex the (l+1)-bounded
+// Nearest search popped, in (dist, id) pop order. The settled set is the
+// touch footprint of the search - an edge update can change B(u, l) only if
+// one of its endpoints was settled (any relaxation the search performed or
+// rejected had both endpoints of its edge inside the settled set, and a new
+// shorter path into the vicinity must enter through a settled vertex) - and
+// feeds the reverse Touch index the repair path uses to compute dirty sets.
+func BuildTouch(g *graph.Graph, u graph.Vertex, l int) (*Set, []graph.Vertex, error) {
+	return build(g, u, l, true)
+}
+
+func build(g *graph.Graph, u graph.Vertex, l int, touch bool) (*Set, []graph.Vertex, error) {
 	if l < 1 {
-		return nil, fmt.Errorf("vicinity: need l >= 1, got %d", l)
+		return nil, nil, fmt.Errorf("vicinity: need l >= 1, got %d", l)
 	}
 	// A single truncated search for l+1 vertices serves both the members and
 	// the radius: Nearest results are prefixes of the global (dist, id)
@@ -252,6 +269,13 @@ func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
 	}()
 	all := g.AppendNearest((*bufp)[:0], u, l+1)
 	*bufp = all[:0] // keep the grown backing array for the next Build
+	var settled []graph.Vertex
+	if touch {
+		settled = make([]graph.Vertex, len(all))
+		for i, nr := range all {
+			settled[i] = nr.V
+		}
+	}
 	near := all
 	if len(near) > l {
 		near = near[:l]
@@ -272,7 +296,7 @@ func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
 			// First values are already final.
 			pj, ok := pos[nr.Parent]
 			if !ok {
-				return nil, fmt.Errorf("vicinity: parent %d of %d missing from truncated search", nr.Parent, nr.V)
+				return nil, nil, fmt.Errorf("vicinity: parent %d of %d missing from truncated search", nr.Parent, nr.V)
 			}
 			first = s.members[pj].First
 		}
@@ -281,7 +305,7 @@ func Build(g *graph.Graph, u graph.Vertex, l int) (*Set, error) {
 	}
 	s.buildIndex()
 	s.radius = s.computeRadius(all)
-	return s, nil
+	return s, settled, nil
 }
 
 // computeRadius computes r_u(l): the largest value r such that every vertex
@@ -411,6 +435,28 @@ func (s *Set) Members() []Member {
 		ms[i] = Member{V: s.memV[i], Dist: s.MemberDist(i), First: s.MemberFirst(i)}
 	}
 	return ms
+}
+
+// Equal reports whether two vicinities hold the exact same routing state:
+// same center, radius, and member triples (id, distance, first hop) in the
+// canonical (dist, id) order. Two equal sets are observationally identical -
+// every Contains/Dist/FirstHop/MemberV/MemberDist/MemberFirst/MaxDist call
+// agrees - which is what lets the repair path treat a rebuilt-but-unchanged
+// vicinity as clean and stop its dirtiness from cascading.
+func (s *Set) Equal(o *Set) bool {
+	if s == o {
+		return true
+	}
+	if o == nil || s.center != o.center || s.radius != o.radius || s.Size() != o.Size() {
+		return false
+	}
+	for i, c := 0, s.Size(); i < c; i++ {
+		if s.MemberV(i) != o.MemberV(i) || s.MemberDist(i) != o.MemberDist(i) ||
+			s.MemberFirst(i) != o.MemberFirst(i) {
+			return false
+		}
+	}
+	return true
 }
 
 // MaxDist returns the distance of the farthest member.

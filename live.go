@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"compactroute/internal/graph"
 	"compactroute/internal/live"
+	"compactroute/internal/scheme5"
 	"compactroute/internal/serve"
 	"compactroute/internal/wire"
 )
@@ -33,6 +35,16 @@ type (
 	// BuildFunc preprocesses a scheme for a (churned) graph; the live
 	// engine calls it from the background rebuild goroutine.
 	BuildFunc = serve.BuildFunc
+	// RepairFunc incrementally repairs the serving scheme for the effective
+	// graph instead of rebuilding it from scratch; the result must be
+	// bit-identical to a full rebuild or error out (the engine escalates).
+	RepairFunc = serve.RepairFunc
+	// RepairPolicy decides when (*LiveEngine).Refresh repairs in place and
+	// when it escalates to a full rebuild (delta size, staleness served,
+	// time since the last full rebuild).
+	RepairPolicy = serve.RepairPolicy
+	// RepairInfo is the dirty-set footprint of one incremental repair.
+	RepairInfo = serve.RepairInfo
 	// EdgeUpdate is one edge mutation (weight change, insertion, deletion).
 	EdgeUpdate = live.Update
 	// EdgeOverlay is the edge-delta overlay over an immutable base graph.
@@ -215,4 +227,61 @@ func RebuildFuncFor(kind string, o Options, budgetMiB int) (BuildFunc, error) {
 	default:
 		return nil, fmt.Errorf("compactroute: no rebuild recipe for scheme kind %q", kind)
 	}
+}
+
+// RepairFuncFor returns a coupled (build, repair) pair for scheme kinds
+// with an incremental repair path - currently the Theorem 11 scheme. The
+// two share repair state behind the scenes: the BuildFunc records the
+// construction-time touch index alongside the scheme, and the RepairFunc
+// repairs the most recently built scheme in place (dirty-set invalidation,
+// bit-identical output). Repairing a scheme the pair did not build - e.g.
+// one decoded from a snapshot, which carries no repair state - fails, and
+// the live engine escalates to a full rebuild (which re-arms repair for
+// every later delta). Use the returned functions as LiveServeOptions.Build
+// and .Repair of the same engine.
+func RepairFuncFor(kind string, o Options, budgetMiB int) (BuildFunc, RepairFunc, error) {
+	switch kind {
+	case "thm11/v1", "thm11/v2":
+	default:
+		return nil, nil, fmt.Errorf("compactroute: no repair recipe for scheme kind %q", kind)
+	}
+	params := scheme5.Params{Eps: o.eps(), VicinityFactor: o.VicinityFactor, Seed: o.Seed}
+	var (
+		mu  sync.Mutex
+		cur *scheme5.Repairable
+	)
+	build := func(g *graph.Graph) (Scheme, error) {
+		r, err := scheme5.NewRepairable(g, NewLazyAPSP(g, int64(budgetMiB)<<20), params)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		cur = r
+		mu.Unlock()
+		return r.Scheme(), nil
+	}
+	repair := func(old Scheme, g *graph.Graph, entries []live.Entry) (Scheme, RepairInfo, error) {
+		var info RepairInfo
+		mu.Lock()
+		r := cur
+		mu.Unlock()
+		if r == nil || old != Scheme(r.Scheme()) {
+			return nil, info, fmt.Errorf("compactroute: %w for the serving scheme", scheme5.ErrNotRepairable)
+		}
+		edges := make([][2]graph.Vertex, len(entries))
+		for i, e := range entries {
+			edges[i] = [2]graph.Vertex{e.U, e.V}
+		}
+		next, st, err := r.Repair(g, NewLazyAPSP(g, int64(budgetMiB)<<20), edges)
+		if err != nil {
+			return nil, info, err
+		}
+		mu.Lock()
+		cur = next
+		mu.Unlock()
+		info = RepairInfo{Edges: st.Edges, DirtyVics: st.DirtyVics, ChangedVics: st.ChangedVics,
+			DirtyClusters: st.DirtyClusters, DirtySeqs: st.DirtySeqs, DirtyLabels: st.DirtyLabels}
+		return next.Scheme(), info, nil
+	}
+	return build, repair, nil
 }

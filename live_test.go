@@ -136,11 +136,11 @@ func TestLiveStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t16, err := compactroute.NewTheorem16(gq, compactroute.AllPairs(gq), compactroute.Options{Eps: 0.5, Seed: 1, K: 4})
+	ni, err := compactroute.NewNameIndependent(gq, compactroute.AllPairs(gq), compactroute.Options{Eps: 0.5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wl, err := compactroute.ServeLive(t16, compactroute.LiveServeOptions{Workers: 1})
+	wl, err := compactroute.ServeLive(ni, compactroute.LiveServeOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

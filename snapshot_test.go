@@ -44,6 +44,12 @@ func snapshotRows() []snapRow {
 		{"thm15-l2", false, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
 			return compactroute.NewTheorem15(g, ps, compactroute.Options{Eps: 0.5, L: 2, Seed: benchSeed})
 		}},
+		{"thm16-k3", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, K: 3, Seed: benchSeed})
+		}},
+		{"thm16-k4", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, K: 4, Seed: benchSeed})
+		}},
 	}
 }
 
@@ -53,11 +59,12 @@ func snapshotRows() []snapRow {
 // removing one is a compatibility break this test makes loud.
 func TestSnapshotRegistryKinds(t *testing.T) {
 	// The v1 kinds are decode-only compatibility (current encoders emit the
-	// mmap-friendly v2 layout); schemegl (Theorems 13/15) was born with v2
-	// and has no v1.
+	// mmap-friendly v2 layout); schemegl (Theorems 13/15) and scheme4k
+	// (Theorem 16) were born with v2 and have no v1.
 	want := []string{
 		"exact/v1", "exact/v2",
 		"scheme3/v1", "scheme3/v2",
+		"scheme4k/v2",
 		"schemegl/v2",
 		"thm10/v1", "thm10/v2",
 		"thm11/v1", "thm11/v2",
@@ -237,11 +244,18 @@ func TestSnapshotKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind := compactroute.SnapshotKind(t16); kind != "" {
-		t.Fatalf("thm16 unexpectedly snapshottable as %q", kind)
+	if kind := compactroute.SnapshotKind(t16); kind != "scheme4k/v2" {
+		t.Fatalf("thm16 kind = %q, want scheme4k/v2", kind)
+	}
+	ni, err := compactroute.NewNameIndependent(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := compactroute.SnapshotKind(ni); kind != "" {
+		t.Fatalf("name-independent unexpectedly snapshottable as %q", kind)
 	}
 	var buf bytes.Buffer
-	if err := compactroute.SaveScheme(&buf, t16); err == nil {
+	if err := compactroute.SaveScheme(&buf, ni); err == nil {
 		t.Fatal("SaveScheme accepted a scheme without snapshot support")
 	}
 	if buf.Len() != 0 {
@@ -336,6 +350,9 @@ func TestSnapshotResealedCorruptionSweep(t *testing.T) {
 	}
 	if s, err := compactroute.NewWarmup3(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed}); err == nil {
 		schemes["warmup"] = s
+	}
+	if s, err := compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, K: 3, Seed: benchSeed}); err == nil {
+		schemes["thm16"] = s
 	}
 	if gu, err := compactroute.GNM(24, 96, benchSeed, false, 0); err == nil {
 		psu := compactroute.AllPairs(gu)
