@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+const goodExposition = `# HELP compactroute_queries_total Total routed queries.
+# TYPE compactroute_queries_total counter
+compactroute_queries_total 2000
+# HELP compactroute_qps Smoothed queries per second.
+# TYPE compactroute_qps gauge
+compactroute_qps 1234.5
+# HELP compactroute_latency_seconds Sampled per-query latency.
+# TYPE compactroute_latency_seconds histogram
+compactroute_latency_seconds_bucket{le="0.001"} 10
+compactroute_latency_seconds_bucket{le="+Inf"} 12
+compactroute_latency_seconds_sum 0.5
+compactroute_latency_seconds_count 12
+`
+
+func serveText(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestPromcheckAccepts(t *testing.T) {
+	srv := serveText(t, goodExposition)
+	var out strings.Builder
+	err := run([]string{
+		"-url", srv.URL,
+		"-require", "compactroute_queries_total,compactroute_qps,compactroute_latency_seconds_count",
+		"-min", "compactroute_queries_total=2000",
+		"-min", "compactroute_qps=1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("good exposition rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "promcheck ok") {
+		t.Errorf("missing ok line: %q", out.String())
+	}
+}
+
+func TestPromcheckRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		args []string
+		want string
+	}{
+		{"missing required", goodExposition,
+			[]string{"-require", "compactroute_nope_total"}, "required metric"},
+		{"min violated", goodExposition,
+			[]string{"-min", "compactroute_qps=99999"}, "want >="},
+		{"min missing", goodExposition,
+			[]string{"-min", "compactroute_nope=1"}, "missing"},
+		{"empty body", "", nil, "empty exposition"},
+		{"garbage line", "not a metric line at all!\n", nil, "sample wants"},
+		{"bad value", "compactroute_x notanumber\n", nil, "bad sample value"},
+		{"bad comment", "# NOTE compactroute_x something\n", nil, "neither"},
+		{"bad type", "# TYPE compactroute_x thermometer\n", nil, "unknown metric type"},
+		{"bad name", "9starts_with_digit 1\n", nil, "bad metric name"},
+		{"unterminated labels", "compactroute_x{le=\"1\" 5\n", nil, "unterminated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := serveText(t, tc.body)
+			var out strings.Builder
+			err := run(append([]string{"-url", srv.URL, "-retries", "1"}, tc.args...), &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestPromcheckRetries pins the retry loop CI leans on: the endpoint comes
+// up only after a few failed scrapes, and promcheck must keep trying.
+func TestPromcheckRetries(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(goodExposition))
+	}))
+	defer srv.Close()
+	var out strings.Builder
+	if err := run([]string{"-url", srv.URL, "-retries", "10", "-interval", "10ms"}, &out); err != nil {
+		t.Fatalf("retry loop gave up: %v", err)
+	}
+	if hits.Load() < 3 {
+		t.Errorf("endpoint hit %d times, want >= 3", hits.Load())
+	}
+}
+
+func TestPromcheckFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -url accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-min", "noequals"}, &out); err == nil {
+		t.Error("malformed -min accepted")
+	}
+}

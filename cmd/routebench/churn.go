@@ -24,6 +24,54 @@ type churnConfig struct {
 	repair    bool // -repair: incremental-repair mode (E17)
 	batch     int  // repair mode: trace ops applied per phase
 	phases    int  // repair mode: number of repair phases
+	trace     bool // -trace: per-phase routing-decision census
+}
+
+// decisionCensus renders per-serving-phase deltas of the trace sink's
+// routing-decision counters: which fraction of hop decisions were vicinity
+// hits, tree descents, overlay detours, exact fallbacks. A nil census (no
+// -trace) renders nothing.
+type decisionCensus struct {
+	sink    *compactroute.TraceSink
+	prev    []uint64
+	sampled uint64
+}
+
+// newDecisionCensus builds a full-rate trace sink and the census reader
+// over it.
+func newDecisionCensus() (*compactroute.TraceSink, *decisionCensus) {
+	sink := compactroute.NewTraceSink(1, 1024)
+	return sink, &decisionCensus{sink: sink, prev: make([]uint64, len(compactroute.RoutePhaseNames()))}
+}
+
+// line reports the decisions recorded since the previous call, with the
+// fallback rate over the phase's sampled queries.
+func (c *decisionCensus) line() string {
+	names := compactroute.RoutePhaseNames()
+	var b strings.Builder
+	var total, fallbacks uint64
+	cur := make([]uint64, len(names))
+	for i := range names {
+		cur[i] = c.sink.DecisionCount(compactroute.RoutePhase(i))
+		d := cur[i] - c.prev[i]
+		total += d
+		if names[i] == "fallback" {
+			fallbacks = d
+		}
+	}
+	sampled := c.sink.SampledCount() - c.sampled
+	c.sampled = c.sink.SampledCount()
+	fmt.Fprintf(&b, "queries=%d decisions=%d", sampled, total)
+	for i := range names {
+		if d := cur[i] - c.prev[i]; d > 0 {
+			fmt.Fprintf(&b, " %s=%d", names[i], d)
+		}
+	}
+	if sampled > 0 {
+		fmt.Fprintf(&b, " fallback-rate=%.4f", float64(fallbacks)/float64(sampled))
+	}
+	copy(c.prev, cur)
+	return b.String()
 }
 
 // histLine renders the non-empty buckets of a stretch histogram.
@@ -65,9 +113,12 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 		return err
 	}
 	buildTime := time.Since(buildStart)
-	eng, err := compactroute.ServeLive(scheme, compactroute.LiveServeOptions{
-		Workers: cfg.workers, Verify: true, Build: build,
-	})
+	lopts := compactroute.LiveServeOptions{Workers: cfg.workers, Verify: true, Build: build}
+	var census *decisionCensus
+	if cfg.trace {
+		lopts.Trace, census = newDecisionCensus()
+	}
+	eng, err := compactroute.ServeLive(scheme, lopts)
 	if err != nil {
 		return err
 	}
@@ -94,6 +145,9 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 	}
 	fmt.Fprintf(out, "fresh:     queries=%d max-stretch=%.3f viol=0 hist%s\n",
 		fresh.Queries, fresh.MaxStretch, histLine(fresh.StretchHist))
+	if census != nil {
+		fmt.Fprintf(out, "trace[fresh]: %s\n", census.line())
+	}
 
 	// Phase 2 - degraded: replay the deletion trace in chunks, serving
 	// between chunks. Every query must still get a finite route; quality is
@@ -122,6 +176,9 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 		degraded.Queries, degraded.Overlay.Deleted, degraded.StaleServed,
 		degraded.DeadEdgeHits, degraded.Detours, degraded.Fallbacks, degraded.MaxStaleStretch)
 	fmt.Fprintf(out, "stale-hist:%s\n", histLine(degraded.StaleHist))
+	if census != nil {
+		fmt.Fprintf(out, "trace[degraded]: %s\n", census.line())
+	}
 
 	// Phase 3 - rebuild under load: serving continues (and must stay
 	// error-free) while the background goroutine rebuilds; the swap is one
@@ -153,6 +210,9 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 	}
 	fmt.Fprintf(out, "rebuild:   took=%s queries-served-during=%d (zero blocked, zero dropped)\n",
 		rebuildTime.Round(time.Millisecond), servedDuring)
+	if census != nil {
+		fmt.Fprintf(out, "trace[rebuild]: %s\n", census.line())
+	}
 
 	// Phase 4 - recovered: the proved bound holds again on generation 1.
 	eng.ResetStats()
@@ -168,6 +228,9 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 	}
 	fmt.Fprintf(out, "recovered: queries=%d max-stretch=%.3f viol=0 hist%s\n",
 		recovered.Queries, recovered.MaxStretch, histLine(recovered.StretchHist))
+	if census != nil {
+		fmt.Fprintf(out, "trace[recovered]: %s\n", census.line())
+	}
 
 	// Cross-check: a from-scratch build on the churned graph must produce a
 	// bit-identical stretch histogram over the same pairs.
@@ -242,9 +305,13 @@ func runChurnRepair(out io.Writer, cfg churnConfig) error {
 		return err
 	}
 	buildTime := time.Since(buildStart)
-	eng, err := compactroute.ServeLive(scheme, compactroute.LiveServeOptions{
-		Workers: cfg.workers, Verify: true, Build: build, Repair: repairFn,
-	})
+	lopts := compactroute.LiveServeOptions{Workers: cfg.workers, Verify: true,
+		Build: build, Repair: repairFn}
+	var census *decisionCensus
+	if cfg.trace {
+		lopts.Trace, census = newDecisionCensus()
+	}
+	eng, err := compactroute.ServeLive(scheme, lopts)
 	if err != nil {
 		return err
 	}
@@ -337,6 +404,9 @@ func runChurnRepair(out io.Writer, cfg churnConfig) error {
 		fmt.Fprintf(out, "phase %d: edges=%d %s=%s full=%s speedup=%.1fx %s max-stretch=%.3f\n",
 			phase+1, hi-lo, mode, repairTime.Round(10*time.Microsecond), fullTime.Round(10*time.Microsecond),
 			speedup, dirty, clean.MaxStretch)
+		if census != nil {
+			fmt.Fprintf(out, "trace[phase %d]: %s\n", phase+1, census.line())
+		}
 	}
 	fmt.Fprintf(out, "total: repair=%s full=%s speedup=%.1fx escalations=%d (every phase bit-identical to a from-scratch build)\n",
 		repairTotal.Round(10*time.Microsecond), fullTotal.Round(10*time.Microsecond),

@@ -10,7 +10,7 @@
 //	           [-pathsource dense|lazy] [-mem-budget 256] [-scaling]
 //	           [-cpuprofile file] [-memprofile file]
 //	           [-save prefix | -load prefix] [-schemes thm11,tz-k2]
-//	           [-churn [-churn-frac 0.10] [-churn-seed 1]
+//	           [-churn [-churn-frac 0.10] [-churn-seed 1] [-trace]
 //	           [-repair [-churn-batch 1] [-churn-phases 4]]]
 //
 // -save writes a snapshot of every snapshot-capable row (exact, tz-k2,
@@ -36,6 +36,12 @@
 // dirty-set footprint (vicinities, cluster trees, inter sequences, labels);
 // the repaired scheme must be snapshot-bit-identical to the from-scratch
 // build and the clean serving pass violation-free, or the run fails.
+//
+// -trace (with either churn mode) attaches a full-rate route-trace sink and
+// prints a per-serving-phase routing-decision census: how many hop decisions
+// were vicinity hits, landmark-sequence walks, tree descents, overlay
+// detours or exact fallbacks, plus the per-phase fallback rate - the
+// measurement behind experiment E18's churn census.
 //
 // -workers caps the worker count of both the parallel preprocessing phase
 // and the batched evaluation engine (0 = all cores). -pathsource selects how
@@ -108,12 +114,16 @@ func rows() []row {
 			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
 				return compactroute.NewTheorem16(g, a, compactroute.Options{Eps: eps, Seed: seed, K: 4})
 			}},
+		{"nameind", "7+4eps", "O~(n^1/2 /eps)", true,
+			func(g *compactroute.Graph, a compactroute.PathSource, eps float64, seed int64) (compactroute.Scheme, error) {
+				return compactroute.NewNameIndependent(g, a, compactroute.Options{Eps: eps, Seed: seed})
+			}},
 	}
 }
 
 // snapshotRowNames lists the Table 1 rows whose schemes have registered
 // snapshot support (see internal/wire); -save/-load operate on these.
-var snapshotRowNames = []string{"exact", "tz-k2", "tz-k3", "thm10", "thm11", "thm13-l3", "thm15-l2", "thm16-k4", "warmup"}
+var snapshotRowNames = []string{"exact", "nameind", "tz-k2", "tz-k3", "thm10", "thm11", "thm13-l3", "thm15-l2", "thm16-k4", "warmup"}
 
 func isSnapshotRow(name string) bool {
 	for _, s := range snapshotRowNames {
@@ -158,6 +168,7 @@ func run(args []string, out io.Writer) (err error) {
 		repair      = fs.Bool("repair", false, "with -churn: incremental-repair mode (E17) - repair the scheme in place after each batch, time it against a from-scratch build, check bit-identity")
 		churnBatch  = fs.Int("churn-batch", 1, "repair mode: trace ops applied per repair phase")
 		churnPhases = fs.Int("churn-phases", 4, "repair mode: number of repair phases (0 = replay the whole trace)")
+		churnTrace  = fs.Bool("trace", false, "churn modes: trace every query and print a per-phase routing-decision census (vicinity/tree/detour/fallback rates)")
 		save       = fs.String("save", "", "write snapshots of the snapshot-capable rows to <prefix>-<row>.snap after construction and evaluate only those rows")
 		load       = fs.String("load", "", "load the snapshot-capable rows from <prefix>-<row>.snap (written by -save) instead of constructing; the evaluation output is byte-identical to the -save run")
 		schemes    = fs.String("schemes", "", "comma-separated row filter (e.g. thm11,tz-k2); restricts construction and evaluation to the named rows")
@@ -181,6 +192,7 @@ func run(args []string, out io.Writer) (err error) {
 			n: *n, eps: *eps, seed: *seed, churnSeed: *churnSeed, frac: *churnFrac,
 			pairs: *pairs, workers: *workers, budgetMiB: *budget,
 			repair: *repair, batch: *churnBatch, phases: *churnPhases,
+			trace: *churnTrace,
 		}
 		if *repair {
 			return runChurnRepair(out, cfg)
@@ -367,17 +379,8 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintln(out, "  abraham-gavoille: (2,1) stretch, O~(n^3/4) space [DISC'11]")
 	fmt.Fprintln(out, "  chechik:          10.52 stretch, O~(n^1/4 logD) space [PODC'13]")
 
-	// Extension sketched in Section 1: name-independent routing (no labels).
-	ni, err := compactroute.NewNameIndependent(graphs[true], apsps[true], compactroute.Options{Eps: *eps, Seed: *seed})
-	if err != nil {
-		return err
-	}
-	ev, err := compactroute.EvaluateBatched(ni, apsps[true], ps, evalOpts)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "\nextension (Section 1 sketch): %s - max stretch %.3f (bound %.2f), table mean %.0f words, label %d words, viol %d\n",
-		ni.Name(), ev.MaxStretch, ni.StretchBound(1), ev.Tables.Mean, ev.MaxLabel, ev.BoundViolations)
+	fmt.Fprintln(out, "\nextension (Section 1 sketch): the nameind row above routes name-independently"+
+		" (zero label words); see internal/nameind for the honest 7+4eps composition bound")
 
 	if *scaling {
 		if err := runScaling(out, *eps, *seed, *pairs, *source, *budget, evalOpts); err != nil {

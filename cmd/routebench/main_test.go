@@ -145,6 +145,38 @@ func TestChurnReplay(t *testing.T) {
 	}
 }
 
+// TestChurnTraceCensus pins the -trace decision census of the churn replay:
+// every serving phase reports its sampled queries and per-phase decision
+// counts, and the degraded phase must show a non-zero fallback or detour
+// share (the staleness the census exists to measure).
+func TestChurnTraceCensus(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-churn", "-n", "200", "-pairs", "150", "-churn-seed", "3", "-trace"}, &out); err != nil {
+		t.Fatalf("churn trace run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"trace[fresh]: queries=150 decisions=",
+		"trace[degraded]: queries=",
+		"trace[rebuild]:",
+		"trace[recovered]:",
+		"fallback-rate=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The fresh phase serves on an intact scheme: its census must not record
+	// detours or fallbacks.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "trace[fresh]:") {
+			if strings.Contains(line, "detour=") || strings.Contains(line, " fallback=") {
+				t.Errorf("fresh census records degraded decisions: %s", line)
+			}
+		}
+	}
+}
+
 func TestChurnFlagsExclusive(t *testing.T) {
 	var out strings.Builder
 	for _, args := range [][]string{

@@ -17,6 +17,7 @@
 //	route U V    route a packet from U to V
 //	dist U V     true shortest-path distance (computed on demand, cached)
 //	stats        live serving statistics (QPS, hop quantiles, stretch)
+//	trace [N]    dump the last N sampled route traces as JSON (-trace-sample)
 //	quit         close the session
 //
 // With -live the snapshot is served through the churn-tolerant live engine
@@ -36,6 +37,16 @@
 // (the swap is one atomic pointer flip). -eps/-seed/-tz-k parameterize the
 // rebuild constructor; dist reports distances in the *effective* (churned)
 // graph.
+//
+// With -admin-addr the process additionally serves an HTTP admin surface:
+// /metrics (Prometheus text exposition of every serving, churn and snapshot
+// metric), /metrics.json, /healthz (snapshot fingerprint + serving
+// generation), /trace?n=K (sampled route traces) and /debug/pprof/*. The
+// stats command and /metrics read the same registry, so the line protocol
+// and a scrape can never disagree. -trace-sample enables deterministic
+// hash-based per-query tracing (the same query IDs are picked on every run
+// at any worker count); -hold keeps a -loadgen process alive after the run
+// so its endpoints can be scraped.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
 // drains in-flight queries, flushes a final stats line and exits 0.
@@ -88,6 +99,8 @@ type server struct {
 	eng      *compactroute.ServeEngine
 	live     *compactroute.LiveEngine
 	paths    compactroute.PathSource
+	reg      *compactroute.MetricsRegistry
+	sink     *compactroute.TraceSink
 	verify   bool
 	jsonMode bool
 	snapSize int64
@@ -120,6 +133,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		queries  = fs.Int("queries", 100000, "loadgen: total queries to serve")
 		batch    = fs.Int("batch", 4096, "loadgen: queries per batch")
 		seed     = fs.Int64("seed", 2015, "loadgen pair-sampling seed; live rebuild seed")
+
+		adminAddr = fs.String("admin-addr", "", "serve /metrics, /healthz, /trace and /debug/pprof on this HTTP address")
+		traceRate = fs.Float64("trace-sample", 0, "fraction of queries to trace (deterministic hash sample; 0 disables)")
+		traceBuf  = fs.Int("trace-buf", 256, "completed traces kept for the trace command and /trace")
+		hold      = fs.Bool("hold", false, "loadgen: stay up (admin endpoints scrapeable) after the run until SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,9 +152,18 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Every serving mode carries the obs registry: the engines register their
+	// statistics on it, the stats command formats from it, and -admin-addr
+	// exposes it. The load observer goes in before the snapshot load below so
+	// the startup load lands in the snapshot gauges.
 	srv := &server{verify: *verify, jsonMode: *jsonMode, snapSize: st.Size()}
+	srv.reg = compactroute.NewMetricsRegistry()
+	srv.sink = compactroute.NewTraceSink(*traceRate, *traceBuf)
+	srv.sink.Register(srv.reg)
+	defer registerLoadMetrics(srv.reg)()
 	if *liveMode {
-		opts := compactroute.LiveServeOptions{Workers: *workers, Verify: *verify}
+		opts := compactroute.LiveServeOptions{Workers: *workers, Verify: *verify,
+			Obs: srv.reg, Trace: srv.sink}
 		// The rebuild recipe is derived from the snapshot kind; a kind
 		// without one only disables the rebuild command.
 		kind, err := compactroute.PeekSnapshotKind(*snapshot)
@@ -164,7 +191,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return err
 		}
 		paths := compactroute.NewLazyAPSP(scheme.Graph(), int64(*budget)<<20)
-		opts := compactroute.ServeOptions{Workers: *workers, Verify: *verify}
+		opts := compactroute.ServeOptions{Workers: *workers, Verify: *verify,
+			Obs: srv.reg, Trace: srv.sink}
 		if *verify {
 			opts.Paths = paths
 		}
@@ -175,14 +203,30 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		defer eng.Close()
 		srv.scheme, srv.eng, srv.paths = scheme, eng, paths
 	}
-	if *loadgen {
-		return srv.runLoadgen(out, *queries, *batch, *seed)
+	if *adminAddr != "" {
+		addr, stop, err := srv.startAdmin(*adminAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(out, "# admin on %s\n", addr)
 	}
 	// Server modes shut down gracefully on SIGINT/SIGTERM: stop accepting,
-	// drain in-flight queries, flush a final stats line, exit 0.
+	// drain in-flight queries, flush a final stats line, exit 0. A held
+	// loadgen run reuses the same signals to end the scrape window.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
+	if *loadgen {
+		if err := srv.runLoadgen(out, *queries, *batch, *seed); err != nil {
+			return err
+		}
+		if *hold {
+			fmt.Fprintln(out, "# holding for scrape; SIGINT/SIGTERM to exit")
+			<-sig
+		}
+		return nil
+	}
 	if *listen != "" {
 		return srv.listenAndServe(*listen, out, sig)
 	}
@@ -351,6 +395,20 @@ func (s *server) serveCommand(w *bufio.Writer, enc *json.Encoder, fields []strin
 		return true
 	case "stats":
 		s.writeStats(w, enc)
+	case "trace":
+		nTr := 16
+		if len(fields) == 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 {
+				s.errLine(w, enc, cmd, fmt.Errorf("bad count %q", fields[1]))
+				break
+			}
+			nTr = v
+		} else if len(fields) > 2 {
+			s.errLine(w, enc, cmd, errors.New("want: trace [N]"))
+			break
+		}
+		_ = s.sink.WriteJSON(w, nTr)
 	case "route":
 		u, v, err := parsePair(fields, n)
 		if err != nil {
@@ -385,7 +443,7 @@ func (s *server) serveCommand(w *bufio.Writer, enc *json.Encoder, fields []strin
 		}
 		s.serveAdmin(w, enc, cmd, fields)
 	default:
-		s.errLine(w, enc, cmd, fmt.Errorf("unknown command (want route | dist | stats | addedge | deledge | setw | rebuild | repair | refresh | quit)"))
+		s.errLine(w, enc, cmd, fmt.Errorf("unknown command (want route | dist | stats | trace | addedge | deledge | setw | rebuild | repair | refresh | quit)"))
 	}
 	return false
 }
@@ -493,31 +551,67 @@ func (s *server) applyAdmin(w *bufio.Writer, enc *json.Encoder, cmd string, up c
 	}
 }
 
+// writeStats formats the stats reply from the obs registry - the same
+// collect pass /metrics scrapes - so the line protocol and the admin surface
+// are one source of truth. The line formats are part of the protocol and
+// unchanged from the pre-registry implementation.
 func (s *server) writeStats(w *bufio.Writer, enc *json.Encoder) {
+	v := s.reg.Values()
+	base := statsReply{
+		Queries:    uint64(v["compactroute_queries_total"]),
+		QPS:        v["compactroute_qps"],
+		Errors:     uint64(v["compactroute_route_errors_total"]),
+		Violations: uint64(v["compactroute_bound_violations_total"]),
+		P50Hops:    int(v["compactroute_hops_p50"]),
+		P99Hops:    int(v["compactroute_hops_p99"]),
+		MeanHops:   v["compactroute_hops_mean"],
+		MaxStretch: v["compactroute_stretch_max"],
+	}
 	if s.live != nil {
-		st := s.live.Stats()
+		rep := liveStatsReply{
+			statsReply:     base,
+			Generation:     uint64(v["compactroute_live_generation"]),
+			OverlayVersion: uint64(v["compactroute_live_overlay_version"]),
+			OverlayDel:     int(v["compactroute_live_overlay_deleted"]),
+			OverlayAdd:     int(v["compactroute_live_overlay_inserted"]),
+			OverlaySetw:    int(v["compactroute_live_overlay_reweighted"]),
+			StaleServed:    uint64(v["compactroute_live_stale_served_total"]),
+			MaxStale:       v["compactroute_live_stale_stretch_max"],
+			DeadEdgeHits:   uint64(v["compactroute_live_dead_edge_hits_total"]),
+			Detours:        uint64(v["compactroute_live_detours_total"]),
+			Fallbacks:      uint64(v["compactroute_live_fallbacks_total"]),
+			Rebuilds:       uint64(v["compactroute_live_rebuilds_total"]),
+			Swaps:          uint64(v["compactroute_live_swaps_total"]),
+			Repairs:        uint64(v["compactroute_live_repairs_total"]),
+			RepairErrors:   uint64(v["compactroute_live_repair_errors_total"]),
+			Escalations:    uint64(v["compactroute_live_escalations_total"]),
+			LastRepairSec:  v["compactroute_live_last_repair_seconds"],
+			RepairVics:     int(v["compactroute_live_repair_dirty_vicinities"]),
+			RepairClusters: int(v["compactroute_live_repair_dirty_clusters"]),
+			RepairSeqs:     int(v["compactroute_live_repair_dirty_sequences"]),
+			RepairLabels:   int(v["compactroute_live_repair_dirty_labels"]),
+		}
 		if s.jsonMode {
-			_ = enc.Encode(liveStatsSummary(st))
+			_ = enc.Encode(rep)
 		} else {
-			ov := st.Overlay
+			lastRepair := time.Duration(rep.LastRepairSec * float64(time.Second))
 			fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f) gen=%d overlay(del=%d add=%d setw=%d v=%d) stale(served=%d max=%.3f) detours=%d fallbacks=%d rebuilds=%d repairs=%d escalations=%d swaps=%d repair(last=%s vics=%d clusters=%d seqs=%d labels=%d)\n",
-				st.Queries, st.QPS, st.Errors, st.BoundViolations,
-				st.P50Hops, st.P99Hops, st.MeanHops, st.MaxStretch,
-				st.Generation, ov.Deleted, ov.Inserted, ov.Reweighted, st.OverlayVersion,
-				st.StaleServed, st.MaxStaleStretch, st.Detours, st.Fallbacks,
-				st.Rebuilds, st.Repairs, st.Escalations, st.Swaps,
-				st.LastRepair.Round(time.Millisecond), st.LastRepairInfo.DirtyVics,
-				st.LastRepairInfo.DirtyClusters, st.LastRepairInfo.DirtySeqs, st.LastRepairInfo.DirtyLabels)
+				rep.Queries, rep.QPS, rep.Errors, rep.Violations,
+				rep.P50Hops, rep.P99Hops, rep.MeanHops, rep.MaxStretch,
+				rep.Generation, rep.OverlayDel, rep.OverlayAdd, rep.OverlaySetw, rep.OverlayVersion,
+				rep.StaleServed, rep.MaxStale, rep.Detours, rep.Fallbacks,
+				rep.Rebuilds, rep.Repairs, rep.Escalations, rep.Swaps,
+				lastRepair.Round(time.Millisecond), rep.RepairVics,
+				rep.RepairClusters, rep.RepairSeqs, rep.RepairLabels)
 		}
 		return
 	}
-	st := s.eng.Stats()
 	if s.jsonMode {
-		_ = enc.Encode(statsSummary(st))
+		_ = enc.Encode(base)
 	} else {
 		fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f)\n",
-			st.Queries, st.QPS, st.Errors, st.BoundViolations,
-			st.P50Hops, st.P99Hops, st.MeanHops, st.MaxStretch)
+			base.Queries, base.QPS, base.Errors, base.Violations,
+			base.P50Hops, base.P99Hops, base.MeanHops, base.MaxStretch)
 	}
 }
 
@@ -621,38 +715,6 @@ type liveStatsReply struct {
 	RepairClusters int     `json:"repair_dirty_clusters"`
 	RepairSeqs     int     `json:"repair_dirty_seqs"`
 	RepairLabels   int     `json:"repair_dirty_labels"`
-}
-
-func statsSummary(st compactroute.ServeStats) statsReply {
-	return statsReply{Queries: st.Queries, QPS: st.QPS, Errors: st.Errors,
-		Violations: st.BoundViolations, P50Hops: st.P50Hops, P99Hops: st.P99Hops,
-		MeanHops: st.MeanHops, MaxStretch: st.MaxStretch}
-}
-
-func liveStatsSummary(st compactroute.LiveStats) liveStatsReply {
-	return liveStatsReply{
-		statsReply:     statsSummary(st.Stats),
-		Generation:     st.Generation,
-		OverlayVersion: st.OverlayVersion,
-		OverlayDel:     st.Overlay.Deleted,
-		OverlayAdd:     st.Overlay.Inserted,
-		OverlaySetw:    st.Overlay.Reweighted,
-		StaleServed:    st.StaleServed,
-		MaxStale:       st.MaxStaleStretch,
-		DeadEdgeHits:   st.DeadEdgeHits,
-		Detours:        st.Detours,
-		Fallbacks:      st.Fallbacks,
-		Rebuilds:       st.Rebuilds,
-		Swaps:          st.Swaps,
-		Repairs:        st.Repairs,
-		RepairErrors:   st.RepairErrors,
-		Escalations:    st.Escalations,
-		LastRepairSec:  st.LastRepair.Seconds(),
-		RepairVics:     st.LastRepairInfo.DirtyVics,
-		RepairClusters: st.LastRepairInfo.DirtyClusters,
-		RepairSeqs:     st.LastRepairInfo.DirtySeqs,
-		RepairLabels:   st.LastRepairInfo.DirtyLabels,
-	}
 }
 
 // runLoadgen is the closed-loop benchmark: it serves `queries` sampled

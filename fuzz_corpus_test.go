@@ -53,6 +53,7 @@ func corpusSchemes(t testing.TB) map[string]compactroute.Scheme {
 	add(compactroute.NewTheorem10(gu, psu, compactroute.Options{Eps: 0.5, Seed: 1}))
 	add(compactroute.NewTheorem13(gu, psu, compactroute.Options{Eps: 0.5, L: 2, Seed: 1}))
 	add(compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, K: 3, Seed: 1}))
+	add(compactroute.NewNameIndependent(g, ps, compactroute.Options{Eps: 0.5, Seed: 1}))
 	return out
 }
 

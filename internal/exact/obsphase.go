@@ -1,0 +1,15 @@
+package exact
+
+import (
+	"compactroute/internal/obs"
+	"compactroute/internal/simnet"
+)
+
+// RoutePhase implements simnet.PhaseReporter. The exact baseline forwards
+// from the full next-hop table at every vertex; there is only one stage.
+func (s *Scheme) RoutePhase(p simnet.Packet) obs.Phase {
+	if _, ok := p.(*packet); !ok {
+		return obs.PhaseNone
+	}
+	return obs.PhaseExact
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"compactroute/internal/graph"
+	"compactroute/internal/obs"
 	"compactroute/internal/simnet"
 )
 
@@ -49,6 +50,7 @@ func (r Result) Stale() bool { return r.DeadHits > 0 || r.Fallback }
 // overlay it consults is shared and live.
 type Router struct {
 	scheme  simnet.Scheme
+	phaser  simnet.PhaseReporter // non-nil when scheme reports routing phases
 	g       *graph.Graph
 	ov      *Overlay
 	budget  int
@@ -70,7 +72,9 @@ func NewRouter(s simnet.Scheme, ov *Overlay, budget, maxHops int) (*Router, erro
 	if maxHops <= 0 {
 		maxHops = 8*g.N() + 64
 	}
-	return &Router{scheme: s, g: g, ov: ov, budget: budget, maxHops: maxHops}, nil
+	r := &Router{scheme: s, g: g, ov: ov, budget: budget, maxHops: maxHops}
+	r.phaser, _ = s.(simnet.PhaseReporter)
+	return r, nil
 }
 
 // Scheme returns the preprocessed scheme being patched.
@@ -82,6 +86,14 @@ func (r *Router) Scheme() simnet.Scheme { return r.scheme }
 // says so. Err is non-nil only for invalid pairs, truly unreachable
 // destinations, or a scheme that misbehaves beyond repair.
 func (r *Router) Route(src, dst graph.Vertex) Result {
+	return r.RouteTraced(src, dst, nil)
+}
+
+// RouteTraced is Route with an optional trace recorder: each hop records the
+// scheme phase about to act (via the scheme's PhaseReporter, if implemented),
+// and overlay interventions record PhaseDetour / PhaseFallback steps. A nil
+// tr takes the exact untraced path.
+func (r *Router) RouteTraced(src, dst graph.Vertex, tr *obs.Trace) Result {
 	res := Result{Src: src, Dst: dst}
 	if n := graph.Vertex(r.g.N()); src < 0 || src >= n || dst < 0 || dst >= n {
 		res.Err = fmt.Errorf("live: pair (%d, %d) out of range [0, %d)", src, dst, n)
@@ -91,14 +103,21 @@ func (r *Router) Route(src, dst graph.Vertex) Result {
 	if err != nil {
 		// A scheme that cannot even prepare (should not happen on its own
 		// graph) still gets the query answered exactly.
-		return r.fallback(res, src, dst)
+		return r.fallbackTraced(res, src, dst, tr)
 	}
 	res.HeaderWords = r.scheme.HeaderWords(pkt)
 	at := src
 	for {
+		if tr != nil {
+			ph := obs.PhaseNone
+			if r.phaser != nil {
+				ph = r.phaser.RoutePhase(pkt)
+			}
+			tr.Step(int32(at), ph)
+		}
 		d, err := r.scheme.Next(at, pkt)
 		if err != nil {
-			return r.fallback(res, at, dst)
+			return r.fallbackTraced(res, at, dst, tr)
 		}
 		if hw := r.scheme.HeaderWords(pkt); hw > res.HeaderWords {
 			res.HeaderWords = hw
@@ -110,7 +129,7 @@ func (r *Router) Route(src, dst graph.Vertex) Result {
 			return res
 		}
 		if d.Port < 0 || int(d.Port) >= r.g.Degree(at) {
-			return r.fallback(res, at, dst)
+			return r.fallbackTraced(res, at, dst, tr)
 		}
 		next, baseW, _ := r.g.Endpoint(at, d.Port)
 		ew, alive := r.ov.EffectiveWeight(at, next, baseW)
@@ -120,9 +139,12 @@ func (r *Router) Route(src, dst graph.Vertex) Result {
 			at = next
 		} else {
 			res.DeadHits++
+			if tr != nil {
+				tr.Step(int32(at), obs.PhaseDetour)
+			}
 			path, pw, ok := r.ov.detour(at, next, r.budget, false)
 			if !ok {
-				return r.fallback(res, at, dst)
+				return r.fallbackTraced(res, at, dst, tr)
 			}
 			res.Detours++
 			res.DetourHops += len(path) - 1
@@ -131,15 +153,19 @@ func (r *Router) Route(src, dst graph.Vertex) Result {
 			at = next
 		}
 		if res.Hops > r.maxHops {
-			return r.fallback(res, at, dst)
+			return r.fallbackTraced(res, at, dst, tr)
 		}
 	}
 }
 
-// fallback completes the route from the packet's current position with one
-// exact search over the effective graph.
-func (r *Router) fallback(res Result, at, dst graph.Vertex) Result {
+// fallbackTraced completes the route from the packet's current position with
+// one exact search over the effective graph.
+func (r *Router) fallbackTraced(res Result, at, dst graph.Vertex, tr *obs.Trace) Result {
 	res.Fallback = true
+	if tr != nil {
+		tr.Step(int32(at), obs.PhaseFallback)
+		tr.Fallback = true
+	}
 	if at == dst {
 		return res
 	}

@@ -79,13 +79,22 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	if err != nil {
 		return nil, fmt.Errorf("nameind: %w", err)
 	}
-	s := &Scheme{g: g, eps: params.Eps, q: q, vc: vc, intra: intra,
+	return assemble(g, params.Eps, vc, intra), nil
+}
+
+// assemble derives everything the scheme needs beyond the encoded state: the
+// public-hash name dictionaries and the storage tally are pure functions of
+// the vicinity coloring, so both the builder and the snapshot decoder end
+// here and produce behaviorally identical schemes.
+func assemble(g *graph.Graph, eps float64, vc *schemeutil.VicinityColoring, intra *core.Intra) *Scheme {
+	n := g.N()
+	s := &Scheme{g: g, eps: eps, q: vc.Q, vc: vc, intra: intra,
 		dict: make([]map[graph.Vertex]int32, n)}
 	for w := 0; w < n; w++ {
 		s.dict[w] = make(map[graph.Vertex]int32)
 	}
 	for v := 0; v < n; v++ {
-		hc := hash(graph.Vertex(v), q)
+		hc := hash(graph.Vertex(v), s.q)
 		for _, w := range vc.Col.Class(coloring.Color(hc)) {
 			s.dict[w][graph.Vertex(v)] = vc.PartOf[v]
 		}
@@ -96,7 +105,7 @@ func New(g *graph.Graph, paths graph.PathSource, params Params) (*Scheme, error)
 	for w := 0; w < n; w++ {
 		s.tally.Add("name-dictionary", w, 2*len(s.dict[w]))
 	}
-	return s, nil
+	return s
 }
 
 type phase int8

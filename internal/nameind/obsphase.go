@@ -1,0 +1,27 @@
+package nameind
+
+import (
+	"compactroute/internal/obs"
+	"compactroute/internal/simnet"
+)
+
+// RoutePhase implements simnet.PhaseReporter: the packet's internal stage
+// mapped onto the shared trace vocabulary (the dictionary walk that resolves
+// a name to its label is the phase unique to the name-independent scheme).
+func (s *Scheme) RoutePhase(p simnet.Packet) obs.Phase {
+	pk, ok := p.(*packet)
+	if !ok {
+		return obs.PhaseNone
+	}
+	switch pk.ph {
+	case phaseVicinity:
+		return obs.PhaseVicinity
+	case phaseToDict:
+		return obs.PhaseDictionary
+	case phaseToRep:
+		return obs.PhaseToLandmark
+	case phaseIntra:
+		return obs.PhaseIntra
+	}
+	return obs.PhaseNone
+}

@@ -1,0 +1,145 @@
+// Package obs is the process-wide observability layer: a metrics registry
+// whose instruments are allocation-free on the hot path (atomic counters and
+// gauges, fixed-bucket histograms), exposed in Prometheus text format and
+// JSON, plus a sampled per-query route trace recorder (trace.go).
+//
+// Instruments are registered once at startup; after that every mutation is a
+// single atomic operation with no locking and no allocation, so they can sit
+// directly on the serving fast path. Collection (scraping) takes the registry
+// lock, runs any registered collect hooks - which lets subsystems that keep
+// their own sharded counters (internal/serve) publish a merged snapshot
+// through func-backed instruments - and then reads every instrument.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use, but a Counter is normally obtained from Registry.Counter so that it is
+// exported.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value (convenience for ids and sizes).
+func (g *Gauge) SetInt(v uint64) { g.Set(float64(v)) }
+
+// Add adds d (compare-and-swap loop; not for the per-query hot path, which
+// should use Counter or sharded state instead).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: bucket upper bounds are set at
+// registration and never change, so Observe is a binary search plus two
+// atomic adds. Sum is kept in integer units of the observed value times
+// sumScale to stay lock-free (route latencies are observed in nanoseconds
+// with sumScale 1, exposed in seconds).
+type Histogram struct {
+	bounds    []float64 // upper bounds in observation units, strictly increasing
+	expBounds []float64 // bounds in exposition units (bounds * scale)
+	counts    []atomic.Uint64
+	count     atomic.Uint64
+	sum       atomic.Uint64 // integer units
+}
+
+// NewHistogram builds an unregistered histogram (Registry.Histogram is the
+// normal path). bounds must be strictly increasing.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, expBounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records v (in integer units, e.g. nanoseconds).
+func (h *Histogram) Observe(v uint64) {
+	h.counts[h.bucket(float64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+func (h *Histogram) bucket(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HistSnapshot is a point-in-time view of a histogram, either read from a
+// live Histogram or produced by a collect hook for func-backed families.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds; the final +Inf bucket is implicit
+	Counts []uint64  // len(Bounds)+1, non-cumulative
+	Count  uint64
+	Sum    float64 // in exposition units (after scaling)
+}
+
+func (h *Histogram) snapshot(scale float64) HistSnapshot {
+	s := HistSnapshot{Bounds: h.expBounds, Counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = float64(h.sum.Load()) * scale
+	return s
+}
+
+// LabeledCounter is a counter family over one label key with a fixed value
+// set declared at registration (e.g. route decisions by phase). Add is an
+// atomic increment on the slot for that value.
+type LabeledCounter struct {
+	key  string
+	vals []string
+	cnts []atomic.Uint64
+}
+
+func newLabeledCounter(key string, vals []string) *LabeledCounter {
+	return &LabeledCounter{key: key, vals: vals, cnts: make([]atomic.Uint64, len(vals))}
+}
+
+// Add adds n to the slot for value index i (the order values were declared).
+func (lc *LabeledCounter) Add(i int, n uint64) {
+	if i >= 0 && i < len(lc.cnts) {
+		lc.cnts[i].Add(n)
+	}
+}
+
+// Value returns the count for value index i.
+func (lc *LabeledCounter) Value(i int) uint64 {
+	if i < 0 || i >= len(lc.cnts) {
+		return 0
+	}
+	return lc.cnts[i].Load()
+}

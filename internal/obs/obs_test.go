@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_queries_total", "Queries served.")
+	c.Add(7)
+	g := r.Gauge("test_generation", "Current generation.")
+	g.SetInt(3)
+	r.GaugeFunc("test_qps", "Throughput.", func() float64 { return 123.5 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{1e6, 1e7}, 1e-9)
+	h.Observe(500_000)    // 0.5ms -> first bucket
+	h.Observe(5_000_000)  // 5ms -> second bucket
+	h.Observe(50_000_000) // 50ms -> overflow
+	lc := r.LabeledCounter("test_decisions_total", "Decisions.", "phase", []string{"a", "b"})
+	lc.Add(1, 4)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_queries_total Queries served.",
+		"# TYPE test_queries_total counter",
+		"test_queries_total 7",
+		"test_generation 3",
+		"test_qps 123.5",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.001"} 1`,
+		`test_latency_seconds_bucket{le="0.01"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 0.0555",
+		"test_latency_seconds_count 3",
+		`test_decisions_total{phase="a"} 0`,
+		`test_decisions_total{phase="b"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestValuesAndJSONShareCollect(t *testing.T) {
+	r := NewRegistry()
+	var backing float64
+	r.GaugeFunc("test_backed", "Backed.", func() float64 { return backing })
+	collected := 0
+	r.OnCollect(func() { collected++; backing = 42 })
+
+	vals := r.Values()
+	if vals["test_backed"] != 42 {
+		t.Fatalf("Values did not run collect hook: %v", vals)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"test_backed":42`) {
+		t.Fatalf("JSON missing collected value: %s", b.String())
+	}
+	if collected != 2 {
+		t.Fatalf("collect hook ran %d times, want 2", collected)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "x")
+}
+
+func TestCounterHistogramAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_c", "")
+	g := r.Gauge("t_g", "")
+	h := r.Histogram("t_h", "", []float64{1, 2, 4, 8}, 1)
+	lc := r.LabeledCounter("t_lc", "", "k", []string{"x", "y"})
+	if a := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(1.5)
+		h.Observe(3)
+		lc.Add(1, 1)
+	}); a != 0 {
+		t.Fatalf("instrument ops allocate: %v allocs/op", a)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	for _, v := range []uint64{5, 10, 11, 20, 39, 40, 41, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot(1)
+	want := []uint64{2, 2, 2, 2} // (<=10)x2, (<=20)x2, (<=40)x2, overflow x2
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 || s.Sum != 5+10+11+20+39+40+41+1000 {
+		t.Fatalf("count=%d sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestTraceSamplingDeterministicAndRateZero(t *testing.T) {
+	// rate 0: never samples, even for ids that a positive rate selects.
+	off := NewTraceSink(0, 16)
+	for src := int32(0); src < 50; src++ {
+		if off.Sample(src, src+1) != nil {
+			t.Fatal("rate-0 sink sampled a query")
+		}
+	}
+	// A nil sink is valid and never samples.
+	var nilSink *TraceSink
+	if nilSink.Sample(1, 2) != nil || nilSink.Sampled(1, 2) {
+		t.Fatal("nil sink sampled")
+	}
+	nilSink.Done(nil) // must not panic
+
+	// Two independent sinks at the same rate select the same query set.
+	a, b := NewTraceSink(0.25, 16), NewTraceSink(0.25, 16)
+	picked := 0
+	for src := int32(0); src < 200; src++ {
+		for dst := int32(0); dst < 5; dst++ {
+			sa, sb := a.Sampled(src, dst), b.Sampled(src, dst)
+			if sa != sb {
+				t.Fatalf("sinks disagree on (%d,%d)", src, dst)
+			}
+			if sa {
+				picked++
+			}
+		}
+	}
+	// Rate 0.25 over 1000 pairs: expect roughly 250; accept a wide band.
+	if picked < 150 || picked > 350 {
+		t.Fatalf("sampled %d of 1000 at rate 0.25", picked)
+	}
+	// rate 1 samples everything.
+	all := NewTraceSink(1, 4)
+	if !all.Sampled(7, 9) {
+		t.Fatal("rate-1 sink skipped a query")
+	}
+}
+
+func TestTraceRingAndCounters(t *testing.T) {
+	s := NewTraceSink(1, 2)
+	for i := int32(0); i < 5; i++ {
+		tr := s.Sample(i, i+100)
+		if tr == nil {
+			t.Fatal("rate-1 sample returned nil")
+		}
+		tr.Step(i, PhaseVicinity)
+		tr.Step(i+1, PhaseFallback)
+		tr.Hops = 2
+		s.Done(tr)
+	}
+	if got := s.SampledCount(); got != 5 {
+		t.Fatalf("sampled=%d, want 5", got)
+	}
+	if got := s.DecisionCount(PhaseVicinity); got != 5 {
+		t.Fatalf("vicinity decisions=%d, want 5", got)
+	}
+	if got := s.DecisionCount(PhaseFallback); got != 5 {
+		t.Fatalf("fallback decisions=%d, want 5", got)
+	}
+	last := s.last(10)
+	if len(last) != 2 {
+		t.Fatalf("ring kept %d traces, want 2", len(last))
+	}
+	if last[0].Src != 4 || last[1].Src != 3 {
+		t.Fatalf("ring order wrong: %d, %d", last[0].Src, last[1].Src)
+	}
+	var b strings.Builder
+	if err := s.WriteJSON(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"src":4`, `"phase":"vicinity"`, `"phase":"fallback"`, `"hops":2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestTraceStepCap(t *testing.T) {
+	s := NewTraceSink(1, 4)
+	tr := s.Sample(1, 2)
+	for i := 0; i < maxTraceSteps+10; i++ {
+		tr.Step(int32(i), PhaseTree)
+	}
+	if len(tr.Steps) != maxTraceSteps {
+		t.Fatalf("steps=%d, want cap %d", len(tr.Steps), maxTraceSteps)
+	}
+	s.Discard(tr)
+}
+
+func TestTraceSinkConcurrent(t *testing.T) {
+	s := NewTraceSink(1, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int32(0); i < 200; i++ {
+				tr := s.Sample(i, int32(w))
+				tr.Step(i, PhaseVicinity)
+				s.Done(tr)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.SampledCount(); got != 800 {
+		t.Fatalf("sampled=%d, want 800", got)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != NumPhases {
+		t.Fatalf("len(PhaseNames)=%d, want %d", len(names), NumPhases)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("phase %d has bad name %q", i, n)
+		}
+		seen[n] = true
+		if Phase(i).String() != n {
+			t.Fatalf("Phase(%d).String()=%q, want %q", i, Phase(i).String(), n)
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Fatal("out-of-range phase name")
+	}
+}

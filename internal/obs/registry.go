@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind is the Prometheus metric type of a family.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric name with exactly one backing instrument.
+type family struct {
+	name string
+	help string
+	typ  kind
+
+	c  *Counter
+	g  *Gauge
+	fn func() float64 // func-backed counter or gauge
+
+	h      *Histogram
+	hscale float64
+	hfn    func() HistSnapshot // func-backed histogram
+
+	lc *LabeledCounter
+}
+
+// Registry holds the registered instrument families. Registration happens at
+// startup; reads (scrapes) serialize under the registry lock and first run
+// every collect hook so func-backed families observe a coherent snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	fams     []*family
+	byName   map[string]*family
+	collects []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic("obs: duplicate metric " + f.name)
+	}
+	r.byName[f.name] = f
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, typ: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, typ: kindGauge, g: g})
+	return g
+}
+
+// CounterVar registers an existing Counter (for instruments embedded in a
+// subsystem's struct before the registry exists).
+func (r *Registry) CounterVar(c *Counter, name, help string) {
+	r.add(&family{name: name, help: help, typ: kindCounter, c: c})
+}
+
+// GaugeVar registers an existing Gauge.
+func (r *Registry) GaugeVar(g *Gauge, name, help string) {
+	r.add(&family{name: name, help: help, typ: kindGauge, g: g})
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape time
+// (after collect hooks have run).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, typ: kindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, typ: kindGauge, fn: fn})
+}
+
+// Histogram registers and returns a fixed-bucket histogram. bounds are in
+// observation units; bounds and sums are multiplied by scale at exposition
+// (e.g. observe nanoseconds, expose seconds with scale 1e-9).
+func (r *Registry) Histogram(name, help string, bounds []float64, scale float64) *Histogram {
+	h := NewHistogram(bounds)
+	if scale != 1 {
+		h.expBounds = make([]float64, len(bounds))
+		for i, b := range bounds {
+			h.expBounds[i] = b * scale
+		}
+	}
+	r.add(&family{name: name, help: help, typ: kindHistogram, h: h, hscale: scale})
+	return h
+}
+
+// HistogramFunc registers a histogram family whose snapshot is produced by fn
+// at scrape time; used by subsystems that keep their own sharded histograms.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistSnapshot) {
+	r.add(&family{name: name, help: help, typ: kindHistogram, hfn: fn})
+}
+
+// LabeledCounter registers a counter family over one label key with the fixed
+// value set vals.
+func (r *Registry) LabeledCounter(name, help, key string, vals []string) *LabeledCounter {
+	lc := newLabeledCounter(key, vals)
+	r.add(&family{name: name, help: help, typ: kindCounter, lc: lc})
+	return lc
+}
+
+// OnCollect registers a hook run (under the registry lock) before every
+// scrape; subsystems use it to refresh func-backed families from their own
+// sharded state in one coherent pass.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collects = append(r.collects, fn)
+}
+
+func (r *Registry) collectLocked() {
+	for _, fn := range r.collects {
+		fn()
+	}
+}
+
+// WritePrometheus writes every family in text exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectLocked()
+	var b strings.Builder
+	for _, f := range r.fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		switch {
+		case f.lc != nil:
+			for i, v := range f.lc.vals {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n", f.name, f.lc.key, v, fmtFloat(float64(f.lc.Value(i))))
+			}
+		case f.typ == kindHistogram:
+			writeHistProm(&b, f.name, f.histSnapshot())
+		default:
+			fmt.Fprintf(&b, "%s %s\n", f.name, fmtFloat(f.scalar()))
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) scalar() float64 {
+	switch {
+	case f.c != nil:
+		return float64(f.c.Value())
+	case f.g != nil:
+		return f.g.Value()
+	case f.fn != nil:
+		return f.fn()
+	}
+	return 0
+}
+
+func (f *family) histSnapshot() HistSnapshot {
+	if f.hfn != nil {
+		return f.hfn()
+	}
+	return f.h.snapshot(f.hscale)
+}
+
+func writeHistProm(b *strings.Builder, name string, s HistSnapshot) {
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), cum)
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+}
+
+// WriteJSON writes every family as one flat JSON object: scalars as numbers,
+// labeled counters as "name{key=value}" entries, histograms as objects with
+// buckets (cumulative by upper bound), sum and count.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectLocked()
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+	}
+	for _, f := range r.fams {
+		switch {
+		case f.lc != nil:
+			for i, v := range f.lc.vals {
+				sep()
+				fmt.Fprintf(&b, "%q:%d", f.name+"{"+f.lc.key+"="+v+"}", f.lc.Value(i))
+			}
+		case f.typ == kindHistogram:
+			s := f.histSnapshot()
+			sep()
+			fmt.Fprintf(&b, "%q:{\"buckets\":{", f.name)
+			cum := uint64(0)
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				if i > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%q:%d", fmtFloat(bound), cum)
+			}
+			if len(s.Bounds) > 0 {
+				b.WriteString(",")
+			}
+			if len(s.Counts) > len(s.Bounds) {
+				cum += s.Counts[len(s.Bounds)]
+			}
+			fmt.Fprintf(&b, "\"+Inf\":%d},\"sum\":%s,\"count\":%d}", cum, fmtFloat(s.Sum), s.Count)
+		default:
+			sep()
+			fmt.Fprintf(&b, "%q:%s", f.name, fmtFloat(f.scalar()))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Values runs the collect hooks and returns every scalar sample as a map:
+// plain families under their name, labeled counters as name{key="value"},
+// histograms contributing name_sum and name_count. This is the single source
+// of truth behind both /metrics and the line-protocol stats command.
+func (r *Registry) Values() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectLocked()
+	out := make(map[string]float64, len(r.fams))
+	for _, f := range r.fams {
+		switch {
+		case f.lc != nil:
+			for i, v := range f.lc.vals {
+				out[f.name+`{`+f.lc.key+`="`+v+`"}`] = float64(f.lc.Value(i))
+			}
+		case f.typ == kindHistogram:
+			s := f.histSnapshot()
+			out[f.name+"_sum"] = s.Sum
+			out[f.name+"_count"] = float64(s.Count)
+		default:
+			out[f.name] = f.scalar()
+		}
+	}
+	return out
+}
+
+// Names returns the registered family names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.fams))
+	for i, f := range r.fams {
+		names[i] = f.name
+	}
+	return names
+}
+
+// SortedValues returns Values() flattened into "name value" lines sorted by
+// name (a stable form for tests and debug dumps).
+func (r *Registry) SortedValues() []string {
+	vals := r.Values()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		lines[i] = k + " " + fmtFloat(vals[k])
+	}
+	return lines
+}
+
+// fmtFloat renders a float the way Prometheus text format expects: integers
+// without a trailing .0, everything else in shortest round-trip form.
+func fmtFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

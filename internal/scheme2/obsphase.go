@@ -1,0 +1,26 @@
+package scheme2
+
+import (
+	"compactroute/internal/obs"
+	"compactroute/internal/simnet"
+)
+
+// RoutePhase implements simnet.PhaseReporter: the packet's internal stage
+// mapped onto the shared trace vocabulary.
+func (s *Scheme) RoutePhase(p simnet.Packet) obs.Phase {
+	pk, ok := p.(*packet)
+	if !ok {
+		return obs.PhaseNone
+	}
+	switch pk.ph {
+	case phaseVicinity:
+		return obs.PhaseVicinity
+	case phaseToVia, phaseToRep:
+		return obs.PhaseToLandmark
+	case phaseClusterTre, phaseGlobalTree:
+		return obs.PhaseTree
+	case phaseIntra:
+		return obs.PhaseIntra
+	}
+	return obs.PhaseNone
+}

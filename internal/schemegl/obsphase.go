@@ -1,0 +1,26 @@
+package schemegl
+
+import (
+	"compactroute/internal/obs"
+	"compactroute/internal/simnet"
+)
+
+// RoutePhase implements simnet.PhaseReporter: the packet's internal stage
+// mapped onto the shared trace vocabulary.
+func (s *Scheme) RoutePhase(p simnet.Packet) obs.Phase {
+	pk, ok := p.(*packet)
+	if !ok {
+		return obs.PhaseNone
+	}
+	switch pk.ph {
+	case phaseVicinity:
+		return obs.PhaseVicinity
+	case phaseToVia, phaseToRep:
+		return obs.PhaseToLandmark
+	case phaseViaTree, phaseDestTree:
+		return obs.PhaseTree
+	case phaseInter:
+		return obs.PhaseSequence
+	}
+	return obs.PhaseNone
+}

@@ -9,6 +9,7 @@ import (
 
 	"compactroute/internal/graph"
 	"compactroute/internal/live"
+	"compactroute/internal/obs"
 	"compactroute/internal/parallel"
 	"compactroute/internal/simnet"
 )
@@ -92,6 +93,12 @@ type LiveOptions struct {
 	// Policy governs Refresh's repair-vs-rebuild decision; the zero value
 	// selects DefaultRepairPolicy.
 	Policy RepairPolicy
+	// Obs, when non-nil, registers the live engine's serving statistics and
+	// churn/repair lifecycle on the registry (see Options.Obs).
+	Obs *obs.Registry
+	// Trace, when non-nil, samples per-query route traces, including the
+	// overlay's detour and fallback decisions (see Options.Trace).
+	Trace *obs.TraceSink
 	// Retire, when non-nil, runs exactly once after the initially-supplied
 	// scheme's generation has been swapped out by a rebuild AND every
 	// in-flight query on it has drained. It is how a scheme served straight
@@ -190,21 +197,32 @@ type Live struct {
 	rr     atomic.Uint64
 	start  atomic.Int64
 
+	// The lifecycle counters are obs instruments (atomic underneath) so a
+	// registry can export them directly; they work unregistered exactly the
+	// same when no registry is configured.
 	rebuilding  atomic.Bool
-	rebuilds    atomic.Uint64
-	rebuildErrs atomic.Uint64
-	swaps       atomic.Uint64
+	rebuilds    obs.Counter
+	rebuildErrs obs.Counter
+	swaps       obs.Counter
 	lastRebuild atomic.Int64 // nanoseconds of the last successful rebuild
 	lastFullAt  atomic.Int64 // unix nanos of the last full rebuild (or engine start)
 
-	repairs        atomic.Uint64
-	repairErrs     atomic.Uint64
-	escalations    atomic.Uint64 // policy chose repair, repair failed, rebuild ran
-	pendingDropped atomic.Uint64 // quiesced updates rejected at drain
+	repairs        obs.Counter
+	repairErrs     obs.Counter
+	escalations    obs.Counter   // policy chose repair, repair failed, rebuild ran
+	pendingDropped obs.Counter   // quiesced updates rejected at drain
 	lastRepair     atomic.Int64  // nanoseconds of the last successful repair
 	staleAtSwap    atomic.Uint64 // StaleServed total at the last generation swap
 	lastInfoMu     sync.Mutex
 	lastInfo       RepairInfo
+
+	// obsCnt/obsLv/obsStats/obsInfo are the merged snapshot behind the
+	// registry's func-backed instruments (refreshed by the collect hook and
+	// read under the registry lock; see registerObs).
+	obsCnt   counters
+	obsLv    liveExtras
+	obsStats Stats
+	obsInfo  RepairInfo
 
 	// pendMu orders updates against the swap+rebase critical window: while
 	// quiescing (a rebuild or repair is between reading the overlay and
@@ -247,6 +265,9 @@ func NewLiveWithOverlay(s simnet.Scheme, ov *live.Overlay, o LiveOptions) (*Live
 	now := time.Now().UnixNano()
 	l.start.Store(now)
 	l.lastFullAt.Store(now)
+	if o.Obs != nil {
+		l.registerObs(o.Obs)
+	}
 	return l, nil
 }
 
@@ -304,7 +325,7 @@ func (l *Live) endQuiesce() {
 	defer l.pendMu.Unlock()
 	for _, up := range l.pending {
 		if err := l.ov.Apply(up); err != nil {
-			l.pendingDropped.Add(1)
+			l.pendingDropped.Inc()
 		}
 	}
 	l.pending = nil
@@ -323,7 +344,23 @@ func (l *Live) routeOn(sh *liveShard, src, dst graph.Vertex) live.Result {
 	vBefore := l.ov.Version()
 	gen := l.acquireGen()
 	defer gen.release()
-	res := gen.router.Route(src, dst)
+	tr := l.opts.Trace.Sample(int32(src), int32(dst))
+	timed := obs.QueryID(int32(src), int32(dst))&latSampleBit == 0
+	var t0 int64
+	if timed {
+		t0 = time.Now().UnixNano()
+	}
+	res := gen.router.RouteTraced(src, dst, tr)
+	var dt int64
+	if timed {
+		dt = time.Now().UnixNano() - t0
+	}
+	if tr != nil {
+		tr.Hops = res.Hops
+		tr.Err = res.Err != nil
+		tr.Stale = res.Stale()
+		l.opts.Trace.Done(tr)
+	}
 	clean := !res.Stale() && emptyBefore && l.ov.Version() == vBefore && l.gen.Load() == gen
 	sr := Result{Src: src, Dst: dst, Hops: res.Hops, HeaderWords: res.HeaderWords,
 		Weight: res.Weight, Dist: -1, Err: res.Err}
@@ -354,6 +391,9 @@ func (l *Live) routeOn(sh *liveShard, src, dst graph.Vertex) live.Result {
 	sh.lv.detourHops += uint64(res.DetourHops)
 	if res.Fallback {
 		sh.lv.fallbacks++
+	}
+	if timed {
+		sh.st.recordLatency(dt)
 	}
 	sh.mu.Unlock()
 	return res
@@ -431,19 +471,19 @@ func (l *Live) Rebuild() error {
 	defer l.endQuiesce()
 	g, err := l.ov.Materialize()
 	if err != nil {
-		l.rebuildErrs.Add(1)
+		l.rebuildErrs.Inc()
 		return fmt.Errorf("serve: materialize effective graph: %w", err)
 	}
 	s, err := l.opts.Build(g)
 	if err != nil {
-		l.rebuildErrs.Add(1)
+		l.rebuildErrs.Inc()
 		return fmt.Errorf("serve: rebuild scheme: %w", err)
 	}
 	if err := l.swapTo(s, g); err != nil {
-		l.rebuildErrs.Add(1)
+		l.rebuildErrs.Inc()
 		return err
 	}
-	l.rebuilds.Add(1)
+	l.rebuilds.Inc()
 	l.lastRebuild.Store(int64(time.Since(start)))
 	l.lastFullAt.Store(time.Now().UnixNano())
 	return nil
@@ -480,7 +520,7 @@ func (l *Live) swapTo(s simnet.Scheme, g *graph.Graph) error {
 	if err := l.ov.Rebase(s.Graph()); err != nil {
 		return err
 	}
-	l.swaps.Add(1)
+	l.swaps.Inc()
 	l.staleAtSwap.Store(l.staleTotal())
 	return nil
 }
@@ -504,19 +544,19 @@ func (l *Live) Repair() error {
 	entries := l.ov.Entries()
 	g, err := l.ov.Materialize()
 	if err != nil {
-		l.repairErrs.Add(1)
+		l.repairErrs.Inc()
 		return fmt.Errorf("serve: materialize effective graph: %w", err)
 	}
 	s, info, err := l.opts.Repair(l.gen.Load().router.Scheme(), g, entries)
 	if err != nil {
-		l.repairErrs.Add(1)
+		l.repairErrs.Inc()
 		return fmt.Errorf("serve: repair scheme: %w", err)
 	}
 	if err := l.swapTo(s, g); err != nil {
-		l.repairErrs.Add(1)
+		l.repairErrs.Inc()
 		return err
 	}
-	l.repairs.Add(1)
+	l.repairs.Inc()
 	l.lastRepair.Store(int64(time.Since(start)))
 	l.lastInfoMu.Lock()
 	l.lastInfo = info
@@ -565,7 +605,7 @@ func (l *Live) Refresh() error {
 		if err == nil || errors.Is(err, ErrRebuildInFlight) {
 			return err
 		}
-		l.escalations.Add(1)
+		l.escalations.Inc()
 	}
 	return l.Rebuild()
 }
@@ -628,8 +668,8 @@ type LiveStats struct {
 	LastRepairInfo RepairInfo
 }
 
-// Stats merges the shard counters into one snapshot.
-func (l *Live) Stats() LiveStats {
+// merged folds every shard's counters and churn extras into one block each.
+func (l *Live) merged() (counters, liveExtras) {
 	var m counters
 	var lv liveExtras
 	for _, sh := range l.shards {
@@ -648,6 +688,12 @@ func (l *Live) Stats() LiveStats {
 		}
 		sh.mu.Unlock()
 	}
+	return m, lv
+}
+
+// Stats merges the shard counters into one snapshot.
+func (l *Live) Stats() LiveStats {
+	m, lv := l.merged()
 	st := LiveStats{
 		Stats:           m.finalize(l.start.Load()),
 		Generation:      l.Generation(),
@@ -660,15 +706,15 @@ func (l *Live) Stats() LiveStats {
 		StaleServed:     lv.stale,
 		MaxStaleStretch: lv.maxStale,
 		StaleHist:       lv.staleHist,
-		Rebuilds:        l.rebuilds.Load(),
-		RebuildErrors:   l.rebuildErrs.Load(),
-		Swaps:           l.swaps.Load(),
+		Rebuilds:        l.rebuilds.Value(),
+		RebuildErrors:   l.rebuildErrs.Value(),
+		Swaps:           l.swaps.Value(),
 		LastRebuild:     time.Duration(l.lastRebuild.Load()),
 		Rebuilding:      l.rebuilding.Load(),
-		Repairs:         l.repairs.Load(),
-		RepairErrors:    l.repairErrs.Load(),
-		Escalations:     l.escalations.Load(),
-		PendingDropped:  l.pendingDropped.Load(),
+		Repairs:         l.repairs.Value(),
+		RepairErrors:    l.repairErrs.Value(),
+		Escalations:     l.escalations.Value(),
+		PendingDropped:  l.pendingDropped.Value(),
 		LastRepair:      time.Duration(l.lastRepair.Load()),
 	}
 	l.lastInfoMu.Lock()

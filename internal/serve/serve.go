@@ -24,12 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"compactroute/internal/graph"
+	"compactroute/internal/obs"
 	"compactroute/internal/parallel"
 	"compactroute/internal/simnet"
 )
@@ -60,6 +62,14 @@ type Options struct {
 	// serving lane per core on machines where the scheduler would
 	// otherwise migrate them between batches.
 	PinWorkers bool
+	// Obs, when non-nil, registers the engine's serving statistics on the
+	// registry as func-backed instruments refreshed by a collect hook at
+	// scrape time - the sharded hot-path counters stay exactly as they are.
+	Obs *obs.Registry
+	// Trace, when non-nil, samples per-query route traces (deterministic
+	// hash-based selection; see obs.TraceSink). Untraced queries pay one
+	// hash and one branch; a nil Trace pays one nil check.
+	Trace *obs.TraceSink
 }
 
 // ErrAborted marks pairs skipped after a FailFast batch hit its first
@@ -89,6 +99,31 @@ const (
 	StretchBucketWidth = 0.25
 )
 
+// Latency histogram geometry: route latencies are measured on a deterministic
+// 1-in-latSample subset of queries (a time.Now pair costs more than a short
+// route, so per-query timing would dominate the hot path) and recorded in
+// exponential nanosecond buckets: bucket i spans (256ns<<(i-1), 256ns<<i],
+// covering 256ns..~17s before the overflow bucket.
+const (
+	latBuckets   = 27
+	latSampleBit = 7 // sample iff QueryID(src,dst) & latSampleBit == 0 (1 in 8)
+)
+
+// latBucket maps a nanosecond latency to its histogram bucket.
+func latBucket(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns-1) >> 8)
+	if b > latBuckets {
+		b = latBuckets
+	}
+	return b
+}
+
+// latBoundNs is the upper bound of latency bucket i in nanoseconds.
+func latBoundNs(i int) int64 { return 256 << uint(i) }
+
 // statsChunk is the number of queries a batch worker accumulates in its
 // private counters before folding them into the shard block under the
 // lock. Chunking amortizes the mutex from one acquisition per query to one
@@ -110,7 +145,13 @@ type Stats struct {
 	MeanHops        float64       // over deliveries
 	P50Hops         int
 	P99Hops         int
-	MaxStretch      float64
+	// Latency quantiles are derived from the sampled latency histogram
+	// (upper bucket bounds, so they are conservative); LatencySamples is
+	// the number of measured queries behind them.
+	LatencySamples uint64
+	P50Latency     time.Duration
+	P99Latency     time.Duration
+	MaxStretch     float64
 	// StretchHist[i] counts verified deliveries at positive distance with
 	// stretch in [1+i*W, 1+(i+1)*W), W = StretchBucketWidth; the last
 	// bucket collects everything above.
@@ -126,8 +167,18 @@ type counters struct {
 	hopsSum     uint64
 	delivered   uint64
 	maxStretch  float64
+	latCount    uint64
+	latSum      uint64 // nanoseconds over sampled queries
 	hopHist     [hopBuckets + 1]uint64
 	stretchHist [StretchBuckets + 1]uint64
+	latHist     [latBuckets + 1]uint64
+}
+
+// recordLatency folds one sampled route latency into the block.
+func (c *counters) recordLatency(ns int64) {
+	c.latCount++
+	c.latSum += uint64(ns)
+	c.latHist[latBucket(ns)]++
 }
 
 // shard is one worker lane: a Network handle, the worker's job feed and the
@@ -194,6 +245,11 @@ type Engine struct {
 	// ResetStats may race with Stats on the concurrent engine API.
 	start atomic.Int64
 	rr    atomic.Uint64
+	// obsCnt/obsStats are the merged snapshot behind the registry's
+	// func-backed instruments; refreshed by the collect hook, read by the
+	// instruments, both under the registry lock (see registerObs).
+	obsCnt   counters
+	obsStats Stats
 }
 
 // New builds an engine over a preprocessed scheme and starts one worker
@@ -223,6 +279,9 @@ func New(s simnet.Scheme, o Options) (*Engine, error) {
 		e.shards[i] = &shard{nw: simnet.NewNetwork(s, nwOpts...), jobs: make(chan batchJob, 8)}
 		w := &worker{sh: e.shards[i], quit: e.cl.quit, scheme: s, n: e.n, opts: o}
 		go w.loop()
+	}
+	if o.Obs != nil {
+		e.registerObs(o.Obs)
 	}
 	// Safety net for engines dropped without Close: the workers reference
 	// only their shard and the closer, never the Engine, so the engine
@@ -309,12 +368,26 @@ func (w *worker) route(src, dst graph.Vertex) Result {
 		w.record(&res)
 		return res
 	}
-	r, pkt, err := w.sh.nw.RouteReuse(src, dst, w.pkt)
+	tr := w.opts.Trace.Sample(int32(src), int32(dst))
+	timed := obs.QueryID(int32(src), int32(dst))&latSampleBit == 0
+	var t0 int64
+	if timed {
+		t0 = time.Now().UnixNano()
+	}
+	r, pkt, err := w.sh.nw.RouteTraced(src, dst, w.pkt, tr)
+	if timed {
+		w.pend.recordLatency(time.Now().UnixNano() - t0)
+	}
 	if pkt != nil {
 		w.pkt = pkt
 	}
 	res.Hops, res.Weight, res.HeaderWords = r.Hops, r.Weight, r.HeaderWords
 	res.Err = err
+	if tr != nil {
+		tr.Hops = r.Hops
+		tr.Err = err != nil
+		w.opts.Trace.Done(tr)
+	}
 	if err == nil && w.opts.Verify {
 		res.Dist = w.opts.Paths.Dist(src, dst)
 	}
@@ -408,16 +481,38 @@ func (e *Engine) Route(src, dst graph.Vertex) Result {
 	if src < 0 || src >= e.n || dst < 0 || dst >= e.n {
 		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, e.n)
 	} else {
+		tr := e.opts.Trace.Sample(int32(src), int32(dst))
+		timed := obs.QueryID(int32(src), int32(dst))&latSampleBit == 0
+		var t0 int64
+		if timed {
+			t0 = time.Now().UnixNano()
+		}
 		scratch, _ := e.pkts.Get().(simnet.Packet)
-		r, pkt, err := sh.nw.RouteReuse(src, dst, scratch)
+		r, pkt, err := sh.nw.RouteTraced(src, dst, scratch, tr)
+		var dt int64
+		if timed {
+			dt = time.Now().UnixNano() - t0
+		}
 		if pkt != nil {
 			e.pkts.Put(pkt)
 		}
 		res.Hops, res.Weight, res.HeaderWords = r.Hops, r.Weight, r.HeaderWords
 		res.Err = err
+		if tr != nil {
+			tr.Hops = r.Hops
+			tr.Err = err != nil
+			e.opts.Trace.Done(tr)
+		}
 		if err == nil && e.opts.Verify {
 			res.Dist = e.opts.Paths.Dist(src, dst)
 		}
+		sh.mu.Lock()
+		sh.st.record(e.scheme, &res, e.opts.Verify)
+		if timed {
+			sh.st.recordLatency(dt)
+		}
+		sh.mu.Unlock()
+		return res
 	}
 	sh.mu.Lock()
 	sh.st.record(e.scheme, &res, e.opts.Verify)
@@ -492,11 +587,16 @@ func (c *counters) mergeFrom(o *counters) {
 	if o.maxStretch > c.maxStretch {
 		c.maxStretch = o.maxStretch
 	}
+	c.latCount += o.latCount
+	c.latSum += o.latSum
 	for i := range o.hopHist {
 		c.hopHist[i] += o.hopHist[i]
 	}
 	for i := range o.stretchHist {
 		c.stretchHist[i] += o.stretchHist[i]
+	}
+	for i := range o.latHist {
+		c.latHist[i] += o.latHist[i]
 	}
 }
 
@@ -520,6 +620,11 @@ func (c *counters) finalize(startNanos int64) Stats {
 		st.P50Hops = quantile(c.hopHist[:], c.delivered, 0.50)
 		st.P99Hops = quantile(c.hopHist[:], c.delivered, 0.99)
 	}
+	if c.latCount > 0 {
+		st.LatencySamples = c.latCount
+		st.P50Latency = time.Duration(latBoundNs(quantile(c.latHist[:], c.latCount, 0.50)))
+		st.P99Latency = time.Duration(latBoundNs(quantile(c.latHist[:], c.latCount, 0.99)))
+	}
 	return st
 }
 
@@ -527,13 +632,19 @@ func (c *counters) finalize(startNanos int64) Stats {
 // whenever no Query batch is in flight; during a batch they may lag the
 // newest routes by up to statsChunk queries per shard.
 func (e *Engine) Stats() Stats {
+	m := e.merged()
+	return m.finalize(e.start.Load())
+}
+
+// merged folds every shard's counters into one block.
+func (e *Engine) merged() counters {
 	var m counters
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		m.mergeFrom(&sh.st)
 		sh.mu.Unlock()
 	}
-	return m.finalize(e.start.Load())
+	return m
 }
 
 // ResetStats zeroes every shard's counters and restarts the QPS clock.

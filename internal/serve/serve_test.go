@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
 	"compactroute/internal/exact"
 	"compactroute/internal/gen"
 	"compactroute/internal/graph"
+	"compactroute/internal/obs"
 	"compactroute/internal/simnet"
 	"compactroute/internal/tzroute"
 )
@@ -315,6 +317,43 @@ func BenchmarkEngineQuery(b *testing.B) {
 			st := eng.Stats()
 			if st.Errors != 0 {
 				b.Fatalf("%d routing errors", st.Errors)
+			}
+			b.ReportMetric(float64(len(pairs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkEngineQueryObs is the A/B counterpart behind experiment E18: the
+// same batch as BenchmarkEngineQuery with a metrics registry and a trace
+// sink attached in routeserve's production configuration (0% sampling).
+// Comparing the two quantifies the observability overhead on the hot path;
+// the structural claim (0 allocs/op either way) is pinned separately by
+// TestObsHotPathAllocs.
+func BenchmarkEngineQueryObs(b *testing.B) {
+	g := testGraph(b, 512, 2015)
+	s, err := tzroute.New(g, tzroute.Params{K: 2, Seed: 2015})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := samplePairs(g.N(), 8192, 99)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			reg := obs.NewRegistry()
+			sink := obs.NewTraceSink(0, 64)
+			sink.Register(reg)
+			eng, err := New(s, Options{Workers: workers, Obs: reg, Trace: sink})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]Result, len(pairs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Query(pairs, out)
+			}
+			b.StopTimer()
+			var sb strings.Builder
+			if err := reg.WritePrometheus(&sb); err != nil || !strings.Contains(sb.String(), "compactroute_queries_total") {
+				b.Fatalf("scrape after benchmark broken: %v", err)
 			}
 			b.ReportMetric(float64(len(pairs)*b.N)/b.Elapsed().Seconds(), "queries/s")
 		})

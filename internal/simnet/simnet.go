@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"compactroute/internal/graph"
+	"compactroute/internal/obs"
 )
 
 // Decision is a local forwarding decision: deliver here, or forward on Port.
@@ -70,6 +71,15 @@ type ReusableScheme interface {
 	PrepareInto(scratch Packet, src, dst graph.Vertex) (Packet, error)
 }
 
+// PhaseReporter is an optional Scheme extension for route tracing: it maps
+// the packet's current internal routing stage onto the shared obs.Phase
+// vocabulary. RoutePhase is consulted only for sampled queries (behind a
+// nil-trace check), before each Next call, so it must be a cheap read of the
+// packet's phase field with no side effects.
+type PhaseReporter interface {
+	RoutePhase(p Packet) obs.Phase
+}
+
 // Result describes one completed routing.
 type Result struct {
 	Hops        int
@@ -85,6 +95,7 @@ var ErrHopLimit = errors.New("simnet: hop limit exceeded")
 type Network struct {
 	scheme   Scheme
 	reuse    ReusableScheme // non-nil when scheme supports packet reuse
+	phaser   PhaseReporter  // non-nil when scheme reports routing phases
 	g        *graph.Graph
 	maxHops  int
 	keepPath bool
@@ -112,6 +123,7 @@ func WithPath() Option {
 func NewNetwork(s Scheme, opts ...Option) *Network {
 	n := &Network{scheme: s, g: s.Graph(), maxHops: 8*s.Graph().N() + 64}
 	n.reuse, _ = s.(ReusableScheme)
+	n.phaser, _ = s.(PhaseReporter)
 	for _, o := range opts {
 		o.apply(n)
 	}
@@ -131,6 +143,16 @@ func (n *Network) Route(src, dst graph.Vertex) (Result, error) {
 // steady-state allocations; otherwise scratch is ignored and a fresh packet
 // is prepared. The Result is bit-identical to Route's.
 func (n *Network) RouteReuse(src, dst graph.Vertex, scratch Packet) (Result, Packet, error) {
+	return n.RouteTraced(src, dst, scratch, nil)
+}
+
+// RouteTraced is RouteReuse with an optional trace recorder: when tr is
+// non-nil, the phase decision about to be executed at each visited vertex
+// (read through the scheme's PhaseReporter, if implemented) is recorded on
+// the trace before the Next call that acts on it. A nil tr takes the exact
+// untraced path - the per-hop cost is one predictable branch - so callers
+// can thread their sampler's output through unconditionally.
+func (n *Network) RouteTraced(src, dst graph.Vertex, scratch Packet, tr *obs.Trace) (Result, Packet, error) {
 	var res Result
 	var pkt Packet
 	var err error
@@ -148,6 +170,13 @@ func (n *Network) RouteReuse(src, dst graph.Vertex, scratch Packet) (Result, Pac
 	}
 	res.HeaderWords = n.scheme.HeaderWords(pkt)
 	for {
+		if tr != nil {
+			ph := obs.PhaseNone
+			if n.phaser != nil {
+				ph = n.phaser.RoutePhase(pkt)
+			}
+			tr.Step(int32(at), ph)
+		}
 		d, err := n.scheme.Next(at, pkt)
 		if err != nil {
 			return res, pkt, fmt.Errorf("next at %d (%d->%d, hop %d): %w", at, src, dst, res.Hops, err)

@@ -1,0 +1,16 @@
+package tzroute
+
+import (
+	"compactroute/internal/obs"
+	"compactroute/internal/simnet"
+)
+
+// RoutePhase implements simnet.PhaseReporter. The TZ baseline is a single
+// stage: pick the bunch witness's cluster tree and descend it, so every hop
+// reports a tree descent.
+func (s *Scheme) RoutePhase(p simnet.Packet) obs.Phase {
+	if _, ok := p.(*packet); !ok {
+		return obs.PhaseNone
+	}
+	return obs.PhaseTree
+}

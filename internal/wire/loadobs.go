@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LoadEvent describes one completed snapshot load: which scheme kind was
+// decoded, how many bytes backed it, whether they are truly memory-mapped,
+// and where the load time went (mapping the file, parsing the container,
+// decoding/aliasing the scheme tables). Emitted by the snapshot load paths
+// so a serving process can expose its startup and hot-swap load costs.
+type LoadEvent struct {
+	Kind   string
+	Bytes  int64
+	Mapped bool
+	Map    time.Duration // file open + mmap (zero on reader-based loads)
+	Parse  time.Duration // container parse (headers, checksum, sections)
+	Decode time.Duration // scheme decode / table aliasing
+}
+
+// loadObserver is the registered observer; atomic so loads never lock.
+var loadObserver atomic.Pointer[func(LoadEvent)]
+
+// SetLoadObserver installs fn as the process-wide load observer (nil
+// removes it). The observer runs synchronously on the loading goroutine and
+// must be cheap; there is at most one.
+func SetLoadObserver(fn func(LoadEvent)) {
+	if fn == nil {
+		loadObserver.Store(nil)
+		return
+	}
+	loadObserver.Store(&fn)
+}
+
+// EmitLoad reports a completed load to the observer, if any.
+func EmitLoad(ev LoadEvent) {
+	if fn := loadObserver.Load(); fn != nil {
+		(*fn)(ev)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"compactroute/internal/wire"
 )
@@ -53,11 +54,18 @@ func SaveScheme(w io.Writer, s Scheme) error {
 // recorded at save time, and dispatches to the decoder registered for the
 // snapshot's scheme kind.
 func LoadScheme(r io.Reader) (Scheme, error) {
+	t0 := time.Now()
 	snap, err := wire.Read(r)
 	if err != nil {
 		return nil, err
 	}
-	return decodeSnapshot(snap)
+	t1 := time.Now()
+	s, err := decodeSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	wire.EmitLoad(wire.LoadEvent{Kind: snap.Kind, Parse: t1.Sub(t0), Decode: time.Since(t1)})
+	return s, nil
 }
 
 func decodeSnapshot(snap *wire.Snapshot) (Scheme, error) {
@@ -137,20 +145,25 @@ func (sf *SchemeFile) Close() error { return sf.m.Close() }
 // OpenSchemeFile memory-maps the snapshot at path (read-only) and decodes
 // the scheme over the mapped bytes.
 func OpenSchemeFile(path string) (*SchemeFile, error) {
+	t0 := time.Now()
 	m, err := wire.Map(path)
 	if err != nil {
 		return nil, err
 	}
+	t1 := time.Now()
 	snap, err := wire.Parse(m.Bytes())
 	if err != nil {
 		m.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	t2 := time.Now()
 	s, err := decodeSnapshot(snap)
 	if err != nil {
 		m.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	wire.EmitLoad(wire.LoadEvent{Kind: snap.Kind, Bytes: int64(len(m.Bytes())),
+		Mapped: m.Mapped(), Map: t1.Sub(t0), Parse: t2.Sub(t1), Decode: time.Since(t2)})
 	return &SchemeFile{Scheme: s, m: m}, nil
 }
 

@@ -50,6 +50,9 @@ func snapshotRows() []snapRow {
 		{"thm16-k4", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
 			return compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, K: 4, Seed: benchSeed})
 		}},
+		{"nameind", true, func(g *compactroute.Graph, ps compactroute.PathSource) (compactroute.Scheme, error) {
+			return compactroute.NewNameIndependent(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed})
+		}},
 	}
 }
 
@@ -59,10 +62,11 @@ func snapshotRows() []snapRow {
 // removing one is a compatibility break this test makes loud.
 func TestSnapshotRegistryKinds(t *testing.T) {
 	// The v1 kinds are decode-only compatibility (current encoders emit the
-	// mmap-friendly v2 layout); schemegl (Theorems 13/15) and scheme4k
-	// (Theorem 16) were born with v2 and have no v1.
+	// mmap-friendly v2 layout); schemegl (Theorems 13/15), scheme4k
+	// (Theorem 16) and nameind were born with v2 and have no v1.
 	want := []string{
 		"exact/v1", "exact/v2",
+		"nameind/v2",
 		"scheme3/v1", "scheme3/v2",
 		"scheme4k/v2",
 		"schemegl/v2",
@@ -251,16 +255,28 @@ func TestSnapshotKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind := compactroute.SnapshotKind(ni); kind != "" {
-		t.Fatalf("name-independent unexpectedly snapshottable as %q", kind)
+	if kind := compactroute.SnapshotKind(ni); kind != "nameind/v2" {
+		t.Fatalf("name-independent kind = %q, want nameind/v2", kind)
+	}
+	// A scheme type with no codec must still be refused cleanly: strip the
+	// Encodable interface off a real scheme via an anonymous wrapper.
+	if kind := compactroute.SnapshotKind(plainScheme{ni}); kind != "" {
+		t.Fatalf("wrapper unexpectedly snapshottable as %q", kind)
 	}
 	var buf bytes.Buffer
-	if err := compactroute.SaveScheme(&buf, ni); err == nil {
+	if err := compactroute.SaveScheme(&buf, plainScheme{ni}); err == nil {
 		t.Fatal("SaveScheme accepted a scheme without snapshot support")
 	}
 	if buf.Len() != 0 {
 		t.Fatalf("SaveScheme wrote %d bytes before failing", buf.Len())
 	}
+}
+
+// plainScheme forwards simnet.Scheme but hides any snapshot support, so the
+// refusal path of SaveScheme stays covered now that every built-in scheme
+// has a codec.
+type plainScheme struct {
+	compactroute.Scheme
 }
 
 // TestSnapshotRejectsCorruption flips, truncates and garbles a valid
@@ -353,6 +369,9 @@ func TestSnapshotResealedCorruptionSweep(t *testing.T) {
 	}
 	if s, err := compactroute.NewTheorem16(g, ps, compactroute.Options{Eps: 0.5, K: 3, Seed: benchSeed}); err == nil {
 		schemes["thm16"] = s
+	}
+	if s, err := compactroute.NewNameIndependent(g, ps, compactroute.Options{Eps: 0.5, Seed: benchSeed}); err == nil {
+		schemes["nameind"] = s
 	}
 	if gu, err := compactroute.GNM(24, 96, benchSeed, false, 0); err == nil {
 		psu := compactroute.AllPairs(gu)
