@@ -17,7 +17,9 @@
 //	    schemes additionally get cold-start load (decode vs mmap, loadms/
 //	    keys) and on-disk footprint (bytes/ keys) measured from a saved
 //	    snapshot. -write saves the measured records as the next trajectory
-//	    point.
+//	    point. -audit-sample attaches the shadow route auditor to the timed
+//	    loop, so the gate also proves the auditor's overhead stays inside the
+//	    tolerance band and that it charges zero violations on honest schemes.
 //
 // Exit status: 0 pass, 1 regression, 2 usage or measurement error.
 package main
@@ -101,6 +103,7 @@ func run(args []string, out io.Writer) int {
 		budget    = fs.Int64("mem-budget", 512, "measure: lazy path-source budget in MiB")
 		write     = fs.String("write", "", "measure: write the measured records to this JSON file")
 		pr        = fs.Int("pr", 0, "measure: pr number recorded in -write output")
+		auditRate    = fs.Float64("audit-sample", 0, "measure: attach a shadow route auditor at this sample rate (0 = off); any audited violation is a measurement error")
 		repairN      = fs.Int("repair-n", 0, "measure: also soak the thm11 incremental-repair path on a graph of this size (0 = skip)")
 		repairBatch  = fs.Int("repair-batch", 1, "measure: churn ops applied per repair phase of the soak")
 		repairPhases = fs.Int("repair-phases", 2, "measure: repair phases of the soak (each bit-identity checked)")
@@ -125,7 +128,7 @@ func run(args []string, out io.Writer) int {
 			return 2
 		}
 	} else {
-		recs, loads, sizes, err := measure(out, strings.Split(*schemes, ","), *n, *queries, *batch, *workers, *seed, *eps, *budget)
+		recs, loads, sizes, err := measure(out, strings.Split(*schemes, ","), *n, *queries, *batch, *workers, *seed, *eps, *budget, *auditRate)
 		if err != nil {
 			fmt.Fprintf(out, "benchgate: %v\n", err)
 			return 2
@@ -197,7 +200,11 @@ type sizeRecord struct {
 // measure rebuilds each requested scheme on the routebench workload, serves
 // the batched hot path (qps, ns/op, allocs/op), and - for snapshot-capable
 // schemes - measures the snapshot's cold-start load paths and footprint.
-func measure(out io.Writer, names []string, n, queries, batch, workers int, seed int64, eps float64, budgetMiB int64) ([]record, []loadRecord, []sizeRecord, error) {
+// When auditRate > 0 a shadow route auditor rides the whole serving loop:
+// the timed numbers are then measured with auditing attached (the overhead
+// the gate is asked to tolerate), and any audited violation or unbalanced
+// audit ledger is a measurement error.
+func measure(out io.Writer, names []string, n, queries, batch, workers int, seed int64, eps float64, budgetMiB int64, auditRate float64) ([]record, []loadRecord, []sizeRecord, error) {
 	byName := map[string]row{}
 	for _, r := range rows() {
 		byName[r.name] = r
@@ -222,13 +229,16 @@ func measure(out io.Writer, names []string, n, queries, batch, workers int, seed
 			return nil, nil, nil, fmt.Errorf("build %s: %w", name, err)
 		}
 		fmt.Fprintf(out, "built %s (n=%d) in %.1fs\n", s.Name(), n, time.Since(t0).Seconds())
-		rec, err := serveRecord(s, queries, batch, workers, seed)
+		rec, auditLine, err := serveRecord(s, queries, batch, workers, seed, auditRate)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		rec.M = g.M()
 		recs = append(recs, rec)
 		fmt.Fprintf(out, "  %s: %.0f qps, %.0f ns/op, %.3f allocs/op\n", s.Name(), rec.QPS, rec.NsPerOp, rec.AllocsPerOp)
+		if auditLine != "" {
+			fmt.Fprintf(out, "  %s audit: %s\n", s.Name(), auditLine)
+		}
 		if compactroute.SnapshotKind(s) != "" {
 			ld, sz, err := measureSnapshot(name, s)
 			if err != nil {
@@ -395,10 +405,19 @@ func measureRepair(out io.Writer, n, batch, phases int, seed int64, eps float64,
 
 // serveRecord drives the batched Query hot path: one warm-up batch, then a
 // timed closed loop with alloc accounting from the runtime's Mallocs delta.
-func serveRecord(s compactroute.Scheme, queries, batch, workers int, seed int64) (record, error) {
-	eng, err := compactroute.NewServeEngine(s, compactroute.ServeOptions{Workers: workers, PinWorkers: true})
+// With auditRate > 0 the loop runs with a shadow auditor attached; the
+// returned auditLine summarizes its census ("" when auditing is off).
+func serveRecord(s compactroute.Scheme, queries, batch, workers int, seed int64, auditRate float64) (rec record, auditLine string, err error) {
+	opts := compactroute.ServeOptions{Workers: workers, PinWorkers: true}
+	var aud *compactroute.RouteAuditor
+	if auditRate > 0 {
+		aud = compactroute.NewRouteAuditor(auditRate, 1, 8192)
+		defer aud.Close()
+		opts.Audit = aud
+	}
+	eng, err := compactroute.NewServeEngine(s, opts)
 	if err != nil {
-		return record{}, err
+		return record{}, "", err
 	}
 	defer eng.Close()
 	n := s.Graph().N()
@@ -407,11 +426,14 @@ func serveRecord(s compactroute.Scheme, queries, batch, workers int, seed int64)
 	// trajectory points stay methodology-compatible across PRs.
 	pairs := compactroute.SamplePairs(n, queries, seed+77)
 	if len(pairs) == 0 {
-		return record{}, fmt.Errorf("graph too small to sample pairs")
+		return record{}, "", fmt.Errorf("graph too small to sample pairs")
 	}
 	outBuf := make([]compactroute.ServeResult, min(batch, len(pairs)))
 	for lo := 0; lo < len(pairs) && lo < 4*batch; lo += batch { // warm packet scratch and stats chunks
 		eng.Query(pairs[lo:min(lo+batch, len(pairs))], outBuf)
+	}
+	if aud != nil {
+		aud.Flush() // drain warm-up audits outside the timed window
 	}
 	eng.ResetStats()
 
@@ -444,8 +466,20 @@ func serveRecord(s compactroute.Scheme, queries, batch, workers int, seed int64)
 		mallocs = 0
 	}
 
+	if aud != nil {
+		aud.Flush()
+		ast := aud.Stats()
+		if ast.Violations != 0 {
+			return record{}, "", fmt.Errorf("%s: shadow audit charged %d violations over %d sampled queries", s.Name(), ast.Violations, ast.Sampled)
+		}
+		if ast.Verified+ast.Stale+ast.Dropped != ast.Sampled {
+			return record{}, "", fmt.Errorf("%s: audit ledger does not balance: %+v", s.Name(), ast)
+		}
+		auditLine = fmt.Sprintf("sampled=%d verified=%d dropped=%d viol=0", ast.Sampled, ast.Verified, ast.Dropped)
+	}
+
 	st := eng.Stats()
-	rec := record{
+	rec = record{
 		Scheme:      s.Name(),
 		Kind:        compactroute.SnapshotKind(s),
 		N:           n,
@@ -460,7 +494,7 @@ func serveRecord(s compactroute.Scheme, queries, batch, workers int, seed int64)
 		P50Hops:     st.P50Hops,
 		P99Hops:     st.P99Hops,
 	}
-	return rec, nil
+	return rec, auditLine, nil
 }
 
 func writeRecords(path string, pr int, recs []record, loads []loadRecord, sizes []sizeRecord, repairs []repairRecord) error {

@@ -98,9 +98,13 @@ func TestGateMeasureMode(t *testing.T) {
 	code := run([]string{
 		"-baseline", base, "-schemes", "exact", "-n", "64",
 		"-queries", "2000", "-batch", "256", "-write", outFile,
+		"-audit-sample", "1",
 	}, &out)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "audit: sampled=") {
+		t.Fatalf("measure mode with -audit-sample reports no audit census:\n%s", out.String())
 	}
 	// The written file must itself gate cleanly against the same baseline.
 	out.Reset()

@@ -6,23 +6,36 @@
 //	promcheck -url http://127.0.0.1:9090/metrics \
 //	          [-require compactroute_queries_total,compactroute_qps] \
 //	          [-retries 20] [-interval 250ms] [-min name=value]...
+//	          [-max name=value]...
 //
 // It exists so the bench-smoke CI job can assert that a loadgen run under
 // churn actually exposes the serving metrics (E18) without pulling in a
 // Prometheus client library: the format checked here is the plain text
 // exposition 0.0.4 the registry writes, and the checker is stdlib only.
 //
+// Beyond line-level syntax, every histogram series is validated as a series:
+// its _bucket samples must carry parseable le labels, be cumulative
+// (monotone non-decreasing in increasing le order, no duplicate bounds), end
+// in an le="+Inf" bucket, and that +Inf bucket must equal the family's
+// _count sample. A payload that fails series validation never fixes itself,
+// so it fails immediately like any other malformed exposition.
+//
 // Exit status is 0 iff a scrape succeeds within the retry budget, every
-// line of the payload is a well-formed comment or sample, every -require
-// metric name appears at least once, and every -min constraint holds.
+// line of the payload is a well-formed comment or sample, every histogram
+// series validates, every -require metric name appears at least once, and
+// every -min / -max constraint holds. -max mirrors -min (value must be <=
+// the threshold) and is retried within the same budget - the bench-smoke
+// job uses it to pin violation counters to zero and cap the audit backlog.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -57,6 +70,28 @@ func (m *minFlags) Set(s string) error {
 	return nil
 }
 
+type maxConstraint struct {
+	name string
+	max  float64
+}
+
+type maxFlags []maxConstraint
+
+func (m *maxFlags) String() string { return fmt.Sprint(*m) }
+
+func (m *maxFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("-max wants name=value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("-max %s: %v", s, err)
+	}
+	*m = append(*m, maxConstraint{name, f})
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("promcheck", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -66,6 +101,8 @@ func run(args []string, out io.Writer) error {
 	interval := fs.Duration("interval", 250*time.Millisecond, "delay between scrape attempts")
 	var mins minFlags
 	fs.Var(&mins, "min", "name=value: metric must be present with value >= value (repeatable)")
+	var maxs maxFlags
+	fs.Var(&maxs, "max", "name=value: metric must be present with value <= value (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +131,7 @@ func run(args []string, out io.Writer) error {
 		if values, lines, err = parseExposition(body); err != nil {
 			return err
 		}
-		if err = check(values, splitNonEmpty(*require), mins); err != nil {
+		if err = check(values, splitNonEmpty(*require), mins, maxs); err != nil {
 			continue
 		}
 		fmt.Fprintf(out, "promcheck ok: %d lines, %d metrics\n", lines, len(values))
@@ -103,7 +140,7 @@ func run(args []string, out io.Writer) error {
 	return err
 }
 
-func check(values map[string]float64, required []string, mins []minConstraint) error {
+func check(values map[string]float64, required []string, mins []minConstraint, maxs []maxConstraint) error {
 	for _, name := range required {
 		if _, ok := values[name]; !ok {
 			return fmt.Errorf("required metric %s missing from exposition", name)
@@ -116,6 +153,15 @@ func check(values map[string]float64, required []string, mins []minConstraint) e
 		}
 		if v < c.min {
 			return fmt.Errorf("metric %s = %v, want >= %v", c.name, v, c.min)
+		}
+	}
+	for _, c := range maxs {
+		v, ok := values[c.name]
+		if !ok {
+			return fmt.Errorf("-max metric %s missing from exposition", c.name)
+		}
+		if v > c.max {
+			return fmt.Errorf("metric %s = %v, want <= %v", c.name, v, c.max)
 		}
 	}
 	return nil
@@ -145,8 +191,11 @@ func scrape(url string) (string, error) {
 // value of each sample keyed by bare metric name (labels stripped; for
 // multi-sample families such as histograms the last sample wins, which is
 // the +Inf bucket / highest label and is fine for presence and >= checks).
+// Histogram bucket series are additionally validated as series - cumulative,
+// no duplicate bounds, +Inf bucket present and equal to _count.
 func parseExposition(body string) (map[string]float64, int, error) {
 	values := make(map[string]float64)
+	hists := make(map[string][]histBucket)
 	lines := 0
 	for n, line := range strings.Split(body, "\n") {
 		if line == "" {
@@ -159,16 +208,99 @@ func parseExposition(body string) (map[string]float64, int, error) {
 			}
 			continue
 		}
-		name, value, err := parseSample(line)
+		name, labels, value, err := parseSample(line)
 		if err != nil {
 			return nil, 0, fmt.Errorf("line %d: %v (%q)", n+1, err, line)
 		}
 		values[name] = value
+		if fam, ok := strings.CutSuffix(name, "_bucket"); ok {
+			le, err := parseLe(labels)
+			if err != nil {
+				return nil, 0, fmt.Errorf("line %d: %v (%q)", n+1, err, line)
+			}
+			hists[fam] = append(hists[fam], histBucket{le: le, cum: value})
+		}
 	}
 	if lines == 0 {
 		return nil, 0, fmt.Errorf("empty exposition")
 	}
+	if err := validateHistograms(values, hists); err != nil {
+		return nil, 0, err
+	}
 	return values, lines, nil
+}
+
+// histBucket is one histogram bucket sample: its le bound and cumulative
+// count.
+type histBucket struct {
+	le, cum float64
+}
+
+// parseLe extracts and parses the le label of a _bucket sample.
+func parseLe(labels string) (float64, error) {
+	rest := labels
+	for rest != "" {
+		i := strings.Index(rest, `le="`)
+		if i < 0 {
+			break
+		}
+		// Require a label-set boundary before "le" so a label named e.g.
+		// "scale" never matches.
+		if i > 0 {
+			switch rest[i-1] {
+			case ',', ' ':
+			default:
+				rest = rest[i+4:]
+				continue
+			}
+		}
+		val := rest[i+4:]
+		j := strings.IndexByte(val, '"')
+		if j < 0 {
+			return 0, fmt.Errorf("unterminated le label")
+		}
+		val = val[:j]
+		if val == "+Inf" {
+			return math.Inf(1), nil
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad le bound %q", val)
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("_bucket sample has no le label")
+}
+
+// validateHistograms checks every _bucket series: buckets must be cumulative
+// (monotone non-decreasing in increasing le order), carry no duplicate
+// bounds, end in a le="+Inf" bucket, and that bucket must equal the
+// family's _count sample.
+func validateHistograms(values map[string]float64, hists map[string][]histBucket) error {
+	for fam, bs := range hists {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le == bs[i-1].le {
+				return fmt.Errorf("histogram %s has duplicate le=%g buckets", fam, bs[i].le)
+			}
+			if bs[i].cum < bs[i-1].cum {
+				return fmt.Errorf("histogram %s is not cumulative: le=%g count %g < le=%g count %g",
+					fam, bs[i].le, bs[i].cum, bs[i-1].le, bs[i-1].cum)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", fam)
+		}
+		count, ok := values[fam+"_count"]
+		if !ok {
+			return fmt.Errorf("histogram %s has buckets but no %s_count sample", fam, fam)
+		}
+		if last.cum != count {
+			return fmt.Errorf("histogram %s +Inf bucket %g != %s_count %g", fam, last.cum, fam, count)
+		}
+	}
+	return nil
 }
 
 func checkComment(line string) error {
@@ -192,31 +324,32 @@ func checkComment(line string) error {
 	return nil
 }
 
-func parseSample(line string) (string, float64, error) {
+func parseSample(line string) (name, labels string, value float64, err error) {
 	// name{labels} value [timestamp]  - labels optional.
 	rest := line
-	name := rest
+	name = rest
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		name = rest[:i]
 		j := strings.IndexByte(rest, '}')
 		if j < i {
-			return "", 0, fmt.Errorf("unterminated label set")
+			return "", "", 0, fmt.Errorf("unterminated label set")
 		}
+		labels = rest[i+1 : j]
 		rest = name + rest[j+1:]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 2 || len(fields) > 3 {
-		return "", 0, fmt.Errorf("sample wants name value [timestamp]")
+		return "", "", 0, fmt.Errorf("sample wants name value [timestamp]")
 	}
 	name = fields[0]
 	if !validMetricName(name) {
-		return "", 0, fmt.Errorf("bad metric name %q", name)
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
 	}
-	v, err := strconv.ParseFloat(fields[1], 64)
+	value, err = strconv.ParseFloat(fields[1], 64)
 	if err != nil {
-		return "", 0, fmt.Errorf("bad sample value %q", fields[1])
+		return "", "", 0, fmt.Errorf("bad sample value %q", fields[1])
 	}
-	return name, v, nil
+	return name, labels, value, nil
 }
 
 func validMetricName(s string) bool {

@@ -40,6 +40,8 @@ func TestPromcheckAccepts(t *testing.T) {
 		"-require", "compactroute_queries_total,compactroute_qps,compactroute_latency_seconds_count",
 		"-min", "compactroute_queries_total=2000",
 		"-min", "compactroute_qps=1",
+		"-max", "compactroute_queries_total=2000",
+		"-max", "compactroute_latency_seconds_count=100",
 	}, &out)
 	if err != nil {
 		t.Fatalf("good exposition rejected: %v", err)
@@ -69,6 +71,27 @@ func TestPromcheckRejects(t *testing.T) {
 		{"bad type", "# TYPE compactroute_x thermometer\n", nil, "unknown metric type"},
 		{"bad name", "9starts_with_digit 1\n", nil, "bad metric name"},
 		{"unterminated labels", "compactroute_x{le=\"1\" 5\n", nil, "unterminated"},
+		{"max violated", goodExposition,
+			[]string{"-max", "compactroute_queries_total=100"}, "want <="},
+		{"max missing", goodExposition,
+			[]string{"-max", "compactroute_nope=1"}, "missing"},
+		{"bucket without le", "compactroute_x_bucket{phase=\"a\"} 5\n", nil, "no le label"},
+		{"bucket bad le", "compactroute_x_bucket{le=\"wide\"} 5\n", nil, "bad le bound"},
+		{"non-cumulative histogram",
+			"compactroute_x_bucket{le=\"1\"} 7\ncompactroute_x_bucket{le=\"+Inf\"} 5\ncompactroute_x_count 5\n",
+			nil, "not cumulative"},
+		{"duplicate bucket bound",
+			"compactroute_x_bucket{le=\"1\"} 5\ncompactroute_x_bucket{le=\"1\"} 5\ncompactroute_x_bucket{le=\"+Inf\"} 5\ncompactroute_x_count 5\n",
+			nil, "duplicate le"},
+		{"histogram without +Inf",
+			"compactroute_x_bucket{le=\"1\"} 5\ncompactroute_x_count 5\n",
+			nil, `no le="+Inf"`},
+		{"histogram without count",
+			"compactroute_x_bucket{le=\"+Inf\"} 5\n",
+			nil, "no compactroute_x_count"},
+		{"+Inf bucket diverges from count",
+			"compactroute_x_bucket{le=\"+Inf\"} 5\ncompactroute_x_count 7\n",
+			nil, "+Inf bucket 5 != compactroute_x_count 7"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -111,5 +134,8 @@ func TestPromcheckFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-url", "http://x", "-min", "noequals"}, &out); err == nil {
 		t.Error("malformed -min accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-max", "name=notanumber"}, &out); err == nil {
+		t.Error("malformed -max accepted")
 	}
 }

@@ -13,18 +13,27 @@ import (
 // churnConfig parameterizes the -churn replay (experiment E14) and the
 // -churn -repair latency study (experiment E17).
 type churnConfig struct {
-	n         int
-	eps       float64
-	seed      int64
-	churnSeed int64
-	frac      float64
-	pairs     int
-	workers   int
-	budgetMiB int
-	repair    bool // -repair: incremental-repair mode (E17)
-	batch     int  // repair mode: trace ops applied per phase
-	phases    int  // repair mode: number of repair phases
-	trace     bool // -trace: per-phase routing-decision census
+	n          int
+	eps        float64
+	seed       int64
+	churnSeed  int64
+	frac       float64
+	pairs      int
+	workers    int
+	budgetMiB  int
+	repair     bool // -repair: incremental-repair mode (E17)
+	batch      int  // repair mode: trace ops applied per phase
+	phases     int  // repair mode: number of repair phases
+	trace      bool // -trace: per-phase routing-decision census
+	verifyBidi bool // -verify-mode bidi: prove distances with the bidirectional kernel
+}
+
+// verifyModeName renders the -verify-mode value back for banners.
+func (c churnConfig) verifyModeName() string {
+	if c.verifyBidi {
+		return "bidi"
+	}
+	return "pathsource"
 }
 
 // decisionCensus renders per-serving-phase deltas of the trace sink's
@@ -96,7 +105,10 @@ func histLine(hist [compactroute.StretchBuckets + 1]uint64) string {
 // load, and verify that the recovered serving state is bit-identical (same
 // stretch histogram) to a from-scratch build on the churned graph. Any
 // dropped query, bound violation in a clean phase, or histogram mismatch is
-// a hard error (non-zero exit).
+// a hard error (non-zero exit). A rate-1 shadow auditor rides along the
+// whole replay; at every phase boundary its violation census must agree
+// exactly with the synchronous verifier, and at the end its ledger must
+// balance (verified + violations + stale + dropped == sampled).
 func runChurn(out io.Writer, cfg churnConfig) error {
 	g, err := compactroute.GNM(cfg.n, 4*cfg.n, cfg.seed, true, 32)
 	if err != nil {
@@ -113,18 +125,47 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 		return err
 	}
 	buildTime := time.Since(buildStart)
-	lopts := compactroute.LiveServeOptions{Workers: cfg.workers, Verify: true, Build: build}
+	lopts := compactroute.LiveServeOptions{Workers: cfg.workers, Verify: true,
+		VerifyBidi: cfg.verifyBidi, Build: build}
 	var census *decisionCensus
 	if cfg.trace {
 		lopts.Trace, census = newDecisionCensus()
 	}
+	// The shadow auditor rides along at rate 1: every delivery is re-proved
+	// off the hot path, and at each phase boundary its census must agree
+	// with the synchronous verifier exactly.
+	aud := compactroute.NewRouteAuditor(1, cfg.workers, 1<<16)
+	defer aud.Close()
+	lopts.Audit = aud
 	eng, err := compactroute.ServeLive(scheme, lopts)
 	if err != nil {
 		return err
 	}
 	pairs := compactroute.SamplePairs(cfg.n, cfg.pairs, cfg.seed)
-	fmt.Fprintf(out, "# E14 churn replay: %s on G(n=%d, m=%d), %d workers, %d pairs/phase, build %s\n",
-		scheme.Name(), g.N(), g.M(), eng.Workers(), len(pairs), buildTime.Round(time.Millisecond))
+	fmt.Fprintf(out, "# E14 churn replay: %s on G(n=%d, m=%d), %d workers, %d pairs/phase, verify=%s, build %s\n",
+		scheme.Name(), g.N(), g.M(), eng.Workers(), len(pairs), cfg.verifyModeName(), buildTime.Round(time.Millisecond))
+
+	// auditCensus flushes the auditor at a phase boundary and checks its
+	// census against the synchronous verifier: the audited violation delta
+	// must match the phase's BoundViolations exactly (always 0 here).
+	// Flushing before the next phase mutates the graph keeps attribution
+	// exact - every in-flight record is audited against the state it was
+	// routed on, so nothing from this phase can later be charged as stale.
+	var prevAudit compactroute.RouteAuditStats
+	auditCensus := func(phase string, wantViol uint64) error {
+		aud.Flush()
+		st := aud.Stats()
+		viol := st.Violations - prevAudit.Violations
+		if viol != wantViol {
+			return fmt.Errorf("churn: %s phase: audit census charged %d violations, synchronous verify charged %d",
+				phase, viol, wantViol)
+		}
+		fmt.Fprintf(out, "audit[%s]: sampled=%d verified=%d stale=%d dropped=%d viol=%d\n",
+			phase, st.Sampled-prevAudit.Sampled, st.Verified-prevAudit.Verified,
+			st.Stale-prevAudit.Stale, st.Dropped-prevAudit.Dropped, viol)
+		prevAudit = st
+		return nil
+	}
 
 	serve := func(phase string, ps [][2]compactroute.Vertex) error {
 		for _, r := range eng.Query(ps, nil) {
@@ -147,6 +188,9 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 		fresh.Queries, fresh.MaxStretch, histLine(fresh.StretchHist))
 	if census != nil {
 		fmt.Fprintf(out, "trace[fresh]: %s\n", census.line())
+	}
+	if err := auditCensus("fresh", fresh.BoundViolations); err != nil {
+		return err
 	}
 
 	// Phase 2 - degraded: replay the deletion trace in chunks, serving
@@ -178,6 +222,9 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 	fmt.Fprintf(out, "stale-hist:%s\n", histLine(degraded.StaleHist))
 	if census != nil {
 		fmt.Fprintf(out, "trace[degraded]: %s\n", census.line())
+	}
+	if err := auditCensus("degraded", degraded.BoundViolations); err != nil {
+		return err
 	}
 
 	// Phase 3 - rebuild under load: serving continues (and must stay
@@ -213,6 +260,11 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 	if census != nil {
 		fmt.Fprintf(out, "trace[rebuild]: %s\n", census.line())
 	}
+	// Stats were not reset between the degraded and rebuild phases, so the
+	// rebuild phase's synchronous violations are the delta.
+	if err := auditCensus("rebuild", eng.Stats().BoundViolations-degraded.BoundViolations); err != nil {
+		return err
+	}
 
 	// Phase 4 - recovered: the proved bound holds again on generation 1.
 	eng.ResetStats()
@@ -231,6 +283,14 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 	if census != nil {
 		fmt.Fprintf(out, "trace[recovered]: %s\n", census.line())
 	}
+	if err := auditCensus("recovered", recovered.BoundViolations); err != nil {
+		return err
+	}
+	final := aud.Stats()
+	if final.Verified+final.Violations+final.Stale+final.Dropped != final.Sampled {
+		return fmt.Errorf("churn: audit ledger does not balance: %d verified + %d violations + %d stale + %d dropped != %d sampled",
+			final.Verified, final.Violations, final.Stale, final.Dropped, final.Sampled)
+	}
 
 	// Cross-check: a from-scratch build on the churned graph must produce a
 	// bit-identical stretch histogram over the same pairs.
@@ -240,7 +300,7 @@ func runChurn(out io.Writer, cfg churnConfig) error {
 		return err
 	}
 	refEng, err := compactroute.NewServeEngine(ref, compactroute.ServeOptions{
-		Workers: cfg.workers, Verify: true,
+		Workers: cfg.workers, Verify: true, VerifyBidi: cfg.verifyBidi,
 		Paths: compactroute.NewLazyAPSP(churned, int64(cfg.budgetMiB)<<20),
 	})
 	if err != nil {
@@ -306,7 +366,7 @@ func runChurnRepair(out io.Writer, cfg churnConfig) error {
 	}
 	buildTime := time.Since(buildStart)
 	lopts := compactroute.LiveServeOptions{Workers: cfg.workers, Verify: true,
-		Build: build, Repair: repairFn}
+		VerifyBidi: cfg.verifyBidi, Build: build, Repair: repairFn}
 	var census *decisionCensus
 	if cfg.trace {
 		lopts.Trace, census = newDecisionCensus()

@@ -58,6 +58,19 @@ func (s *server) adminMux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.sink.WriteJSON(w, n)
 	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // all recorded events
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.flight.WriteJSON(w, n)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -218,6 +218,89 @@ func TestAdminSurface(t *testing.T) {
 	}
 }
 
+// TestAuditSurface drives the online route auditor end to end through the
+// CLI: -audit-sample must sample deterministically, shadow-verify off the
+// hot path, surface its counters on /metrics and as the stats line's audit
+// segment, and serve the flight-recorder ring at /debug/flightrec.
+func TestAuditSurface(t *testing.T) {
+	snap, n := writeSnapshot(t)
+	h := startAdminHarness(t, []string{
+		"-snapshot", snap, "-workers", "2",
+		"-listen", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+		"-audit-sample", "1", "-audit-workers", "2",
+		"-flightrec", t.TempDir() + "/flight.json",
+	}, true)
+
+	conn, err := net.Dial("tcp", h.tcpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	send := func(cmd string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, cmd); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("no reply to %q: %v", cmd, sc.Err())
+		}
+		return sc.Text()
+	}
+	for i := 0; i < 10; i++ {
+		if rep := send(fmt.Sprintf("route %d %d", i, n-1-i)); !strings.HasPrefix(rep, "route ") {
+			t.Fatalf("route reply %q", rep)
+		}
+	}
+
+	// Sampling is synchronous (rate 1 selects every delivery); verification
+	// is async, so poll the scrape until the backlog drains.
+	statsLine := send("stats")
+	if !strings.Contains(statsLine, " audit(sampled=10 ") {
+		t.Fatalf("stats line carries no audit segment: %q", statsLine)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		exposition := h.get(t, "/metrics")
+		if metricValue(t, exposition, "compactroute_audit_violations_total") != 0 {
+			t.Fatalf("audited violations on an honest scheme:\n%s", exposition)
+		}
+		if metricValue(t, exposition, "compactroute_audit_verified_total") == 10 {
+			if metricValue(t, exposition, "compactroute_audit_sampled_total") != 10 {
+				t.Fatal("sampled_total diverges from the 10 routed queries")
+			}
+			if metricValue(t, exposition, "compactroute_audit_headroom_min") <= 0 {
+				t.Fatal("headroom gauge not fed after audits completed")
+			}
+			metricValue(t, exposition, "compactroute_flightrec_events_total")
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("audits did not complete:\n%s", exposition)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	// No anomalies: the flight-recorder ring is served (empty) and no dump
+	// file was tripped.
+	if body := h.get(t, "/debug/flightrec"); !strings.HasPrefix(body, "[") {
+		t.Fatalf("/debug/flightrec body %q", body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-h.done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
 // TestLoadgenHoldServesMetrics checks the CI scrape path: a -loadgen -hold
 // run keeps its admin endpoints up after the run, exposing the run's
 // counters, until a signal releases it.

@@ -48,6 +48,17 @@
 // at any worker count); -hold keeps a -loadgen process alive after the run
 // so its endpoints can be scraped.
 //
+// -audit-sample attaches the online route auditor: the same deterministic
+// hash sample of delivered queries is shadow-verified off the hot path by
+// -audit-workers background workers using the bounded bidirectional kernel,
+// publishing the compactroute_audit_* instruments (verified / violation /
+// stale counts, minimum bound headroom, windowed stretch drift, lag and
+// backlog). Every serving mode also carries a flight recorder - a fixed ring
+// of notable events (audited violations with route and trace, edge updates,
+// rebuild/repair/swap/retire transitions) served at /debug/flightrec;
+// -flightrec PATH arms it to auto-dump the ring to PATH as JSON on the first
+// audited violation or drift breach.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
 // drains in-flight queries, flushes a final stats line and exits 0.
 //
@@ -101,6 +112,8 @@ type server struct {
 	paths    compactroute.PathSource
 	reg      *compactroute.MetricsRegistry
 	sink     *compactroute.TraceSink
+	audit    *compactroute.RouteAuditor
+	flight   *compactroute.FlightRecorder
 	verify   bool
 	jsonMode bool
 	snapSize int64
@@ -138,6 +151,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		traceRate = fs.Float64("trace-sample", 0, "fraction of queries to trace (deterministic hash sample; 0 disables)")
 		traceBuf  = fs.Int("trace-buf", 256, "completed traces kept for the trace command and /trace")
 		hold      = fs.Bool("hold", false, "loadgen: stay up (admin endpoints scrapeable) after the run until SIGINT/SIGTERM")
+
+		auditRate    = fs.Float64("audit-sample", 0, "fraction of delivered queries to shadow-verify off the hot path (deterministic hash sample; 0 disables)")
+		auditWorkers = fs.Int("audit-workers", 1, "background shadow-verification workers for -audit-sample")
+		flightPath   = fs.String("flightrec", "", "arm the flight recorder: auto-dump its event ring to this JSON file on the first audited violation or drift breach")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,10 +177,24 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	srv.reg = compactroute.NewMetricsRegistry()
 	srv.sink = compactroute.NewTraceSink(*traceRate, *traceBuf)
 	srv.sink.Register(srv.reg)
+	// Every serving mode carries a flight recorder (the ring costs nothing
+	// until something records into it); -flightrec arms the auto-dump. The
+	// auditor only exists when sampling is on - its workers belong to the
+	// engine, which starts them when the options carry a non-nil auditor.
+	srv.flight = compactroute.NewFlightRecorder(512)
+	srv.flight.Register(srv.reg)
+	if *flightPath != "" {
+		srv.flight.Arm(*flightPath)
+	}
+	if *auditRate > 0 {
+		srv.audit = compactroute.NewRouteAuditor(*auditRate, *auditWorkers, 8192)
+		srv.audit.Register(srv.reg)
+		defer srv.audit.Close()
+	}
 	defer registerLoadMetrics(srv.reg)()
 	if *liveMode {
 		opts := compactroute.LiveServeOptions{Workers: *workers, Verify: *verify,
-			Obs: srv.reg, Trace: srv.sink}
+			Obs: srv.reg, Trace: srv.sink, Audit: srv.audit, FlightRec: srv.flight}
 		// The rebuild recipe is derived from the snapshot kind; a kind
 		// without one only disables the rebuild command.
 		kind, err := compactroute.PeekSnapshotKind(*snapshot)
@@ -192,7 +223,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 		paths := compactroute.NewLazyAPSP(scheme.Graph(), int64(*budget)<<20)
 		opts := compactroute.ServeOptions{Workers: *workers, Verify: *verify,
-			Obs: srv.reg, Trace: srv.sink}
+			Obs: srv.reg, Trace: srv.sink, Audit: srv.audit, FlightRec: srv.flight}
 		if *verify {
 			opts.Paths = paths
 		}
@@ -555,8 +586,32 @@ func (s *server) applyAdmin(w *bufio.Writer, enc *json.Encoder, cmd string, up c
 // collect pass /metrics scrapes - so the line protocol and the admin surface
 // are one source of truth. The line formats are part of the protocol and
 // unchanged from the pre-registry implementation.
+// auditSegment formats the stats-line audit suffix and the JSON audit block
+// from a registry collect pass; both are empty/nil when no auditor is
+// attached, so the pinned pre-audit line formats are unchanged.
+func (s *server) auditSegment(v map[string]float64) (string, *auditStatsReply) {
+	if s.audit == nil {
+		return "", nil
+	}
+	rep := &auditStatsReply{
+		Sampled:     uint64(v["compactroute_audit_sampled_total"]),
+		Verified:    uint64(v["compactroute_audit_verified_total"]),
+		Violations:  uint64(v["compactroute_audit_violations_total"]),
+		Stale:       uint64(v["compactroute_audit_stale_total"]),
+		Dropped:     uint64(v["compactroute_audit_dropped_total"]),
+		Backlog:     int(v["compactroute_audit_backlog"]),
+		MinHeadroom: v["compactroute_audit_headroom_min"],
+		Drift:       v["compactroute_audit_drift"],
+	}
+	seg := fmt.Sprintf(" audit(sampled=%d verified=%d viol=%d stale=%d dropped=%d backlog=%d headroom=%.3f drift=%.3f)",
+		rep.Sampled, rep.Verified, rep.Violations, rep.Stale, rep.Dropped,
+		rep.Backlog, rep.MinHeadroom, rep.Drift)
+	return seg, rep
+}
+
 func (s *server) writeStats(w *bufio.Writer, enc *json.Encoder) {
 	v := s.reg.Values()
+	auditSeg, auditRep := s.auditSegment(v)
 	base := statsReply{
 		Queries:    uint64(v["compactroute_queries_total"]),
 		QPS:        v["compactroute_qps"],
@@ -566,6 +621,7 @@ func (s *server) writeStats(w *bufio.Writer, enc *json.Encoder) {
 		P99Hops:    int(v["compactroute_hops_p99"]),
 		MeanHops:   v["compactroute_hops_mean"],
 		MaxStretch: v["compactroute_stretch_max"],
+		Audit:      auditRep,
 	}
 	if s.live != nil {
 		rep := liveStatsReply{
@@ -595,23 +651,23 @@ func (s *server) writeStats(w *bufio.Writer, enc *json.Encoder) {
 			_ = enc.Encode(rep)
 		} else {
 			lastRepair := time.Duration(rep.LastRepairSec * float64(time.Second))
-			fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f) gen=%d overlay(del=%d add=%d setw=%d v=%d) stale(served=%d max=%.3f) detours=%d fallbacks=%d rebuilds=%d repairs=%d escalations=%d swaps=%d repair(last=%s vics=%d clusters=%d seqs=%d labels=%d)\n",
+			fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f) gen=%d overlay(del=%d add=%d setw=%d v=%d) stale(served=%d max=%.3f) detours=%d fallbacks=%d rebuilds=%d repairs=%d escalations=%d swaps=%d repair(last=%s vics=%d clusters=%d seqs=%d labels=%d)%s\n",
 				rep.Queries, rep.QPS, rep.Errors, rep.Violations,
 				rep.P50Hops, rep.P99Hops, rep.MeanHops, rep.MaxStretch,
 				rep.Generation, rep.OverlayDel, rep.OverlayAdd, rep.OverlaySetw, rep.OverlayVersion,
 				rep.StaleServed, rep.MaxStale, rep.Detours, rep.Fallbacks,
 				rep.Rebuilds, rep.Repairs, rep.Escalations, rep.Swaps,
 				lastRepair.Round(time.Millisecond), rep.RepairVics,
-				rep.RepairClusters, rep.RepairSeqs, rep.RepairLabels)
+				rep.RepairClusters, rep.RepairSeqs, rep.RepairLabels, auditSeg)
 		}
 		return
 	}
 	if s.jsonMode {
 		_ = enc.Encode(base)
 	} else {
-		fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f)\n",
+		fmt.Fprintf(w, "stats queries=%d qps=%.0f errors=%d viol=%d hops(p50=%d p99=%d mean=%.2f) stretch(max=%.3f)%s\n",
 			base.Queries, base.QPS, base.Errors, base.Violations,
-			base.P50Hops, base.P99Hops, base.MeanHops, base.MaxStretch)
+			base.P50Hops, base.P99Hops, base.MeanHops, base.MaxStretch, auditSeg)
 	}
 }
 
@@ -680,6 +736,9 @@ type loadgenSummary struct {
 	Violations    uint64  `json:"violations"`
 	SnapshotBytes int64   `json:"snapshot_bytes"`
 	TableWords    int64   `json:"table_words"`
+	// Audit is present only when -audit-sample attached the route auditor;
+	// the run fails on any audited violation, same as synchronous verify.
+	Audit *auditStatsReply `json:"audit,omitempty"`
 }
 
 type statsReply struct {
@@ -691,6 +750,20 @@ type statsReply struct {
 	P99Hops    int     `json:"p99_hops"`
 	MeanHops   float64 `json:"mean_hops"`
 	MaxStretch float64 `json:"max_stretch"`
+	// Audit is present only when -audit-sample attached the route auditor.
+	Audit *auditStatsReply `json:"audit,omitempty"`
+}
+
+// auditStatsReply is the JSON shape of the auditor segment of a stats reply.
+type auditStatsReply struct {
+	Sampled     uint64  `json:"sampled"`
+	Verified    uint64  `json:"verified"`
+	Violations  uint64  `json:"violations"`
+	Stale       uint64  `json:"stale"`
+	Dropped     uint64  `json:"dropped"`
+	Backlog     int     `json:"backlog"`
+	MinHeadroom float64 `json:"min_headroom"`
+	Drift       float64 `json:"drift"`
 }
 
 type liveStatsReply struct {
@@ -759,6 +832,20 @@ func (s *server) runLoadgen(out io.Writer, queries, batch int, seed int64) error
 	if st.BoundViolations != 0 {
 		return fmt.Errorf("loadgen: %d stretch-bound violations over %d queries", st.BoundViolations, st.Queries)
 	}
+	if s.audit != nil {
+		// Drain the audit backlog so the census below is exact, then hold the
+		// run to the same standard as synchronous verify: zero violations.
+		s.audit.Flush()
+		ast := s.audit.Stats()
+		sum.Audit = &auditStatsReply{
+			Sampled: ast.Sampled, Verified: ast.Verified, Violations: ast.Violations,
+			Stale: ast.Stale, Dropped: ast.Dropped, Backlog: ast.Backlog,
+			MinHeadroom: ast.MinHeadroom, Drift: ast.Drift,
+		}
+		if ast.Violations != 0 {
+			return fmt.Errorf("loadgen: %d audited bound violations over %d sampled queries", ast.Violations, ast.Sampled)
+		}
+	}
 	if s.jsonMode {
 		return json.NewEncoder(out).Encode(sum)
 	}
@@ -767,6 +854,10 @@ func (s *server) runLoadgen(out io.Writer, queries, batch int, seed int64) error
 	fmt.Fprintf(out, "queries=%d elapsed=%.3fs qps=%.0f\n", sum.Queries, sum.ElapsedSec, sum.QPS)
 	fmt.Fprintf(out, "hops p50=%d p99=%d mean=%.2f\n", sum.P50Hops, sum.P99Hops, sum.MeanHops)
 	fmt.Fprintf(out, "stretch max=%.3f violations=%d\n", sum.MaxStretch, sum.Violations)
+	if a := sum.Audit; a != nil {
+		fmt.Fprintf(out, "audit sampled=%d verified=%d violations=%d stale=%d dropped=%d headroom=%.3f drift=%.3f\n",
+			a.Sampled, a.Verified, a.Violations, a.Stale, a.Dropped, a.MinHeadroom, a.Drift)
+	}
 	fmt.Fprintf(out, "snapshot bytes=%d table words=%d\n", sum.SnapshotBytes, sum.TableWords)
 	return nil
 }

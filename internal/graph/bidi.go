@@ -1,0 +1,88 @@
+package graph
+
+// BoundedBidiDist returns the exact shortest-path distance from src to dst
+// when that distance is at most bound, and Infinity otherwise (including the
+// unreachable case). It runs Dijkstra from both endpoints simultaneously
+// over two pooled, epoch-stamped workspaces - zero steady-state allocations,
+// like every kernel in this package - expanding the side with the smaller
+// frontier key and stopping as soon as the frontiers prove the answer:
+//
+//	topF + topB >= best  =>  best is the distance (classic bidi invariant:
+//	                         the shortest path would otherwise have an
+//	                         unsettled vertex cheaper than both tops);
+//	topF + topB >  bound =>  the distance exceeds bound, stop caring.
+//
+// The meeting value is maintained at relax time - when side A settles u and
+// scans edge (u, v), any label side B holds for v corresponds to a real
+// path, so dA[u] + w + dB[v] is a genuine s-t walk length. Checking at relax
+// rather than at settle is what makes the invariant airtight when one side
+// settles a vertex the other side has already finished.
+//
+// # Bit-identity with ShortestPaths
+//
+// The verification callers compare this against forward-Dijkstra distances
+// with ==. That is sound because the repo's graphs carry small integer edge
+// weights (internal/gen emits 1..maxWeight; unit graphs emit 1), so every
+// partial path sum is an integer far below 2^53 and exactly representable:
+// the bidirectional split dF[u] + w + dB[v] computes the same integer as the
+// forward left-to-right sum, regardless of association order. The property
+// test in bidi_test.go pins this for weighted and unit generators.
+//
+// Auditing note: a delivered route is a real path, so its routed weight is
+// always >= the true distance; calling BoundedBidiDist with bound equal to
+// the routed weight therefore always returns the exact distance, never the
+// Infinity cutoff. That is what lets the online auditor skip a PathSource
+// entirely.
+func (g *Graph) BoundedBidiDist(src, dst Vertex, bound float64) float64 {
+	if src == dst {
+		return 0
+	}
+	fw := g.AcquireWorkspace()
+	bw := g.AcquireWorkspace()
+	fw.Start(src)
+	bw.Start(dst)
+	best := Infinity
+	for {
+		_, fd, fok := fw.Peek()
+		_, bd, bok := bw.Peek()
+		if !fok && !bok {
+			break
+		}
+		// An exhausted side peeks (Infinity, false); Infinity + anything
+		// triggers the >= best stop as soon as best is known, and breaks via
+		// > bound when it is not (nothing reachable remains to improve it).
+		if sum := fd + bd; sum >= best || sum > bound {
+			break
+		}
+		if fd <= bd {
+			g.bidiExpand(fw, bw, &best)
+		} else {
+			g.bidiExpand(bw, fw, &best)
+		}
+	}
+	g.ReleaseWorkspace(fw)
+	g.ReleaseWorkspace(bw)
+	if best > bound {
+		return Infinity
+	}
+	return best
+}
+
+// bidiExpand settles the next vertex of ws and relaxes its edges, folding
+// any meeting with the opposite search into best.
+func (g *Graph) bidiExpand(ws, other *Workspace, best *float64) {
+	u, d, ok := ws.Pop()
+	if !ok {
+		return
+	}
+	for i := g.off[u]; i < g.off[u+1]; i++ {
+		v := g.to[i]
+		nd := d + g.w[i]
+		if od, labeled := other.Dist(v); labeled {
+			if c := nd + od; c < *best {
+				*best = c
+			}
+		}
+		ws.Relax(v, nd, u)
+	}
+}

@@ -1,0 +1,88 @@
+package graph_test
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/testutil"
+)
+
+// TestBoundedBidiDistMatchesShortestPaths is the kernel-equivalence property
+// test: over random graphs (two seeds, weighted and unit), the bidirectional
+// distance must be bit-identical (==, no epsilon) to the forward
+// ShortestPaths distance - the integer-weight exactness the auditor's
+// violation accounting depends on.
+func TestBoundedBidiDistMatchesShortestPaths(t *testing.T) {
+	for _, wt := range []gen.Weighting{gen.Unit, gen.UniformInt} {
+		for _, seed := range []int64{7, 1001} {
+			g := testutil.MustGNM(t, 160, 480, seed, wt)
+			n := graph.Vertex(g.N())
+			for src := graph.Vertex(0); src < n; src += 13 {
+				sp := g.ShortestPaths(src)
+				for dst := graph.Vertex(0); dst < n; dst++ {
+					want := sp.Dist[dst]
+					got := g.BoundedBidiDist(src, dst, graph.Infinity)
+					if got != want {
+						t.Fatalf("wt=%v seed=%d (%d,%d): bidi %v != forward %v", wt, seed, src, dst, got, want)
+					}
+					if src == dst {
+						continue
+					}
+					// bound = the exact distance must still prove it; any
+					// tighter bound must report the cutoff.
+					if got := g.BoundedBidiDist(src, dst, want); got != want {
+						t.Fatalf("wt=%v seed=%d (%d,%d): bidi at bound=dist %v != %v", wt, seed, src, dst, got, want)
+					}
+					if got := g.BoundedBidiDist(src, dst, want-0.5); !math.IsInf(got, 1) {
+						t.Fatalf("wt=%v seed=%d (%d,%d): bidi under bound returned %v, want +Inf", wt, seed, src, dst, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedBidiDistUnreachable pins the disconnected case: both frontiers
+// exhaust without meeting and the kernel reports +Inf.
+func TestBoundedBidiDistUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if d := g.BoundedBidiDist(0, 2, graph.Infinity); !math.IsInf(d, 1) {
+		t.Fatalf("disconnected pair returned %v, want +Inf", d)
+	}
+	if d := g.BoundedBidiDist(0, 1, graph.Infinity); d != 1 {
+		t.Fatalf("adjacent pair returned %v, want 1", d)
+	}
+}
+
+// TestBoundedBidiDistZeroAlloc pins the kernel's steady-state allocation
+// behavior: after warm-up, a bounded bidirectional query allocates nothing -
+// both workspaces come from the graph's pool, the same contract as every
+// other search kernel.
+func TestBoundedBidiDistZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocs/op is only meaningful without -race")
+	}
+	g := testutil.MustGNM(t, 256, 1024, 3, gen.UniformInt)
+	n := graph.Vertex(g.N())
+	// Warm the workspace pool and heap capacity.
+	for i := 0; i < 64; i++ {
+		g.BoundedBidiDist(graph.Vertex(i)%n, (graph.Vertex(i)*37+5)%n, graph.Infinity)
+	}
+	var src, dst graph.Vertex
+	allocs := testing.AllocsPerRun(200, func() {
+		g.BoundedBidiDist(src%n, (dst+97)%n, graph.Infinity)
+		src += 7
+		dst += 31
+	})
+	if allocs != 0 {
+		t.Fatalf("BoundedBidiDist allocated %.1f per op in steady state, want 0", allocs)
+	}
+}

@@ -76,6 +76,52 @@ func BenchmarkNearest(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyKernels compares the two ways a delivered route's true
+// distance can be proved (E19 of EXPERIMENTS.md): the PathSource row fill
+// behind the synchronous Verify default - one full single-source search per
+// uncached source - against the bounded bidirectional kernel the route
+// auditor uses, searching with the routed weight (modelled here as 1.5x the
+// true distance, a typical stretch slack) as its bound. Sources rotate so
+// the single-row cache always misses, like a random serving mix.
+func BenchmarkVerifyKernels(b *testing.B) {
+	for _, n := range []int{4096, 100000} {
+		g := benchKernelGraph(b, n, true)
+		const npairs = 64
+		type pair struct {
+			src, dst graph.Vertex
+			bound    float64
+		}
+		ps := make([]pair, 0, npairs)
+		for i := 0; i < npairs; i++ {
+			src := graph.Vertex((i * 9973) % g.N())
+			dst := graph.Vertex((i*31337 + g.N()/2) % g.N())
+			d := g.ShortestPaths(src).Dist[dst]
+			ps = append(ps, pair{src, dst, 1.5 * d})
+		}
+		b.Run(fmt.Sprintf("pathsource/n=%d", n), func(b *testing.B) {
+			lazy := graph.NewLazyAPSP(g, graph.LazyConfig{MemBudget: 1, Shards: 1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := ps[i%len(ps)]
+				if lazy.Row(p.src).Dist[p.dst] > p.bound {
+					b.Fatal("bound violated")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bidi/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := ps[i%len(ps)]
+				if g.BoundedBidiDist(p.src, p.dst, p.bound) > p.bound {
+					b.Fatal("bound violated")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLazyRowFill measures one uncached LazyAPSP row computation: the
 // cache holds a single row per shard, so every rotated source misses and the
 // benchmark times the row fill itself (search + result materialization).

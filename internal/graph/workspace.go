@@ -127,6 +127,23 @@ func (ws *Workspace) Pop() (v Vertex, d float64, ok bool) {
 	return NoVertex, Infinity, false
 }
 
+// Peek returns the next vertex in (dist, id) order without finalizing it,
+// discarding stale heap entries on the way (the same lazy deletion Pop
+// applies, so a following Pop returns exactly the peeked entry). ok is false
+// when the search frontier is exhausted. Peek is what the bidirectional
+// kernel's termination rule is built on: it needs both frontiers' next keys
+// before deciding which side to expand.
+func (ws *Workspace) Peek() (v Vertex, d float64, ok bool) {
+	for ws.heap.len() > 0 {
+		d, v := ws.heap.ds[0], ws.heap.vs[0]
+		if ws.seen[v] == ws.epoch && d == ws.dist[v] {
+			return v, d, true
+		}
+		ws.heap.pop() // superseded by a later, shorter relaxation
+	}
+	return NoVertex, Infinity, false
+}
+
 // heap4 is a 4-ary min-heap of (dist, vertex) pairs ordered by (dist, id).
 // The flatter shape does ~half the levels of a binary heap per operation,
 // and the parallel ds/vs arrays keep sift comparisons on one cache line;

@@ -1,0 +1,85 @@
+package live_test
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/live"
+	"compactroute/internal/testutil"
+)
+
+// TestOverlayBoundedBidiMatchesMaterialized is the overlay-patched half of
+// the kernel-equivalence property: after a burst of churn, the overlay's
+// bounded bidirectional distance must be bit-identical (==, no epsilon) to a
+// forward ShortestPaths run over the materialized effective graph, for both
+// weighted and unit bases and two churn seeds.
+func TestOverlayBoundedBidiMatchesMaterialized(t *testing.T) {
+	for _, wt := range []gen.Weighting{gen.Unit, gen.UniformInt} {
+		for _, seed := range []int64{7, 1001} {
+			g := testutil.MustGNM(t, 80, 240, seed, wt)
+			ov := live.NewOverlay(g)
+			for _, up := range live.ChurnTrace(g, 50, seed+13, 16) {
+				mustApply(t, ov, up)
+			}
+			if ov.Empty() {
+				t.Fatalf("wt=%v seed=%d: churn left the overlay empty", wt, seed)
+			}
+			mat, err := ov.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := graph.Vertex(g.N())
+			for src := graph.Vertex(0); src < n; src += 11 {
+				sp := mat.ShortestPaths(src)
+				for dst := graph.Vertex(0); dst < n; dst++ {
+					want := sp.Dist[dst]
+					got := ov.BoundedBidiDist(src, dst, graph.Infinity)
+					if got != want {
+						t.Fatalf("wt=%v seed=%d (%d,%d): overlay bidi %v != materialized forward %v",
+							wt, seed, src, dst, got, want)
+					}
+					if src == dst || math.IsInf(want, 1) {
+						continue
+					}
+					if got := ov.BoundedBidiDist(src, dst, want); got != want {
+						t.Fatalf("wt=%v seed=%d (%d,%d): overlay bidi at bound=dist %v != %v",
+							wt, seed, src, dst, got, want)
+					}
+					if got := ov.BoundedBidiDist(src, dst, want-0.5); !math.IsInf(got, 1) {
+						t.Fatalf("wt=%v seed=%d (%d,%d): overlay bidi under bound returned %v, want +Inf",
+							wt, seed, src, dst, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOverlayBoundedBidiZeroAlloc pins the overlay kernel's steady-state
+// allocation contract: workspaces come from the base graph's pool and the
+// patched edge scan allocates nothing.
+func TestOverlayBoundedBidiZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocs/op is only meaningful without -race")
+	}
+	g := testutil.MustGNM(t, 128, 512, 3, gen.UniformInt)
+	ov := live.NewOverlay(g)
+	for _, up := range live.ChurnTrace(g, 30, 17, 16) {
+		mustApply(t, ov, up)
+	}
+	n := graph.Vertex(g.N())
+	for i := 0; i < 64; i++ {
+		ov.BoundedBidiDist(graph.Vertex(i)%n, (graph.Vertex(i)*37+5)%n, graph.Infinity)
+	}
+	var src, dst graph.Vertex
+	allocs := testing.AllocsPerRun(200, func() {
+		ov.BoundedBidiDist(src%n, (dst+97)%n, graph.Infinity)
+		src += 7
+		dst += 31
+	})
+	if allocs != 0 {
+		t.Fatalf("overlay BoundedBidiDist allocated %.1f per op in steady state, want 0", allocs)
+	}
+}

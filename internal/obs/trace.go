@@ -123,6 +123,27 @@ func QueryID(src, dst int32) uint64 {
 // iff the low sampleBits of its QueryID fall below rate * 2^sampleBits.
 const sampleBits = 20
 
+// SampleThresh converts a sampling rate in [0, 1] to the threshold the low
+// sample bits of a QueryID are compared against. It is the one conversion
+// both the trace sink and the serve auditor use, so a query audited at rate
+// R is exactly the query traced at rate R - audited violations always have
+// their trace.
+func SampleThresh(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return 1 << sampleBits
+	}
+	return uint64(rate * float64(uint64(1)<<sampleBits))
+}
+
+// SampleHit reports whether the query with the given QueryID falls under a
+// SampleThresh threshold.
+func SampleHit(id, thresh uint64) bool {
+	return id&(1<<sampleBits-1) < thresh
+}
+
 // TraceSink owns the trace pool, the ring of recent completed traces, and
 // the per-decision counters. A nil *TraceSink is valid and never samples, so
 // call sites can thread it unconditionally.

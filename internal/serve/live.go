@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +108,24 @@ type LiveOptions struct {
 	// the hook (typically munmap) fires. Rebuilt generations own ordinary
 	// heap schemes and carry no hook.
 	Retire func()
+	// VerifyBidi makes Verify prove true effective-graph distances with the
+	// overlay-aware bounded bidirectional kernel instead of the Distances
+	// row cache - bit-identical statistics (integer weights), no row
+	// rebuilds when the overlay version moves. The Distances source remains
+	// the fallback for the rare raced walk whose recorded weight undercuts
+	// the current effective distance.
+	VerifyBidi bool
+	// Audit, when non-nil, shadow-verifies a deterministic sample of
+	// delivered queries off the hot path. Records carry the generation id
+	// and overlay version observed at route time; the audit re-validates
+	// both, so a violation is only ever charged to a provably-clean route -
+	// anything that raced churn is attributed to staleness, never
+	// double-counted.
+	Audit *Auditor
+	// FlightRec, when non-nil, receives the live lifecycle as flight events:
+	// edge updates, rebuild/repair/swap transitions, escalations, generation
+	// retires, and audited violations with route and trace.
+	FlightRec *obs.FlightRecorder
 }
 
 // ErrRebuildInFlight is returned by Rebuild while a rebuild is running.
@@ -259,7 +278,7 @@ func NewLiveWithOverlay(s simnet.Scheme, ov *live.Overlay, o LiveOptions) (*Live
 	for i := range l.shards {
 		l.shards[i] = &liveShard{}
 	}
-	gen0 := &generation{id: 0, router: router, retire: o.Retire}
+	gen0 := &generation{id: 0, router: router, retire: l.retireHook(0, o.Retire)}
 	gen0.refs.Store(1) // owner reference, released by the first swap
 	l.gen.Store(gen0)
 	now := time.Now().UnixNano()
@@ -268,7 +287,84 @@ func NewLiveWithOverlay(s simnet.Scheme, ov *live.Overlay, o LiveOptions) (*Live
 	if o.Obs != nil {
 		l.registerObs(o.Obs)
 	}
+	if o.Audit != nil {
+		o.Audit.start(l.auditBackend())
+	}
 	return l, nil
+}
+
+// retireHook chains a generation's retire callback with the flight-recorder
+// retire event, so the recorder captures the munmap-after-drain point of
+// every displaced generation.
+func (l *Live) retireHook(id uint64, retire func()) func() {
+	fr := l.opts.FlightRec
+	if fr == nil {
+		return retire
+	}
+	return func() {
+		if retire != nil {
+			retire()
+		}
+		fr.Record(obs.FlightEvent{Kind: "retire", Gen: id, Detail: "generation drained and retired"})
+	}
+}
+
+// auditBackend is the live engine's shadow-verification: records are only
+// charged as violations when the route was provably clean AND the world has
+// not moved since - same generation, same overlay version, re-checked after
+// the bounded bidirectional search. Everything else is churn-attributed
+// (audit_stale), mirroring the hot path's staleness accounting so a
+// violation is never double-counted across the two classifications.
+func (l *Live) auditBackend() auditBackend {
+	return auditBackend{
+		fr: l.opts.FlightRec,
+		check: func(rec auditRecord) auditVerdict {
+			if !rec.clean {
+				return auditVerdict{kind: auditStale}
+			}
+			gen := l.gen.Load()
+			if gen.id != rec.gen || !gen.tryAcquire() {
+				return auditVerdict{kind: auditStale}
+			}
+			defer gen.release()
+			if l.ov.Version() != rec.version {
+				return auditVerdict{kind: auditStale}
+			}
+			// Clean + version unchanged means the overlay is still empty, so
+			// the effective graph IS the generation's base graph and the
+			// proved bound applies.
+			d := l.ov.BoundedBidiDist(graph.Vertex(rec.src), graph.Vertex(rec.dst), rec.weight)
+			if l.ov.Version() != rec.version || l.gen.Load() != gen {
+				return auditVerdict{kind: auditStale} // churn raced the audit search
+			}
+			v := auditVerdict{kind: auditVerified, dist: d, bound: gen.router.Scheme().StretchBound(d)}
+			if rec.weight > v.bound+1e-9 {
+				v.kind = auditViolation
+			}
+			return v
+		},
+		describe: func(rec auditRecord, v auditVerdict) obs.FlightEvent {
+			ev := obs.FlightEvent{
+				Kind:   "audit_violation",
+				Detail: fmt.Sprintf("routed weight %g exceeds proved bound %g (dist %g)", rec.weight, v.bound, v.dist),
+				Src:    rec.src, Dst: rec.dst, Gen: rec.gen,
+				Weight: rec.weight, Dist: v.dist, Bound: v.bound,
+			}
+			gen := l.gen.Load()
+			if gen.id != rec.gen || !gen.tryAcquire() {
+				ev.Detail += "; generation moved before the route could be re-traced"
+				return ev
+			}
+			defer gen.release()
+			tr := &obs.Trace{ID: rec.id, Src: rec.src, Dst: rec.dst}
+			res := gen.router.RouteTraced(graph.Vertex(rec.src), graph.Vertex(rec.dst), tr)
+			tr.Hops = res.Hops
+			tr.Err = res.Err != nil
+			tr.Stale = res.Stale()
+			ev.Trace = tr
+			return ev
+		},
+	}
 }
 
 // Scheme returns the scheme of the current generation.
@@ -296,6 +392,16 @@ func (l *Live) Workers() int { return len(l.shards) }
 // right after the overlay is rebased onto the new generation's graph;
 // updates that fail at drain time are counted in LiveStats.PendingDropped.
 func (l *Live) ApplyUpdates(ups []live.Update) error {
+	if fr := l.opts.FlightRec; fr != nil {
+		for _, up := range ups {
+			fr.Record(obs.FlightEvent{
+				Kind:   "edge_update",
+				Detail: fmt.Sprintf("%s {%d,%d} w=%g", up.Op, up.U, up.V, up.W),
+				Src:    int32(up.U), Dst: int32(up.V), Gen: l.Generation(),
+				Weight: up.W,
+			})
+		}
+	}
 	l.pendMu.Lock()
 	defer l.pendMu.Unlock()
 	if l.quiescing {
@@ -345,7 +451,8 @@ func (l *Live) routeOn(sh *liveShard, src, dst graph.Vertex) live.Result {
 	gen := l.acquireGen()
 	defer gen.release()
 	tr := l.opts.Trace.Sample(int32(src), int32(dst))
-	timed := obs.QueryID(int32(src), int32(dst))&latSampleBit == 0
+	id := obs.QueryID(int32(src), int32(dst))
+	timed := id&latSampleBit == 0
 	var t0 int64
 	if timed {
 		t0 = time.Now().UnixNano()
@@ -365,7 +472,18 @@ func (l *Live) routeOn(sh *liveShard, src, dst graph.Vertex) live.Result {
 	sr := Result{Src: src, Dst: dst, Hops: res.Hops, HeaderWords: res.HeaderWords,
 		Weight: res.Weight, Dist: -1, Err: res.Err}
 	if l.opts.Verify && res.Err == nil {
-		sr.Dist = l.dist.Dist(src, dst)
+		if l.opts.VerifyBidi {
+			d := l.ov.BoundedBidiDist(src, dst, res.Weight)
+			if math.IsInf(d, 1) {
+				// The recorded weight undercuts the current effective
+				// distance - only possible for a walk that raced churn; the
+				// row cache answers, exactly like PathSource mode.
+				d = l.dist.Dist(src, dst)
+			}
+			sr.Dist = d
+		} else {
+			sr.Dist = l.dist.Dist(src, dst)
+		}
 	}
 	sh.mu.Lock()
 	delivered := sh.st.recordBase(&sr)
@@ -396,6 +514,9 @@ func (l *Live) routeOn(sh *liveShard, src, dst graph.Vertex) live.Result {
 		sh.st.recordLatency(dt)
 	}
 	sh.mu.Unlock()
+	if res.Err == nil {
+		l.opts.Audit.offer(id, int32(src), int32(dst), res.Weight, gen.id, vBefore, clean)
+	}
 	return res
 }
 
@@ -486,6 +607,13 @@ func (l *Live) Rebuild() error {
 	l.rebuilds.Inc()
 	l.lastRebuild.Store(int64(time.Since(start)))
 	l.lastFullAt.Store(time.Now().UnixNano())
+	if fr := l.opts.FlightRec; fr != nil {
+		fr.Record(obs.FlightEvent{
+			Kind:   "rebuild",
+			Detail: fmt.Sprintf("full rebuild in %s", time.Since(start).Round(time.Microsecond)),
+			Gen:    l.Generation(),
+		})
+	}
 	return nil
 }
 
@@ -510,7 +638,7 @@ func (l *Live) swapTo(s simnet.Scheme, g *graph.Graph) error {
 	// check (generation re-read after routing) keeps out of the
 	// bound-verified statistics.
 	old := l.gen.Load()
-	next := &generation{id: old.id + 1, router: router}
+	next := &generation{id: old.id + 1, router: router, retire: l.retireHook(old.id+1, nil)}
 	next.refs.Store(1)
 	l.gen.Store(next)
 	// Drop the owner reference of the displaced generation; its retire hook
@@ -522,6 +650,13 @@ func (l *Live) swapTo(s simnet.Scheme, g *graph.Graph) error {
 	}
 	l.swaps.Inc()
 	l.staleAtSwap.Store(l.staleTotal())
+	if fr := l.opts.FlightRec; fr != nil {
+		fr.Record(obs.FlightEvent{
+			Kind:   "swap",
+			Detail: fmt.Sprintf("generation %d -> %d hot-swapped", old.id, next.id),
+			Gen:    next.id,
+		})
+	}
 	return nil
 }
 
@@ -561,6 +696,14 @@ func (l *Live) Repair() error {
 	l.lastInfoMu.Lock()
 	l.lastInfo = info
 	l.lastInfoMu.Unlock()
+	if fr := l.opts.FlightRec; fr != nil {
+		fr.Record(obs.FlightEvent{
+			Kind: "repair",
+			Detail: fmt.Sprintf("incremental repair in %s (%d edges, %d vics, %d clusters, %d seqs, %d labels)",
+				time.Since(start).Round(time.Microsecond), info.Edges, info.DirtyVics, info.DirtyClusters, info.DirtySeqs, info.DirtyLabels),
+			Gen: l.Generation(),
+		})
+	}
 	return nil
 }
 
@@ -606,6 +749,13 @@ func (l *Live) Refresh() error {
 			return err
 		}
 		l.escalations.Inc()
+		if fr := l.opts.FlightRec; fr != nil {
+			fr.Record(obs.FlightEvent{
+				Kind:   "escalation",
+				Detail: fmt.Sprintf("repair failed, escalating to full rebuild: %v", err),
+				Gen:    l.Generation(),
+			})
+		}
 	}
 	return l.Rebuild()
 }

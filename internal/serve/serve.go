@@ -70,6 +70,24 @@ type Options struct {
 	// hash-based selection; see obs.TraceSink). Untraced queries pay one
 	// hash and one branch; a nil Trace pays one nil check.
 	Trace *obs.TraceSink
+	// VerifyBidi makes Verify compute true distances with the bounded
+	// bidirectional kernel (bound = the routed weight, which always covers
+	// the true distance of a delivered route) instead of a PathSource row.
+	// Repo graphs carry integer weights, so the distances - and therefore
+	// every violation/stretch statistic - are bit-identical between the two
+	// modes; Paths becomes optional and is consulted only as a fallback for
+	// the cases the bound genuinely cuts (never a delivered route).
+	VerifyBidi bool
+	// Audit, when non-nil, shadow-verifies a deterministic sample of
+	// delivered queries off the hot path through the bounded bidirectional
+	// kernel (see Auditor). New starts the auditor against this engine; one
+	// auditor serves one engine, and the caller Closes it after the engine
+	// is done.
+	Audit *Auditor
+	// FlightRec, when non-nil, receives notable serving events - audited
+	// bound violations with the offending route and its trace, and (on the
+	// live engine) churn/repair/swap lifecycle transitions.
+	FlightRec *obs.FlightRecorder
 }
 
 // ErrAborted marks pairs skipped after a FailFast batch hit its first
@@ -260,8 +278,8 @@ func New(s simnet.Scheme, o Options) (*Engine, error) {
 	if o.Workers <= 0 {
 		o.Workers = parallel.Workers()
 	}
-	if o.Verify && o.Paths == nil {
-		return nil, fmt.Errorf("serve: Verify requires a PathSource")
+	if o.Verify && o.Paths == nil && !o.VerifyBidi {
+		return nil, fmt.Errorf("serve: Verify requires a PathSource (or VerifyBidi)")
 	}
 	var nwOpts []simnet.Option
 	if o.MaxHops > 0 {
@@ -282,6 +300,9 @@ func New(s simnet.Scheme, o Options) (*Engine, error) {
 	}
 	if o.Obs != nil {
 		e.registerObs(o.Obs)
+	}
+	if o.Audit != nil {
+		o.Audit.start(staticAuditBackend(s, o.FlightRec))
 	}
 	// Safety net for engines dropped without Close: the workers reference
 	// only their shard and the closer, never the Engine, so the engine
@@ -357,39 +378,79 @@ func (w *worker) serve(job batchJob) {
 	job.bs.wg.Done()
 }
 
-// route serves one query on the worker's shard. Vertex ids are validated
-// here - the engine fronts untrusted protocol input, and schemes index
-// their tables with the destination, so an out-of-range id must become a
-// Result error, not a panic.
-func (w *worker) route(src, dst graph.Vertex) Result {
-	res := Result{Src: src, Dst: dst, Dist: -1}
-	if src < 0 || src >= w.n || dst < 0 || dst >= w.n {
-		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, w.n)
-		w.record(&res)
-		return res
+// routeOne is the single-query hot path shared by the batch workers and
+// Engine.Route: id validation, deterministic trace and latency sampling, the
+// routed walk, optional verification, and the audit offer. Both entry points
+// funnel through this one function, so audit sampling and stats attribution
+// cannot diverge between them - they differ only in where the finished
+// counters land (the worker's pending block vs. the shard lock) and where
+// the scratch packet lives (worker-owned vs. pooled).
+func routeOne(nw *simnet.Network, scheme simnet.Scheme, n graph.Vertex, o *Options, src, dst graph.Vertex, scratch simnet.Packet) (res Result, pkt simnet.Packet, timed bool, dt int64) {
+	res = Result{Src: src, Dst: dst, Dist: -1}
+	pkt = scratch
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, n)
+		return res, pkt, false, 0
 	}
-	tr := w.opts.Trace.Sample(int32(src), int32(dst))
-	timed := obs.QueryID(int32(src), int32(dst))&latSampleBit == 0
+	id := obs.QueryID(int32(src), int32(dst))
+	tr := o.Trace.Sample(int32(src), int32(dst))
+	timed = id&latSampleBit == 0
 	var t0 int64
 	if timed {
 		t0 = time.Now().UnixNano()
 	}
-	r, pkt, err := w.sh.nw.RouteTraced(src, dst, w.pkt, tr)
+	r, p, err := nw.RouteTraced(src, dst, scratch, tr)
 	if timed {
-		w.pend.recordLatency(time.Now().UnixNano() - t0)
+		dt = time.Now().UnixNano() - t0
 	}
-	if pkt != nil {
-		w.pkt = pkt
+	if p != nil {
+		pkt = p
 	}
 	res.Hops, res.Weight, res.HeaderWords = r.Hops, r.Weight, r.HeaderWords
 	res.Err = err
 	if tr != nil {
 		tr.Hops = r.Hops
 		tr.Err = err != nil
-		w.opts.Trace.Done(tr)
+		o.Trace.Done(tr)
 	}
-	if err == nil && w.opts.Verify {
-		res.Dist = w.opts.Paths.Dist(src, dst)
+	if err == nil {
+		if o.Verify {
+			res.Dist = verifyDist(scheme, o, src, dst, r.Weight)
+		}
+		// The static engine serves one immutable generation; audit records
+		// carry generation 0, version 0, clean (the live engine stamps real
+		// generation state in routeOn).
+		o.Audit.offer(id, int32(src), int32(dst), r.Weight, 0, 0, true)
+	}
+	return res, pkt, timed, dt
+}
+
+// verifyDist resolves the true shortest distance for a delivered route. In
+// VerifyBidi mode the bounded bidirectional kernel proves it directly
+// (bound = the routed weight, which a real path always covers); otherwise -
+// or in the impossible-by-invariant cutoff case, kept as a fallback - the
+// PathSource row answers.
+func verifyDist(s simnet.Scheme, o *Options, src, dst graph.Vertex, weight float64) float64 {
+	if o.VerifyBidi {
+		d := s.Graph().BoundedBidiDist(src, dst, weight)
+		if !math.IsInf(d, 1) || o.Paths == nil {
+			return d
+		}
+	}
+	return o.Paths.Dist(src, dst)
+}
+
+// route serves one query on the worker's shard. Vertex ids are validated
+// here - the engine fronts untrusted protocol input, and schemes index
+// their tables with the destination, so an out-of-range id must become a
+// Result error, not a panic.
+func (w *worker) route(src, dst graph.Vertex) Result {
+	res, pkt, timed, dt := routeOne(w.sh.nw, w.scheme, w.n, &w.opts, src, dst, w.pkt)
+	if pkt != nil {
+		w.pkt = pkt
+	}
+	if timed {
+		w.pend.recordLatency(dt)
 	}
 	w.record(&res)
 	return res
@@ -477,45 +538,16 @@ func stretchBucket(str float64) int {
 // engine routes without allocating.
 func (e *Engine) Route(src, dst graph.Vertex) Result {
 	sh := e.shards[e.rr.Add(1)%uint64(len(e.shards))]
-	res := Result{Src: src, Dst: dst, Dist: -1}
-	if src < 0 || src >= e.n || dst < 0 || dst >= e.n {
-		res.Err = fmt.Errorf("serve: pair (%d, %d) out of range [0, %d)", src, dst, e.n)
-	} else {
-		tr := e.opts.Trace.Sample(int32(src), int32(dst))
-		timed := obs.QueryID(int32(src), int32(dst))&latSampleBit == 0
-		var t0 int64
-		if timed {
-			t0 = time.Now().UnixNano()
-		}
-		scratch, _ := e.pkts.Get().(simnet.Packet)
-		r, pkt, err := sh.nw.RouteTraced(src, dst, scratch, tr)
-		var dt int64
-		if timed {
-			dt = time.Now().UnixNano() - t0
-		}
-		if pkt != nil {
-			e.pkts.Put(pkt)
-		}
-		res.Hops, res.Weight, res.HeaderWords = r.Hops, r.Weight, r.HeaderWords
-		res.Err = err
-		if tr != nil {
-			tr.Hops = r.Hops
-			tr.Err = err != nil
-			e.opts.Trace.Done(tr)
-		}
-		if err == nil && e.opts.Verify {
-			res.Dist = e.opts.Paths.Dist(src, dst)
-		}
-		sh.mu.Lock()
-		sh.st.record(e.scheme, &res, e.opts.Verify)
-		if timed {
-			sh.st.recordLatency(dt)
-		}
-		sh.mu.Unlock()
-		return res
+	scratch, _ := e.pkts.Get().(simnet.Packet)
+	res, pkt, timed, dt := routeOne(sh.nw, e.scheme, e.n, &e.opts, src, dst, scratch)
+	if pkt != nil {
+		e.pkts.Put(pkt)
 	}
 	sh.mu.Lock()
 	sh.st.record(e.scheme, &res, e.opts.Verify)
+	if timed {
+		sh.st.recordLatency(dt)
+	}
 	sh.mu.Unlock()
 	return res
 }

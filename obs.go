@@ -27,6 +27,14 @@ type (
 	// SnapshotLoadEvent describes one completed snapshot load (bytes,
 	// mapped or not, and where the time went).
 	SnapshotLoadEvent = wire.LoadEvent
+	// FlightRecorder is the serving black box: a fixed ring of recent
+	// notable events (audited violations with route + trace, edge updates,
+	// rebuild/repair/swap transitions, generation retires), served at
+	// /debug/flightrec and auto-dumped to a JSON file on the first trip.
+	// Attach via ServeOptions.FlightRec / LiveServeOptions.FlightRec.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one recorded flight-recorder event.
+	FlightEvent = obs.FlightEvent
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -46,3 +54,8 @@ func NewTraceSink(rate float64, bufN int) *TraceSink { return obs.NewTraceSink(r
 // snapshot loads (nil removes it). LoadScheme/OpenSchemeFile and every path
 // built on them (LoadSchemeFile, OpenLiveStateFile) report through it.
 func SetSnapshotLoadObserver(fn func(SnapshotLoadEvent)) { wire.SetLoadObserver(fn) }
+
+// NewFlightRecorder builds a flight recorder keeping the most recent n
+// events. Arm it with a file path to auto-dump the ring on the first tripped
+// anomaly, and Register it on a MetricsRegistry for the event counters.
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }

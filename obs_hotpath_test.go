@@ -8,13 +8,21 @@ import (
 )
 
 // TestObsHotPathAllocs is the acceptance pin of the observability layer:
-// with a metrics registry attached and a trace sink threaded through at 0%
-// sampling - the production configuration routeserve always runs in - the
-// warm Query and Route paths must still not allocate. Instrument reads are
-// func-backed snapshots refreshed at scrape time, and the not-sampled trace
-// check is a hash and a compare, so observability costs the hot path
-// nothing until a query is actually selected.
+// with a metrics registry attached, a trace sink threaded through at 0%
+// sampling, a route auditor shadow-verifying at a live sampling rate, and a
+// flight recorder armed - the production configuration routeserve always
+// runs in - the warm Query and Route paths must still not allocate.
+// Instrument reads are func-backed snapshots refreshed at scrape time, the
+// not-sampled trace check is a hash and a compare, and a sampled audit offer
+// is a value-struct send on a prefilled channel, so observability costs the
+// hot path nothing beyond that.
 func TestObsHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		// Not just instrumentation overhead: AllocsPerRun counts mallocs
+		// process-wide, and under -race the audit workers' workspace pool
+		// drops Puts, so the background pool misses land in the measurement.
+		t.Skip("race instrumentation allocates; allocs/op is only meaningful without -race")
+	}
 	g, err := compactroute.GNM(96, 384, 3, true, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -27,8 +35,13 @@ func TestObsHotPathAllocs(t *testing.T) {
 	reg := compactroute.NewMetricsRegistry()
 	sink := compactroute.NewTraceSink(0, 64) // 0% sampling: the untraced path
 	sink.Register(reg)
+	audit := compactroute.NewRouteAuditor(0.25, 2, 8192)
+	defer audit.Close()
+	audit.Register(reg)
+	fr := compactroute.NewFlightRecorder(64)
+	fr.Register(reg)
 	eng, err := compactroute.NewServeEngine(s, compactroute.ServeOptions{
-		Workers: 2, Obs: reg, Trace: sink})
+		Workers: 2, Obs: reg, Trace: sink, Audit: audit, FlightRec: fr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +59,7 @@ func TestObsHotPathAllocs(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		eng.Query(pairs, out)
 	}
+	audit.Flush() // warm the audit workers' workspace pool before measuring
 	if allocs := testing.AllocsPerRun(20, func() {
 		eng.Query(pairs, out)
 	}); allocs != 0 {
@@ -70,8 +84,19 @@ func TestObsHotPathAllocs(t *testing.T) {
 	if !strings.Contains(b.String(), "compactroute_queries_total") {
 		t.Fatal("scrape after alloc runs misses the query counter")
 	}
+	if !strings.Contains(b.String(), "compactroute_audit_sampled_total") {
+		t.Fatal("scrape misses the audit instruments")
+	}
 	if sink.SampledCount() != 0 {
 		t.Fatalf("0%% sampling recorded %d traces", sink.SampledCount())
+	}
+	audit.Flush()
+	st := audit.Stats()
+	if st.Sampled == 0 || st.Verified == 0 {
+		t.Fatalf("rate-0.25 auditor audited nothing across the alloc runs: %+v", st)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("auditor reported %d violations on an honest scheme", st.Violations)
 	}
 }
 

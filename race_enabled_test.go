@@ -1,0 +1,7 @@
+//go:build race
+
+package compactroute_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation allocates and invalidates allocs-per-op assertions.
+const raceEnabled = true
